@@ -1,0 +1,110 @@
+//! Ablation micro-benchmarks for the design choices called out in DESIGN.md:
+//! the cost of intra-thread validation as the task-read-log grows, the impact
+//! of speculative depth on a fixed read-only transaction, and the penalty of
+//! intra-thread write/write conflicts (tasks of one transaction writing the
+//! same words).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
+use txmem::{TxConfig, TxMem};
+
+/// Speculative-depth sweep on a fixed read-only transaction (64 reads split
+/// across as many tasks as the depth allows).
+fn bench_spec_depth(c: &mut Criterion) {
+    let runtime = TlstmRuntime::new(TxConfig::default());
+    let block = runtime.heap().alloc(256).unwrap();
+    let mut group = c.benchmark_group("ablation_spec_depth");
+    for depth in [1usize, 2, 3, 4, 8] {
+        let uthread = runtime.register_uthread(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let per_task = 64 / depth as u64;
+                let bodies = (0..depth)
+                    .map(|t| {
+                        let lo = t as u64 * per_task;
+                        task(move |ctx: &mut TaskCtx<'_>| {
+                            for i in lo..lo + per_task {
+                                let _ = ctx.read(block.offset(i))?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                uthread.execute(vec![TxnSpec::new(bodies)]);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pipelined speculative reads from past tasks: each task reads the word the
+/// previous task wrote, exercising the redo-log chain and the task-read-log
+/// validation path.
+fn bench_chained_speculative_reads(c: &mut Criterion) {
+    let runtime = TlstmRuntime::new(TxConfig::default());
+    let word = runtime.heap().alloc(1).unwrap();
+    let mut group = c.benchmark_group("ablation_chained_reads");
+    for tasks in [2usize, 4, 8] {
+        let uthread = runtime.register_uthread(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let bodies = (0..tasks)
+                    .map(|_| {
+                        task(move |ctx: &mut TaskCtx<'_>| {
+                            let v = ctx.read(word)?;
+                            ctx.write(word, v + 1)?;
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                uthread.execute(vec![TxnSpec::new(bodies)]);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Write/write intra-thread conflict penalty: every task of the transaction
+/// writes the same small set of words, which the paper identifies as the
+/// pathological case for TLSTM (the transaction serialises).
+fn bench_intra_thread_waw(c: &mut Criterion) {
+    let runtime = TlstmRuntime::new(TxConfig::default());
+    let block = runtime.heap().alloc(8).unwrap();
+    let mut group = c.benchmark_group("ablation_intra_waw");
+    for tasks in [1usize, 3] {
+        let uthread = runtime.register_uthread(tasks.max(3));
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let bodies = (0..tasks)
+                    .map(|_| {
+                        task(move |ctx: &mut TaskCtx<'_>| {
+                            for i in 0..8u64 {
+                                let v = ctx.read(block.offset(i))?;
+                                ctx.write(block.offset(i), v + 1)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                uthread.execute(vec![TxnSpec::new(bodies)]);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_spec_depth, bench_chained_speculative_reads, bench_intra_thread_waw
+}
+criterion_main!(benches);

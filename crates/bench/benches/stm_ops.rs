@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the core runtime operations: the cost of the
+//! SwissTM read/write/commit path, the TLSTM task-dispatch overhead, and the
+//! red-black-tree operations the macro-benchmarks are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use swisstm::SwisstmRuntime;
+use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
+use txcollections::TxRbTree;
+use txmem::{TxConfig, TxMem};
+
+fn bench_swisstm_read_txn(c: &mut Criterion) {
+    let runtime = SwisstmRuntime::new(TxConfig::default());
+    let block = runtime.heap().alloc(1024).unwrap();
+    for i in 0..1024 {
+        runtime.heap().store_committed(block.offset(i), i);
+    }
+    let mut thread = runtime.register_thread();
+    let mut group = c.benchmark_group("swisstm");
+    for reads in [8u64, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("read_only_txn", reads),
+            &reads,
+            |b, &reads| {
+                b.iter(|| {
+                    thread.atomic(|tx| {
+                        let mut sum = 0u64;
+                        for i in 0..reads {
+                            sum = sum.wrapping_add(tx.read(block.offset(i))?);
+                        }
+                        Ok(sum)
+                    })
+                })
+            },
+        );
+    }
+    group.bench_function("write_txn_8", |b| {
+        b.iter(|| {
+            thread.atomic(|tx| {
+                for i in 0..8 {
+                    tx.write(block.offset(i), i)?;
+                }
+                Ok(())
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_tlstm_dispatch(c: &mut Criterion) {
+    let runtime = TlstmRuntime::new(TxConfig::default());
+    let block = runtime.heap().alloc(1024).unwrap();
+    let mut group = c.benchmark_group("tlstm");
+    for tasks in [1usize, 2, 4] {
+        let uthread = runtime.register_uthread(tasks.max(1));
+        group.bench_with_input(
+            BenchmarkId::new("read_txn_64_reads", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let per_task = 64 / tasks as u64;
+                    let bodies = (0..tasks)
+                        .map(|t| {
+                            let lo = t as u64 * per_task;
+                            task(move |ctx: &mut TaskCtx<'_>| {
+                                let mut sum = 0u64;
+                                for i in lo..lo + per_task {
+                                    sum = sum.wrapping_add(ctx.read(block.offset(i))?);
+                                }
+                                let _ = sum;
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    uthread.execute(vec![TxnSpec::new(bodies)]);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rbtree(c: &mut Criterion) {
+    let runtime = SwisstmRuntime::new(TxConfig::default());
+    let tree = {
+        let mut mem = runtime.direct();
+        let tree = TxRbTree::create(&mut mem).unwrap();
+        for i in 0..4096u64 {
+            tree.insert(&mut mem, i * 2, i).unwrap();
+        }
+        tree
+    };
+    let mut thread = runtime.register_thread();
+    let mut group = c.benchmark_group("rbtree");
+    group.bench_function("lookup_txn_16", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(97);
+            thread.atomic(|tx| {
+                for i in 0..16u64 {
+                    let _ = tree.get(tx, (key + i * 31) % 8192)?;
+                }
+                Ok(())
+            })
+        })
+    });
+    group.bench_function("insert_remove_txn", |b| {
+        let mut key = 100_000u64;
+        b.iter(|| {
+            key += 1;
+            thread.atomic(|tx| {
+                tree.insert(tx, key, key)?;
+                tree.remove(tx, key)?;
+                Ok(())
+            })
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_swisstm_read_txn, bench_tlstm_dispatch, bench_rbtree
+}
+criterion_main!(benches);

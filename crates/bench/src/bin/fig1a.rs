@@ -1,0 +1,35 @@
+//! Figure 1a — speed-up of TLSTM (2 and 4 tasks, 1 user-thread) over SwissTM
+//! (1 thread) on the modified red-black-tree micro-benchmark, as a function of
+//! the number of lookups per transaction.
+
+use tlstm_bench::{cell, config_from_env, print_header};
+use tlstm_workloads::rbtree_bench::fig1a_series;
+
+fn main() {
+    let config = config_from_env();
+    let ops = [2u64, 4, 8, 16, 32, 64];
+    print_header(
+        "Figure 1a: red-black tree lookup transactions, 1 user-thread",
+        &[
+            "ops/txn",
+            "swisstm(ops/s)",
+            "tlstm2(ops/s)",
+            "speedup2",
+            "tlstm4(ops/s)",
+            "speedup4",
+        ],
+    );
+    let series2 = fig1a_series(&ops, 2, &config);
+    let series4 = fig1a_series(&ops, 4, &config);
+    for (p2, p4) in series2.iter().zip(series4.iter()) {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            p2.ops_per_txn,
+            cell(p2.swisstm_ops_per_sec),
+            cell(p2.tlstm_ops_per_sec),
+            cell(p2.speedup()),
+            cell(p4.tlstm_ops_per_sec),
+            cell(p4.speedup()),
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 1b — throughput of the modified STAMP Vacation benchmark
+//! (8 operations per client transaction) for SwissTM, TLSTM with 1 task and
+//! TLSTM with 2 tasks per transaction, as the number of clients grows, under
+//! the low- and high-contention configurations.
+
+use tlstm_bench::{cell, config_from_env, print_header};
+use tlstm_workloads::vacation::{fig1b_series, VacationParams};
+
+fn main() {
+    let config = config_from_env();
+    let clients: Vec<usize> = (1..=10).collect();
+    for (label, params) in [
+        ("low contention", VacationParams::low_contention()),
+        ("high contention", VacationParams::high_contention()),
+    ] {
+        print_header(
+            &format!("Figure 1b: Vacation, {label}"),
+            &[
+                "clients",
+                "swisstm(ops/ms)",
+                "tlstm-1(ops/ms)",
+                "tlstm-2(ops/ms)",
+            ],
+        );
+        for point in fig1b_series(&params, &clients, &config) {
+            println!(
+                "{}\t{}\t{}\t{}",
+                point.clients,
+                cell(point.swisstm_ops_per_ms),
+                cell(point.tlstm1_ops_per_ms),
+                cell(point.tlstm2_ops_per_ms),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 2a — STMBench7 long traversals: throughput of SwissTM with 1 and 3
+//! threads vs TLSTM with 1 thread and 3 tasks, as the fraction of read-only
+//! traversals varies.
+
+use tlstm_bench::{cell, config_from_env, print_header};
+use tlstm_workloads::stmbench7::{fig2a_series, Stmbench7Params};
+
+fn main() {
+    let config = config_from_env();
+    let base = Stmbench7Params::default();
+    let read_pcts = [0u64, 25, 50, 75, 100];
+    print_header(
+        "Figure 2a: STMBench7 long traversals",
+        &[
+            "read-only %",
+            "swisstm-1(ops/s)",
+            "swisstm-3(ops/s)",
+            "tlstm-1x3(ops/s)",
+        ],
+    );
+    for point in fig2a_series(&base, &read_pcts, &config) {
+        println!(
+            "{}\t{}\t{}\t{}",
+            point.read_pct,
+            cell(point.swisstm_1),
+            cell(point.swisstm_3),
+            cell(point.tlstm_1_3),
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 2b — STMBench7 long traversals under the standard STMBench7 mixes
+//! (write-dominated 10% reads, read-write 60%, read-dominated 90%):
+//! SwissTM vs TLSTM with 3 and 9 tasks per thread, for 1–3 user-threads.
+
+use tlstm_bench::{cell, config_from_env, print_header};
+use tlstm_workloads::stmbench7::{fig2b_series, Stmbench7Params};
+
+fn main() {
+    let config = config_from_env();
+    let base = Stmbench7Params::default();
+    let read_pcts = [10u64, 60, 90];
+    let threads = [1usize, 2, 3];
+    print_header(
+        "Figure 2b: STMBench7 long traversals, standard mixes",
+        &[
+            "read-only %",
+            "threads",
+            "swisstm(ops/s)",
+            "tlstm-3(ops/s)",
+            "tlstm-9(ops/s)",
+        ],
+    );
+    for point in fig2b_series(&base, &read_pcts, &threads, &config) {
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            point.read_pct,
+            point.threads,
+            cell(point.swisstm),
+            cell(point.tlstm_3),
+            cell(point.tlstm_9),
+        );
+    }
+}

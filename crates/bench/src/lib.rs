@@ -1,0 +1,65 @@
+//! Helpers shared by the figure-regeneration binaries of the TLSTM
+//! reproduction (`fig1a`, `fig1b`, `fig2a`, `fig2b`).
+//!
+//! Each binary prints the same series the corresponding figure of the paper
+//! plots, as a plain-text table that can be redirected into EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use tlstm_workloads::WorkloadConfig;
+
+/// Builds the workload configuration used by the figure binaries.
+///
+/// The measured duration per data point defaults to 300 ms and can be
+/// overridden with the `TLSTM_BENCH_MS` environment variable; the repetition
+/// count (the paper averages three runs) with `TLSTM_BENCH_REPS`.
+pub fn config_from_env() -> WorkloadConfig {
+    let ms = std::env::var("TLSTM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    let reps = std::env::var("TLSTM_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(1);
+    WorkloadConfig {
+        duration: Duration::from_millis(ms),
+        repetitions: reps,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a floating-point cell with sensible precision for throughput.
+pub fn cell(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_are_sane() {
+        let cfg = config_from_env();
+        assert!(cfg.duration >= Duration::from_millis(1));
+        assert!(cfg.repetitions >= 1);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(12345.6), "12346");
+        assert_eq!(cell(3.14159), "3.14");
+    }
+}

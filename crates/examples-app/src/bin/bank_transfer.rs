@@ -1,0 +1,154 @@
+//! Concurrent bank-account transfers on both runtimes.
+//!
+//! Several user-threads transfer money between random accounts; the total
+//! balance must be conserved no matter how many conflicts and rollbacks
+//! happen. The example prints throughput and the abort breakdown for the
+//! SwissTM baseline and for TLSTM with 2-task transactions (each transfer is
+//! split into a withdraw task and a deposit task that communicates through a
+//! speculatively-written scratch word).
+//!
+//! ```text
+//! cargo run -p tlstm-examples --release --bin bank_transfer
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use swisstm::SwisstmRuntime;
+use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
+use txmem::{TxConfig, TxMem, WordAddr};
+
+const ACCOUNTS: u64 = 64;
+const INITIAL_BALANCE: u64 = 1_000;
+const TRANSFERS_PER_THREAD: u64 = 2_000;
+const THREADS: usize = 4;
+
+fn pick_accounts(seed: &mut u64) -> (u64, u64) {
+    // xorshift* — deterministic and cheap.
+    let mut next = || {
+        *seed ^= *seed >> 12;
+        *seed ^= *seed << 25;
+        *seed ^= *seed >> 27;
+        seed.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let from = next() % ACCOUNTS;
+    let mut to = next() % ACCOUNTS;
+    if to == from {
+        to = (to + 1) % ACCOUNTS;
+    }
+    (from, to)
+}
+
+fn total(heap: &txmem::TxHeap, base: WordAddr) -> u64 {
+    (0..ACCOUNTS)
+        .map(|i| heap.load_committed(base.offset(i)))
+        .sum()
+}
+
+fn report(label: &str, transfers: u64, elapsed: std::time::Duration, grand_total: u64) {
+    println!("== {label} ==");
+    println!(
+        "{transfers} transfers in {:.1} ms ({:.0} transfers/s)",
+        elapsed.as_secs_f64() * 1e3,
+        transfers as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "total balance: {grand_total} (expected {})",
+        ACCOUNTS * INITIAL_BALANCE
+    );
+    assert_eq!(grand_total, ACCOUNTS * INITIAL_BALANCE);
+}
+
+fn run_swisstm() {
+    let runtime = SwisstmRuntime::new(TxConfig::default());
+    let accounts = runtime.heap().alloc(ACCOUNTS).unwrap();
+    for i in 0..ACCOUNTS {
+        runtime
+            .heap()
+            .store_committed(accounts.offset(i), INITIAL_BALANCE);
+    }
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = Arc::clone(&runtime);
+            scope.spawn(move || {
+                let mut thread = runtime.register_thread();
+                let mut seed = 0x1234_5678 + t as u64;
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    let (from, to) = pick_accounts(&mut seed);
+                    thread.atomic(|tx| {
+                        let f = tx.read(accounts.offset(from))?;
+                        if f > 0 {
+                            let amount = 1 + f % 10;
+                            let bal = tx.read(accounts.offset(to))?;
+                            tx.write(accounts.offset(from), f - amount)?;
+                            tx.write(accounts.offset(to), bal + amount)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    report(
+        "SwissTM",
+        THREADS as u64 * TRANSFERS_PER_THREAD,
+        started.elapsed(),
+        total(runtime.heap(), accounts),
+    );
+    println!("{}\n", runtime.stats());
+}
+
+fn run_tlstm() {
+    let runtime = TlstmRuntime::new(TxConfig::default());
+    let accounts = runtime.heap().alloc(ACCOUNTS).unwrap();
+    for i in 0..ACCOUNTS {
+        runtime
+            .heap()
+            .store_committed(accounts.offset(i), INITIAL_BALANCE);
+    }
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = Arc::clone(&runtime);
+            scope.spawn(move || {
+                let uthread = runtime.register_uthread(2);
+                let mut seed = 0x1234_5678 + t as u64;
+                // A scratch word per user-thread carries the withdrawn amount
+                // from the first task to the second, speculatively.
+                let scratch = runtime.heap().alloc(1).unwrap();
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    let (from, to) = pick_accounts(&mut seed);
+                    let withdraw = task(move |ctx: &mut TaskCtx<'_>| {
+                        let f = ctx.read(accounts.offset(from))?;
+                        let amount = if f > 0 { 1 + f % 10 } else { 0 };
+                        ctx.write(accounts.offset(from), f - amount)?;
+                        ctx.write(scratch, amount)?;
+                        Ok(())
+                    });
+                    let deposit = task(move |ctx: &mut TaskCtx<'_>| {
+                        // Reads the speculative value written by the withdraw
+                        // task of the same user-transaction.
+                        let amount = ctx.read(scratch)?;
+                        let bal = ctx.read(accounts.offset(to))?;
+                        ctx.write(accounts.offset(to), bal + amount)?;
+                        Ok(())
+                    });
+                    uthread.execute(vec![TxnSpec::new(vec![withdraw, deposit])]);
+                }
+            });
+        }
+    });
+    report(
+        "TLSTM (2 tasks per transfer)",
+        THREADS as u64 * TRANSFERS_PER_THREAD,
+        started.elapsed(),
+        total(runtime.heap(), accounts),
+    );
+    println!("{}", runtime.stats());
+}
+
+fn main() {
+    run_swisstm();
+    run_tlstm();
+}

@@ -1,0 +1,51 @@
+//! Quickstart: one user-thread, one user-transaction, two speculative tasks.
+//!
+//! ```text
+//! cargo run -p tlstm-examples --release --bin quickstart
+//! ```
+
+use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
+use txmem::{TxConfig, TxMem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A runtime owns the transactional heap, the global lock table and the
+    // commit clock.
+    let runtime = TlstmRuntime::new(TxConfig::default());
+
+    // Allocate two shared words non-transactionally (setup phase).
+    let account_a = runtime.heap().alloc(1)?;
+    let account_b = runtime.heap().alloc(1)?;
+    runtime.heap().store_committed(account_a, 100);
+    runtime.heap().store_committed(account_b, 0);
+
+    // One user-thread with speculative depth 2: up to two of its tasks run in
+    // parallel, yet behave exactly as if they ran one after the other.
+    let uthread = runtime.register_uthread(2);
+
+    // A user-transaction decomposed into two tasks: the first withdraws from
+    // account A, the second deposits into account B *reading the speculative
+    // state left by the first*.
+    let withdraw = task(move |ctx: &mut TaskCtx<'_>| {
+        let a = ctx.read(account_a)?;
+        ctx.write(account_a, a - 40)?;
+        Ok(())
+    });
+    let deposit = task(move |ctx: &mut TaskCtx<'_>| {
+        let a = ctx.read(account_a)?; // sees 60, the speculative value
+        let b = ctx.read(account_b)?;
+        ctx.write(account_b, b + (100 - a))?;
+        Ok(())
+    });
+    let outcome = uthread.execute(vec![TxnSpec::new(vec![withdraw, deposit])]);
+
+    println!("transaction committed: {:?}", outcome[0]);
+    println!(
+        "account A = {}, account B = {}",
+        runtime.heap().load_committed(account_a),
+        runtime.heap().load_committed(account_b)
+    );
+    println!("--- runtime statistics ---\n{}", runtime.stats());
+    assert_eq!(runtime.heap().load_committed(account_a), 60);
+    assert_eq!(runtime.heap().load_committed(account_b), 40);
+    Ok(())
+}

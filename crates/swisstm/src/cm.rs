@@ -1,0 +1,182 @@
+//! The two-phase greedy contention manager.
+//!
+//! SwissTM resolves write/write conflicts with a *two-phase greedy* scheme:
+//!
+//! 1. **Timid phase** — a transaction starts without a ticket. On its first
+//!    conflicts it simply aborts itself: it has done little work, so the abort
+//!    is cheap and avoids any waiting.
+//! 2. **Greedy phase** — after a transaction has been aborted a configurable
+//!    number of times it draws a globally unique, monotonically increasing
+//!    ticket. From then on it behaves greedily: on conflict, the transaction
+//!    with the *older* (smaller) ticket wins; the loser either aborts itself
+//!    (if it is the requester) or is signalled to abort (if it owns the lock),
+//!    in which case the requester waits for the lock to be released.
+//!
+//! TLSTM reuses this manager as the tie-break when the task-aware rule (§3.2
+//! of the paper) finds both user-transactions equally speculative.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use txmem::{CmDecision, LockOwner};
+
+/// Priority value meaning "still in the timid phase".
+pub const TIMID: u64 = u64::MAX;
+
+/// Global source of greedy tickets.
+#[derive(Debug, Default)]
+pub struct GreedyTicket {
+    next: AtomicU64,
+}
+
+impl GreedyTicket {
+    /// Creates a ticket source.
+    pub fn new() -> Self {
+        GreedyTicket {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the next ticket (smaller = older = stronger).
+    pub fn draw(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The two-phase greedy contention-manager policy.
+///
+/// The policy itself is stateless; per-transaction state (the priority and the
+/// abort counter) lives in the transaction descriptors. This type exists so
+/// the decision rule can be unit-tested and reused by TLSTM.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyCm {
+    /// Number of consecutive aborts before a transaction turns greedy.
+    pub greedy_after_aborts: u32,
+}
+
+impl Default for GreedyCm {
+    fn default() -> Self {
+        GreedyCm {
+            greedy_after_aborts: 2,
+        }
+    }
+}
+
+impl GreedyCm {
+    /// Returns `true` if a transaction that has aborted `aborts` consecutive
+    /// times should draw a greedy ticket.
+    pub fn should_turn_greedy(&self, aborts: u32) -> bool {
+        aborts >= self.greedy_after_aborts
+    }
+
+    /// Resolves a write/write conflict between a requesting transaction
+    /// (priority `requester_priority`) and the owner of the lock.
+    ///
+    /// The decision only consults priorities; the *task-aware* progress rule
+    /// of TLSTM is applied by the caller before falling back to this
+    /// tie-break.
+    pub fn resolve(&self, requester_priority: u64, owner: &dyn LockOwner) -> CmDecision {
+        if owner.is_finishing() {
+            // The owner is already committing or aborting: the lock will be
+            // released shortly, so just wait.
+            return CmDecision::Wait;
+        }
+        let owner_priority = owner.cm_priority();
+        if requester_priority < owner_priority {
+            CmDecision::AbortOwner
+        } else {
+            // Equal priorities only happen while both sides are timid; the
+            // requester politely aborts itself (it is cheaper to restart the
+            // side that has not yet acquired the lock).
+            CmDecision::AbortSelf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[derive(Debug)]
+    struct FakeOwner {
+        priority: u64,
+        finishing: bool,
+        aborted: AtomicBool,
+    }
+
+    impl FakeOwner {
+        fn new(priority: u64, finishing: bool) -> Self {
+            FakeOwner {
+                priority,
+                finishing,
+                aborted: AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl LockOwner for FakeOwner {
+        fn signal_abort(&self) {
+            self.aborted.store(true, Ordering::Relaxed);
+        }
+        fn is_finishing(&self) -> bool {
+            self.finishing
+        }
+        fn completed_progress(&self) -> u64 {
+            0
+        }
+        fn cm_priority(&self) -> u64 {
+            self.priority
+        }
+        fn owner_id(&self) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn tickets_are_unique_and_increasing() {
+        let t = GreedyTicket::new();
+        let a = t.draw();
+        let b = t.draw();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn timid_requester_aborts_itself() {
+        let cm = GreedyCm::default();
+        let owner = FakeOwner::new(TIMID, false);
+        assert_eq!(cm.resolve(TIMID, &owner), CmDecision::AbortSelf);
+    }
+
+    #[test]
+    fn greedy_beats_timid_owner() {
+        let cm = GreedyCm::default();
+        let owner = FakeOwner::new(TIMID, false);
+        assert_eq!(cm.resolve(3, &owner), CmDecision::AbortOwner);
+    }
+
+    #[test]
+    fn older_greedy_beats_younger_greedy() {
+        let cm = GreedyCm::default();
+        let owner = FakeOwner::new(10, false);
+        assert_eq!(cm.resolve(5, &owner), CmDecision::AbortOwner);
+        assert_eq!(cm.resolve(20, &owner), CmDecision::AbortSelf);
+    }
+
+    #[test]
+    fn finishing_owner_means_wait() {
+        let cm = GreedyCm::default();
+        let owner = FakeOwner::new(TIMID, true);
+        assert_eq!(cm.resolve(0, &owner), CmDecision::Wait);
+    }
+
+    #[test]
+    fn greedy_threshold_respected() {
+        let cm = GreedyCm {
+            greedy_after_aborts: 3,
+        };
+        assert!(!cm.should_turn_greedy(0));
+        assert!(!cm.should_turn_greedy(2));
+        assert!(cm.should_turn_greedy(3));
+        assert!(cm.should_turn_greedy(10));
+    }
+}

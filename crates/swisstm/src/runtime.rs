@@ -1,0 +1,419 @@
+//! The SwissTM runtime and per-thread handles.
+
+use std::sync::Arc;
+
+use txmem::{
+    Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate,
+};
+
+use crate::cm::{GreedyCm, GreedyTicket, TIMID};
+use crate::transaction::{contention_pause, Transaction};
+
+/// The SwissTM runtime: owns (a reference to) the shared substrate and hands
+/// out per-thread handles.
+#[derive(Debug)]
+pub struct SwisstmRuntime {
+    substrate: Arc<TxSubstrate>,
+    thread_ids: ThreadIdAllocator,
+    tickets: GreedyTicket,
+    cm: GreedyCm,
+}
+
+impl SwisstmRuntime {
+    /// Creates a runtime with a fresh substrate built from `config`.
+    pub fn new(config: TxConfig) -> Arc<Self> {
+        Self::with_substrate(Arc::new(TxSubstrate::new(config)))
+    }
+
+    /// Creates a runtime over an existing substrate (shared with other
+    /// runtimes or with non-transactional initialisation code).
+    pub fn with_substrate(substrate: Arc<TxSubstrate>) -> Arc<Self> {
+        Arc::new(SwisstmRuntime {
+            substrate,
+            thread_ids: ThreadIdAllocator::new(),
+            tickets: GreedyTicket::new(),
+            cm: GreedyCm::default(),
+        })
+    }
+
+    /// The shared substrate.
+    pub fn substrate(&self) -> &Arc<TxSubstrate> {
+        &self.substrate
+    }
+
+    /// The transactional heap (for non-transactional setup of benchmark data).
+    pub fn heap(&self) -> &TxHeap {
+        &self.substrate.heap
+    }
+
+    /// A [`DirectMem`] handle for non-transactional initialisation.
+    pub fn direct(&self) -> DirectMem<'_> {
+        DirectMem::new(&self.substrate.heap)
+    }
+
+    /// Snapshot of the global statistics counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.substrate.stats.snapshot()
+    }
+
+    /// Resets the global statistics counters.
+    pub fn reset_stats(&self) {
+        self.substrate.stats.reset();
+    }
+
+    /// The contention-manager policy in force.
+    pub(crate) fn cm(&self) -> GreedyCm {
+        self.cm
+    }
+
+    /// Draws a greedy contention-manager ticket.
+    pub(crate) fn draw_ticket(&self) -> u64 {
+        self.tickets.draw()
+    }
+
+    /// Registers a new application thread and returns its handle.
+    pub fn register_thread(self: &Arc<Self>) -> SwisstmThread {
+        SwisstmThread {
+            runtime: Arc::clone(self),
+            id: self.thread_ids.allocate(),
+            consecutive_aborts: 0,
+            greedy_priority: None,
+        }
+    }
+}
+
+/// Per-application-thread handle used to run transactions.
+///
+/// Not `Sync`: each OS thread registers its own handle.
+#[derive(Debug)]
+pub struct SwisstmThread {
+    runtime: Arc<SwisstmRuntime>,
+    id: u32,
+    consecutive_aborts: u32,
+    greedy_priority: Option<u64>,
+}
+
+impl SwisstmThread {
+    /// The dense identifier assigned to this thread.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The runtime this thread belongs to.
+    pub fn runtime(&self) -> &Arc<SwisstmRuntime> {
+        &self.runtime
+    }
+
+    /// Runs `body` as an atomic transaction, retrying until it commits, and
+    /// returns the body's result.
+    ///
+    /// The body must access shared state exclusively through the transaction
+    /// handle it receives; it may be re-executed an arbitrary number of times.
+    pub fn atomic<T>(
+        &mut self,
+        mut body: impl FnMut(&mut Transaction<'_>) -> Result<T, Abort>,
+    ) -> T {
+        let stats = &self.runtime.substrate().stats;
+        stats.bump(&stats.tx_starts);
+        loop {
+            let priority = self.greedy_priority.unwrap_or(TIMID);
+            let mut tx = Transaction::new(&self.runtime, self.id, priority);
+            let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
+            match outcome {
+                Ok(value) => {
+                    tx.flush_op_counters();
+                    let stats = &self.runtime.substrate().stats;
+                    stats.bump(&stats.tx_commits);
+                    self.consecutive_aborts = 0;
+                    self.greedy_priority = None;
+                    return value;
+                }
+                Err(abort) => {
+                    tx.rollback(abort.reason);
+                    tx.flush_op_counters();
+                    let stats = &self.runtime.substrate().stats;
+                    stats.bump(&stats.tx_aborts);
+                    self.consecutive_aborts += 1;
+                    if self.greedy_priority.is_none()
+                        && self.runtime.cm().should_turn_greedy(self.consecutive_aborts)
+                    {
+                        self.greedy_priority = Some(self.runtime.draw_ticket());
+                    }
+                    // Brief randomised-ish backoff proportional to the abort
+                    // streak, to break symmetric livelocks.
+                    let pause = self.consecutive_aborts.min(16);
+                    for i in 0..pause * 8 {
+                        contention_pause(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use txmem::{TxMem, WordAddr};
+
+    fn runtime() -> Arc<SwisstmRuntime> {
+        SwisstmRuntime::new(TxConfig::small())
+    }
+
+    #[test]
+    fn single_thread_counter_increments() {
+        let rt = runtime();
+        let counter = rt.heap().alloc(1).unwrap();
+        let mut thread = rt.register_thread();
+        for _ in 0..100 {
+            thread.atomic(|tx| {
+                let v = tx.read(counter)?;
+                tx.write(counter, v + 1)?;
+                Ok(())
+            });
+        }
+        assert_eq!(rt.heap().load_committed(counter), 100);
+        let stats = rt.stats();
+        assert_eq!(stats.tx_commits, 100);
+        assert_eq!(stats.tx_aborts, 0);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let rt = runtime();
+        let a = rt.heap().alloc(2).unwrap();
+        let mut thread = rt.register_thread();
+        let observed = thread.atomic(|tx| {
+            tx.write(a, 7)?;
+            tx.write(a.offset(1), 9)?;
+            Ok((tx.read(a)?, tx.read(a.offset(1))?))
+        });
+        assert_eq!(observed, (7, 9));
+    }
+
+    #[test]
+    fn aborted_body_is_retried_and_commits() {
+        let rt = runtime();
+        let a = rt.heap().alloc(1).unwrap();
+        let mut thread = rt.register_thread();
+        let failed_once = AtomicBool::new(false);
+        thread.atomic(|tx| {
+            tx.write(a, 1)?;
+            if !failed_once.swap(true, Ordering::Relaxed) {
+                return Err(Abort::user_retry());
+            }
+            tx.write(a, 2)?;
+            Ok(())
+        });
+        assert_eq!(rt.heap().load_committed(a), 2);
+        let stats = rt.stats();
+        assert_eq!(stats.tx_commits, 1);
+        assert_eq!(stats.tx_aborts, 1);
+        assert_eq!(stats.aborts_user_retry, 1);
+    }
+
+    #[test]
+    fn writes_of_aborted_attempts_are_not_visible() {
+        let rt = runtime();
+        let a = rt.heap().alloc(1).unwrap();
+        let mut thread = rt.register_thread();
+        let mut first = true;
+        thread.atomic(|tx| {
+            if first {
+                first = false;
+                tx.write(a, 99)?;
+                return Err(Abort::user_retry());
+            }
+            Ok(())
+        });
+        assert_eq!(rt.heap().load_committed(a), 0, "aborted write leaked");
+    }
+
+    #[test]
+    fn read_only_transactions_commit_without_clock_ticks() {
+        let rt = runtime();
+        let a = rt.heap().alloc(1).unwrap();
+        rt.heap().store_committed(a, 5);
+        let mut thread = rt.register_thread();
+        let before = rt.substrate().clock.now();
+        let v = thread.atomic(|tx| tx.read(a));
+        assert_eq!(v, 5);
+        assert_eq!(rt.substrate().clock.now(), before);
+    }
+
+    #[test]
+    fn concurrent_counter_is_linearizable() {
+        let rt = runtime();
+        let counter = rt.heap().alloc(1).unwrap();
+        let threads = 4;
+        let increments = 500;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                let mut thread = rt.register_thread();
+                for _ in 0..increments {
+                    thread.atomic(|tx| {
+                        let v = tx.read(counter)?;
+                        tx.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            rt.heap().load_committed(counter),
+            (threads * increments) as u64
+        );
+        let stats = rt.stats();
+        assert_eq!(stats.tx_commits, (threads * increments) as u64);
+    }
+
+    #[test]
+    fn disjoint_writers_do_not_conflict() {
+        let rt = runtime();
+        // Allocate two words far apart so they hash to different locks.
+        let a = rt.heap().alloc(64).unwrap();
+        let b = rt.heap().alloc(64).unwrap();
+        let mut handles = Vec::new();
+        for (i, addr) in [a, b].into_iter().enumerate() {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                let mut thread = rt.register_thread();
+                for n in 0..200u64 {
+                    thread.atomic(|tx| tx.write(addr, n * (i as u64 + 1)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rt.heap().load_committed(a), 199);
+        assert_eq!(rt.heap().load_committed(b), 398);
+    }
+
+    #[test]
+    fn money_transfer_preserves_total() {
+        // Classic bank-account invariant test: concurrent transfers between
+        // accounts never create or destroy money.
+        let rt = runtime();
+        let n_accounts = 16u64;
+        let accounts = rt.heap().alloc(n_accounts).unwrap();
+        for i in 0..n_accounts {
+            rt.heap().store_committed(accounts.offset(i), 100);
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                let mut thread = rt.register_thread();
+                let mut x = t * 7 + 1;
+                for _ in 0..500 {
+                    // xorshift for deterministic pseudo-random account pairs
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = x % n_accounts;
+                    let to = (x >> 8) % n_accounts;
+                    thread.atomic(|tx| {
+                        let f = tx.read(accounts.offset(from))?;
+                        let t = tx.read(accounts.offset(to))?;
+                        if f > 0 && from != to {
+                            tx.write(accounts.offset(from), f - 1)?;
+                            tx.write(accounts.offset(to), t + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = (0..n_accounts)
+            .map(|i| rt.heap().load_committed(accounts.offset(i)))
+            .sum();
+        assert_eq!(total, n_accounts * 100);
+    }
+
+    #[test]
+    fn readers_never_observe_torn_pairs() {
+        // A writer keeps the invariant word0 == word1; readers must never see
+        // them differ (opacity / atomicity of write-back).
+        let rt = runtime();
+        let pair = rt.heap().alloc(2).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let rt = Arc::clone(&rt);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut thread = rt.register_thread();
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    v += 1;
+                    thread.atomic(|tx| {
+                        tx.write(pair, v)?;
+                        tx.write(pair.offset(1), v)?;
+                        Ok(())
+                    });
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let rt = Arc::clone(&rt);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut thread = rt.register_thread();
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (a, b) = thread.atomic(|tx| Ok((tx.read(pair)?, tx.read(pair.offset(1))?)));
+                    assert_eq!(a, b, "torn read observed");
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn stats_track_reads_and_writes() {
+        let rt = runtime();
+        let a = rt.heap().alloc(1).unwrap();
+        let mut thread = rt.register_thread();
+        thread.atomic(|tx| {
+            let _ = tx.read(a)?;
+            tx.write(a, 3)?;
+            Ok(())
+        });
+        let stats = rt.stats();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+    }
+
+    #[test]
+    fn alloc_inside_transaction_survives() {
+        let rt = runtime();
+        let root = rt.heap().alloc(1).unwrap();
+        let mut thread = rt.register_thread();
+        thread.atomic(|tx| {
+            let node = tx.alloc(2)?;
+            tx.write(node, 11)?;
+            tx.write_ref(root, Some(node))?;
+            Ok(())
+        });
+        let node = rt.heap().load_committed(root);
+        assert_ne!(node, txmem::NULL_ADDR);
+        assert_eq!(rt.heap().load_committed(WordAddr::new(node)), 11);
+    }
+}

@@ -1,0 +1,352 @@
+//! The SwissTM transaction.
+//!
+//! Implements the algorithm of §3.1 of the TLSTM paper: eager write/write
+//! locking through the global lock table, invisible reads with lazy
+//! counter-based validation (`valid-ts` + read-log extension), buffered writes
+//! applied at commit under the written locations' r-locks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use txmem::{
+    Abort, AbortReason, CmDecision, GlobalClock, LockIndex, LockTable, OwnerToken, StatsCollector,
+    TxHeap, TxMem, WordAddr, LOCKED,
+};
+
+use crate::cm::GreedyCm;
+use crate::descriptor::TxDescriptor;
+use crate::runtime::SwisstmRuntime;
+
+/// How many busy-spin iterations a waiter performs before yielding the CPU.
+const SPIN_BEFORE_YIELD: u32 = 64;
+
+/// Spin/yield helper used when waiting for a lock to be released.
+pub(crate) fn contention_pause(iteration: u32) {
+    if iteration < SPIN_BEFORE_YIELD {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A single SwissTM transaction attempt.
+///
+/// Created by [`SwisstmThread::atomic`](crate::SwisstmThread::atomic); user
+/// code interacts with it through the [`TxMem`] trait.
+#[derive(Debug)]
+pub struct Transaction<'rt> {
+    heap: &'rt TxHeap,
+    locks: &'rt LockTable,
+    clock: &'rt GlobalClock,
+    stats: &'rt StatsCollector,
+    cm: GreedyCm,
+    descriptor: Arc<TxDescriptor>,
+    owner_handle: txmem::owner::OwnerHandle,
+    token: OwnerToken,
+    valid_ts: u64,
+    /// Read log: (lock index, observed version).
+    read_log: Vec<(LockIndex, u64)>,
+    /// Buffered writes keyed by word address.
+    write_map: HashMap<u64, u64>,
+    /// Write locks acquired by this transaction (unique).
+    acquired: Vec<LockIndex>,
+    /// Local operation counters, flushed into the shared stats at the end.
+    local_reads: u64,
+    local_writes: u64,
+}
+
+impl<'rt> Transaction<'rt> {
+    /// Starts a new transaction attempt on behalf of `thread_id`.
+    pub(crate) fn new(runtime: &'rt SwisstmRuntime, thread_id: u32, priority: u64) -> Self {
+        let substrate = runtime.substrate();
+        let descriptor = Arc::new(TxDescriptor::new(thread_id, priority));
+        let owner_handle: txmem::owner::OwnerHandle = Arc::clone(&descriptor) as _;
+        Transaction {
+            heap: &substrate.heap,
+            locks: &substrate.locks,
+            clock: &substrate.clock,
+            stats: &substrate.stats,
+            cm: runtime.cm(),
+            descriptor,
+            owner_handle,
+            token: OwnerToken::from_id(thread_id),
+            valid_ts: substrate.clock.now(),
+            read_log: Vec::new(),
+            write_map: HashMap::new(),
+            acquired: Vec::new(),
+            local_reads: 0,
+            local_writes: 0,
+        }
+    }
+
+    /// The transaction's current validity timestamp.
+    pub fn valid_ts(&self) -> u64 {
+        self.valid_ts
+    }
+
+    /// `true` if this transaction has not written anything (read-only so far).
+    pub fn is_read_only(&self) -> bool {
+        self.write_map.is_empty()
+    }
+
+    /// Number of distinct write locks held.
+    pub fn locks_held(&self) -> usize {
+        self.acquired.len()
+    }
+
+    /// The descriptor other threads use to signal this transaction.
+    pub fn descriptor(&self) -> &Arc<TxDescriptor> {
+        &self.descriptor
+    }
+
+    fn check_abort_signal(&self) -> Result<(), Abort> {
+        if self.descriptor.abort_requested() {
+            Err(Abort::new(AbortReason::TransactionAbortSignal))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validates every read-log entry against the current lock-table state.
+    ///
+    /// `locked_by_me` supplies the pre-lock versions of r-locks this
+    /// transaction itself locked during commit, so that its own commit-time
+    /// locking does not invalidate its reads.
+    fn validate(&self, locked_by_me: Option<&HashMap<LockIndex, u64>>) -> bool {
+        for &(idx, observed) in &self.read_log {
+            let entry = self.locks.entry(idx);
+            let current = entry.version();
+            if current == observed {
+                continue;
+            }
+            if current == LOCKED {
+                if let Some(mine) = locked_by_me {
+                    if mine.get(&idx) == Some(&observed) {
+                        continue;
+                    }
+                }
+                return false;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Attempts to extend `valid-ts` to the current commit timestamp by
+    /// re-validating the read log (`extend` in the paper).
+    fn extend(&mut self) -> Result<(), Abort> {
+        let target = self.clock.now();
+        self.stats.bump(&self.stats.validations);
+        if self.validate(None) {
+            self.valid_ts = target;
+            self.stats.bump(&self.stats.extensions);
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::ReadValidation))
+        }
+    }
+
+    /// Reads the committed value of `addr` consistently with respect to the
+    /// location's r-lock, extending `valid-ts` if the version is too new.
+    ///
+    /// The extension happens *before* the value is used: a version newer than
+    /// `valid-ts` first forces a successful read-log extension and then the
+    /// read is retried under the new timestamp, which is what preserves
+    /// opacity (a stale value must never be returned alongside newer ones).
+    fn read_committed(&mut self, addr: WordAddr) -> Result<u64, Abort> {
+        let (idx, entry) = self.locks.lookup(addr);
+        let mut spin = 0u32;
+        loop {
+            let v1 = entry.version();
+            if v1 == LOCKED {
+                // A committing transaction is writing this location back;
+                // stay responsive to abort signals while waiting.
+                self.check_abort_signal()?;
+                contention_pause(spin);
+                spin = spin.wrapping_add(1);
+                continue;
+            }
+            if v1 > self.valid_ts {
+                // The location was committed after our snapshot: try to move
+                // the snapshot forward, then re-read the version.
+                self.extend()?;
+                continue;
+            }
+            let value = self.heap.load_committed(addr);
+            let v2 = entry.version();
+            if v1 != v2 {
+                contention_pause(spin);
+                spin = spin.wrapping_add(1);
+                continue;
+            }
+            self.read_log.push((idx, v1));
+            return Ok(value);
+        }
+    }
+
+    /// Commits the transaction: locks the written locations' r-locks, draws a
+    /// commit timestamp, validates the read log and writes the buffered
+    /// values back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if validation fails or an abort was signalled; the
+    /// caller must then roll the transaction back and retry.
+    pub(crate) fn commit(&mut self) -> Result<(), Abort> {
+        self.check_abort_signal()?;
+        self.descriptor.set_finishing();
+        if self.write_map.is_empty() {
+            // Read-only transactions are already consistent at `valid-ts`.
+            return Ok(());
+        }
+        // Lock the r-locks of every written location, remembering the
+        // previous versions so they can be restored if validation fails.
+        let mut old_versions: HashMap<LockIndex, u64> =
+            HashMap::with_capacity(self.acquired.len());
+        for &idx in &self.acquired {
+            let entry = self.locks.entry(idx);
+            let prev = entry.lock_version();
+            old_versions.insert(idx, prev);
+        }
+        let ts = self.clock.tick();
+        self.stats.bump(&self.stats.validations);
+        if !self.validate(Some(&old_versions)) {
+            for (&idx, &prev) in &old_versions {
+                self.locks.entry(idx).set_version(prev);
+            }
+            return Err(Abort::new(AbortReason::ReadValidation));
+        }
+        // Write back and release.
+        for (&addr, &value) in &self.write_map {
+            self.heap.store_committed(WordAddr::new(addr), value);
+        }
+        for &idx in &self.acquired {
+            let entry = self.locks.entry(idx);
+            entry.chain().clear();
+            entry.set_version(ts);
+            entry.release_writer();
+        }
+        Ok(())
+    }
+
+    /// Rolls the transaction back: releases all acquired write locks and
+    /// clears the speculative state.
+    pub(crate) fn rollback(&mut self, reason: AbortReason) {
+        for &idx in &self.acquired {
+            let entry = self.locks.entry(idx);
+            entry.chain().clear();
+            entry.release_writer_if(self.token);
+        }
+        self.acquired.clear();
+        self.write_map.clear();
+        self.read_log.clear();
+        self.stats.record_abort_reason(reason);
+    }
+
+    /// Flushes the per-transaction operation counters into the global stats.
+    pub(crate) fn flush_op_counters(&mut self) {
+        use std::sync::atomic::Ordering;
+        if self.local_reads > 0 {
+            self.stats
+                .reads
+                .fetch_add(self.local_reads, Ordering::Relaxed);
+            self.local_reads = 0;
+        }
+        if self.local_writes > 0 {
+            self.stats
+                .writes
+                .fetch_add(self.local_writes, Ordering::Relaxed);
+            self.local_writes = 0;
+        }
+    }
+}
+
+impl TxMem for Transaction<'_> {
+    fn read(&mut self, addr: WordAddr) -> Result<u64, Abort> {
+        self.local_reads += 1;
+        let entry = self.locks.entry_for(addr);
+        if entry.writer_token() == self.token {
+            // Locked by this transaction: serve the read from the write log
+            // if this exact address was written, otherwise fall through to
+            // the committed value (same lock, different word).
+            if let Some(&value) = self.write_map.get(&addr.index()) {
+                return Ok(value);
+            }
+        }
+        self.read_committed(addr)
+    }
+
+    fn write(&mut self, addr: WordAddr, value: u64) -> Result<(), Abort> {
+        self.local_writes += 1;
+        let (idx, entry) = self.locks.lookup(addr);
+        if entry.writer_token() == self.token {
+            self.write_map.insert(addr.index(), value);
+            return Ok(());
+        }
+        let mut spin = 0u32;
+        loop {
+            self.check_abort_signal()?;
+            match entry.try_acquire_writer(self.token) {
+                Ok(()) => {
+                    // Record this transaction as the owner in the lock's
+                    // chain so contenders can reach the descriptor.
+                    entry.chain().record_write(
+                        self.descriptor.thread_id(),
+                        0,
+                        0,
+                        &self.owner_handle,
+                        addr,
+                        value,
+                    );
+                    self.acquired.push(idx);
+                    self.write_map.insert(addr.index(), value);
+                    break;
+                }
+                Err(_other) => {
+                    let decision = {
+                        let chain = entry.chain();
+                        match chain.newest() {
+                            // Owner released between the failed CAS and the
+                            // chain inspection: just try again.
+                            None => CmDecision::Wait,
+                            Some(spec) => {
+                                let decision = self
+                                    .cm
+                                    .resolve(self.descriptor.priority(), spec.owner.as_ref());
+                                if decision == CmDecision::AbortOwner {
+                                    spec.owner.signal_abort();
+                                    self.stats.bump(&self.stats.cm_owner_aborts);
+                                }
+                                decision
+                            }
+                        }
+                    };
+                    match decision {
+                        CmDecision::AbortSelf => {
+                            self.stats.bump(&self.stats.cm_self_aborts);
+                            return Err(Abort::new(AbortReason::InterThreadWriteConflict));
+                        }
+                        CmDecision::AbortOwner | CmDecision::Wait => {
+                            contention_pause(spin);
+                            spin = spin.wrapping_add(1);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // Opacity check inherited from SwissTM (Algorithm 2, line 52): if the
+        // location has a version newer than valid-ts the read set must still
+        // be extendable, otherwise the transaction is doomed.
+        if entry.version() != LOCKED && entry.version() > self.valid_ts {
+            self.extend()?;
+        }
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<WordAddr, Abort> {
+        self.heap
+            .alloc(words)
+            .map_err(|_| Abort::new(AbortReason::OutOfMemory))
+    }
+}

@@ -1,0 +1,760 @@
+//! The speculative task execution context.
+//!
+//! A [`TaskCtx`] is the handle a task body uses to access transactional
+//! memory. It implements the read/write rules of Algorithms 1 and 2 of the
+//! paper and the per-task half of the commit/abort protocol of Algorithm 3
+//! (the whole-transaction commit performed by the commit-task lives in
+//! [`TaskCtx::task_commit`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use txmem::chain::ChainRead;
+use txmem::{
+    Abort, AbortReason, CmDecision, LockIndex, OwnerHandle, OwnerToken, TxMem, TxSubstrate,
+    WordAddr, LOCKED,
+};
+
+use crate::cm::TaskAwareCm;
+use crate::txn_state::{TaskLogs, TaskReadEntry, TxnShared};
+use crate::uthread_state::UThreadShared;
+
+/// Busy-spin iterations before falling back to `yield`.
+const SPIN_BEFORE_YIELD: u32 = 64;
+
+fn contention_pause(iteration: u32) {
+    if iteration < SPIN_BEFORE_YIELD {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Execution context of one speculative task attempt.
+///
+/// The same context is reused across re-executions of the task (after
+/// intra-thread or inter-thread conflicts); [`TaskCtx::reset_for_attempt`]
+/// clears the speculative state between attempts.
+#[derive(Debug)]
+pub struct TaskCtx<'rt> {
+    substrate: &'rt TxSubstrate,
+    cm: TaskAwareCm,
+    uthread: Arc<UThreadShared>,
+    txn: Arc<TxnShared>,
+    txn_owner: OwnerHandle,
+    serial: u64,
+    try_commit: bool,
+    token: OwnerToken,
+    valid_ts: u64,
+    last_writer_events: u64,
+    read_log: Vec<(LockIndex, u64)>,
+    task_read_log: Vec<TaskReadEntry>,
+    write_map: HashMap<u64, u64>,
+    acquired: Vec<LockIndex>,
+    local_reads: u64,
+    local_writes: u64,
+}
+
+/// Internal result of probing a lock chain during a speculative read.
+enum SpecProbe {
+    Own(u64),
+    Past { writer_serial: u64, value: u64 },
+    WaitForWriter,
+    Fallback,
+    Released,
+}
+
+impl<'rt> TaskCtx<'rt> {
+    /// Creates the context for one task.
+    pub(crate) fn new(
+        substrate: &'rt TxSubstrate,
+        cm: TaskAwareCm,
+        uthread: Arc<UThreadShared>,
+        txn: Arc<TxnShared>,
+        serial: u64,
+        try_commit: bool,
+    ) -> Self {
+        let token = OwnerToken::from_id(uthread.ptid());
+        let txn_owner: OwnerHandle = Arc::clone(&txn) as _;
+        let valid_ts = substrate.clock.now();
+        let last_writer_events = uthread.writer_events();
+        TaskCtx {
+            substrate,
+            cm,
+            uthread,
+            txn,
+            txn_owner,
+            serial,
+            try_commit,
+            token,
+            valid_ts,
+            last_writer_events,
+            read_log: Vec::new(),
+            task_read_log: Vec::new(),
+            write_map: HashMap::new(),
+            acquired: Vec::new(),
+            local_reads: 0,
+            local_writes: 0,
+        }
+    }
+
+    // --- public inspection ---------------------------------------------------
+
+    /// The task's serial number (its position in the user-thread's program
+    /// order).
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// The identifier of the user-thread this task belongs to.
+    pub fn ptid(&self) -> u32 {
+        self.uthread.ptid()
+    }
+
+    /// `true` if this is the last task of its user-transaction (the
+    /// commit-task).
+    pub fn is_commit_task(&self) -> bool {
+        self.try_commit
+    }
+
+    /// Serial of the first task of the enclosing user-transaction.
+    pub fn tx_start_serial(&self) -> u64 {
+        self.txn.start_serial()
+    }
+
+    /// Serial of the last task of the enclosing user-transaction.
+    pub fn tx_commit_serial(&self) -> u64 {
+        self.txn.commit_serial()
+    }
+
+    /// The snapshot timestamp the task's committed reads are valid at.
+    pub fn valid_ts(&self) -> u64 {
+        self.valid_ts
+    }
+
+    /// `true` if the task has not written anything so far.
+    pub fn is_read_only(&self) -> bool {
+        self.write_map.is_empty()
+    }
+
+    /// Requests an explicit user-level retry of the task (and hence of its
+    /// user-transaction once it propagates).
+    pub fn retry<T>(&self) -> Result<T, Abort> {
+        Err(Abort::user_retry())
+    }
+
+    // --- crate-internal lifecycle -------------------------------------------
+
+    pub(crate) fn uthread(&self) -> &Arc<UThreadShared> {
+        &self.uthread
+    }
+
+    pub(crate) fn txn(&self) -> &Arc<TxnShared> {
+        &self.txn
+    }
+
+    /// Prepares the context for a (re-)execution attempt of the task body.
+    pub(crate) fn reset_for_attempt(&mut self) {
+        self.read_log.clear();
+        self.task_read_log.clear();
+        self.write_map.clear();
+        debug_assert!(self.acquired.is_empty(), "chain entries must be removed before reset");
+        self.acquired.clear();
+        self.valid_ts = self.substrate.clock.now();
+        self.last_writer_events = self.uthread.writer_events();
+        let slot = self.uthread.slot(self.serial);
+        slot.install(self.serial);
+    }
+
+    /// Removes every speculative chain entry this task installed and releases
+    /// write locks whose chains become empty. Called on every rollback.
+    pub(crate) fn remove_chain_entries(&mut self) {
+        for &idx in &self.acquired {
+            let entry = self.substrate.locks.entry(idx);
+            let mut chain = entry.chain();
+            chain.remove_serial(self.serial);
+            if chain.is_empty() {
+                entry.release_writer_if(self.token);
+            }
+        }
+        self.acquired.clear();
+    }
+
+    /// Flushes the local read/write counters into the global statistics.
+    pub(crate) fn flush_op_counters(&mut self) {
+        use std::sync::atomic::Ordering;
+        let stats = &self.substrate.stats;
+        if self.local_reads > 0 {
+            stats.reads.fetch_add(self.local_reads, Ordering::Relaxed);
+            self.local_reads = 0;
+        }
+        if self.local_writes > 0 {
+            stats.writes.fetch_add(self.local_writes, Ordering::Relaxed);
+            self.local_writes = 0;
+        }
+    }
+
+    // --- signal handling ------------------------------------------------------
+
+    /// Checks the abort-transaction and aborted-internally flags
+    /// (Algorithm 1 line 12, Algorithm 2 lines 34/40, Algorithm 3 lines 67-68).
+    fn check_signals(&self) -> Result<(), Abort> {
+        if self.txn.abort_requested() {
+            return Err(Abort::new(AbortReason::TransactionAbortSignal));
+        }
+        if self.uthread.slot(self.serial).is_aborted(self.serial) {
+            return Err(Abort::new(AbortReason::TaskAbortSignal));
+        }
+        Ok(())
+    }
+
+    // --- intra-thread validation ---------------------------------------------
+
+    /// Runs `validate-task` if a writer task of this user-thread has completed
+    /// (or a rollback happened) since the last successful validation.
+    fn maybe_validate_task(&mut self) -> Result<(), Abort> {
+        let events = self.uthread.writer_events();
+        if events != self.last_writer_events {
+            if !self.validate_task() {
+                return Err(Abort::new(AbortReason::IntraThreadWar));
+            }
+            self.last_writer_events = events;
+        }
+        Ok(())
+    }
+
+    /// `validate-task` (Algorithm 1, lines 17-31): checks that every
+    /// speculative read still observes the most recent past writer, and that
+    /// no past task has speculatively written to a location this task read
+    /// from committed state.
+    pub(crate) fn validate_task(&self) -> bool {
+        self.substrate.stats.bump(&self.substrate.stats.validations);
+        // Part 1: reads from past tasks' speculative values.
+        for rec in &self.task_read_log {
+            let entry = self.substrate.locks.entry(rec.lock);
+            let chain = entry.chain();
+            if chain.owner_ptid() != Some(self.uthread.ptid()) {
+                // The writer's transaction committed or aborted and released
+                // the lock: the speculative read is no longer backed.
+                return false;
+            }
+            let mut latest_past_writer = None;
+            for e in chain.iter() {
+                if e.serial < self.serial && e.value_of(rec.addr).is_some() {
+                    latest_past_writer = Some(e.serial);
+                }
+            }
+            if latest_past_writer != Some(rec.writer_serial) {
+                return false;
+            }
+        }
+        // Part 2: reads from committed state must not have been overwritten
+        // speculatively by a past task of this user-thread.
+        for &(idx, _version) in &self.read_log {
+            let entry = self.substrate.locks.entry(idx);
+            let chain = entry.chain();
+            if chain.owner_ptid() == Some(self.uthread.ptid())
+                && chain.iter().any(|e| e.serial < self.serial)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    // --- inter-thread validation (inherited from SwissTM) ---------------------
+
+    /// Validates the committed-read log against the lock table.
+    fn validate_reads(&self, locked_by_me: Option<&HashMap<LockIndex, u64>>) -> bool {
+        Self::validate_read_entries(self.substrate, &self.read_log, locked_by_me)
+    }
+
+    fn validate_read_entries(
+        substrate: &TxSubstrate,
+        entries: &[(LockIndex, u64)],
+        locked_by_me: Option<&HashMap<LockIndex, u64>>,
+    ) -> bool {
+        for &(idx, observed) in entries {
+            let entry = substrate.locks.entry(idx);
+            let current = entry.version();
+            if current == observed {
+                continue;
+            }
+            if current == LOCKED {
+                if let Some(mine) = locked_by_me {
+                    if mine.get(&idx) == Some(&observed) {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Tries to extend `valid-ts` to the current commit timestamp.
+    fn extend(&mut self) -> Result<(), Abort> {
+        let target = self.substrate.clock.now();
+        self.substrate.stats.bump(&self.substrate.stats.validations);
+        if self.validate_reads(None) {
+            self.valid_ts = target;
+            self.substrate.stats.bump(&self.substrate.stats.extensions);
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::ReadValidation))
+        }
+    }
+
+    /// Reads the committed value of `addr` with the SwissTM consistency rule
+    /// (extend-before-use, re-checked version).
+    fn read_committed(&mut self, addr: WordAddr) -> Result<u64, Abort> {
+        let (idx, entry) = self.substrate.locks.lookup(addr);
+        let mut spin = 0u32;
+        loop {
+            let v1 = entry.version();
+            if v1 == LOCKED {
+                // Only the waiting path needs to stay responsive to abort
+                // signals; the fast path was already checked by the caller.
+                self.check_signals()?;
+                contention_pause(spin);
+                spin = spin.wrapping_add(1);
+                continue;
+            }
+            if v1 > self.valid_ts {
+                self.extend()?;
+                continue;
+            }
+            let value = self.substrate.heap.load_committed(addr);
+            let v2 = entry.version();
+            if v1 != v2 {
+                contention_pause(spin);
+                spin = spin.wrapping_add(1);
+                continue;
+            }
+            self.read_log.push((idx, v1));
+            return Ok(value);
+        }
+    }
+
+    // --- speculative read (Algorithm 1) ---------------------------------------
+
+    fn read_word(&mut self, addr: WordAddr) -> Result<u64, Abort> {
+        self.check_signals()?;
+        // Reads from the task's own writes need no validation. The emptiness
+        // guard keeps read-only tasks off the hash-lookup path entirely.
+        if !self.write_map.is_empty() {
+            if let Some(&value) = self.write_map.get(&addr.index()) {
+                return Ok(value);
+            }
+        }
+        let (idx, entry) = self.substrate.locks.lookup(addr);
+        loop {
+            if entry.writer_token() != self.token {
+                // Not locked by this user-thread (or just released): read the
+                // committed value exactly as SwissTM would.
+                return self.read_committed(addr);
+            }
+            let probe = {
+                let chain = entry.chain();
+                // Re-check ownership under the chain mutex: the lock may have
+                // been released and re-acquired by another user-thread between
+                // the token check above and taking the mutex.
+                if chain.is_empty() || chain.owner_ptid() != Some(self.uthread.ptid()) {
+                    SpecProbe::Released
+                } else {
+                    match chain.read_visible(addr, self.serial) {
+                        ChainRead::Own(value) => SpecProbe::Own(value),
+                        ChainRead::Past {
+                            writer_serial,
+                            value,
+                        } => {
+                            if self.uthread.completed_task() >= writer_serial {
+                                SpecProbe::Past {
+                                    writer_serial,
+                                    value,
+                                }
+                            } else {
+                                SpecProbe::WaitForWriter
+                            }
+                        }
+                        ChainRead::Committed => SpecProbe::Fallback,
+                    }
+                }
+            };
+            match probe {
+                SpecProbe::Own(value) => return Ok(value),
+                SpecProbe::Past {
+                    writer_serial,
+                    value,
+                } => {
+                    // Validate pending intra-thread conflicts before trusting
+                    // the speculative value (Algorithm 1, line 13), then log
+                    // the read for later re-validation.
+                    self.maybe_validate_task()?;
+                    self.task_read_log.push(TaskReadEntry {
+                        lock: idx,
+                        addr,
+                        writer_serial,
+                    });
+                    return Ok(value);
+                }
+                SpecProbe::WaitForWriter => {
+                    // The most recent past writer is still running: wait for
+                    // it to complete (Algorithm 1, line 11).
+                    self.substrate.stats.bump(&self.substrate.stats.reader_waits);
+                    self.check_signals()?;
+                    self.uthread.wait_slice();
+                    continue;
+                }
+                SpecProbe::Fallback => {
+                    return self.read_committed(addr);
+                }
+                SpecProbe::Released => {
+                    // Ownership changed under us: re-evaluate from the top
+                    // (the next iteration will take the committed-read path
+                    // unless our user-thread re-acquires the lock).
+                    continue;
+                }
+            }
+        }
+    }
+
+    // --- speculative write (Algorithm 2) ---------------------------------------
+
+    fn record_own_write(&mut self, idx: LockIndex, addr: WordAddr, value: u64) {
+        let entry = self.substrate.locks.entry(idx);
+        entry.chain().record_write(
+            self.uthread.ptid(),
+            self.serial,
+            self.txn.start_serial(),
+            &self.txn_owner,
+            addr,
+            value,
+        );
+        if !self.acquired.contains(&idx) {
+            self.acquired.push(idx);
+        }
+        self.write_map.insert(addr.index(), value);
+    }
+
+    fn write_word(&mut self, addr: WordAddr, value: u64) -> Result<(), Abort> {
+        self.check_signals()?;
+        let (idx, entry) = self.substrate.locks.lookup(addr);
+        // Fast path: this task already has a chain entry under this lock.
+        if self.acquired.contains(&idx) {
+            self.record_own_write(idx, addr, value);
+            return Ok(());
+        }
+        enum WwAction {
+            Acquired,
+            SelfAbort,
+            SignalRunning(u64),
+            SignalCompletedTxn(OwnerHandle),
+            InterThread,
+            Retry,
+        }
+        let mut spin = 0u32;
+        loop {
+            self.check_signals()?;
+            let token = entry.writer_token();
+            let action = if token.is_unlocked() {
+                if entry.try_acquire_writer(self.token).is_ok() {
+                    self.record_own_write(idx, addr, value);
+                    WwAction::Acquired
+                } else {
+                    WwAction::Retry
+                }
+            } else if token == self.token {
+                // Locked by another task of this user-thread.
+                let mut chain = entry.chain();
+                // Re-check ownership under the chain mutex (see read_word).
+                if entry.writer_token() != self.token {
+                    drop(chain);
+                    WwAction::Retry
+                } else {
+                    match chain.newest_serial() {
+                    None => WwAction::Retry,
+                    Some(newest) if newest <= self.serial => {
+                        if newest < self.serial && self.uthread.completed_task() < newest {
+                            // The most recent past writer is still running:
+                            // this (future) task rolls back (Alg. 2 line 45).
+                            WwAction::SelfAbort
+                        } else {
+                            chain.record_write(
+                                self.uthread.ptid(),
+                                self.serial,
+                                self.txn.start_serial(),
+                                &self.txn_owner,
+                                addr,
+                                value,
+                            );
+                            drop(chain);
+                            if !self.acquired.contains(&idx) {
+                                self.acquired.push(idx);
+                            }
+                            self.write_map.insert(addr.index(), value);
+                            WwAction::Acquired
+                        }
+                    }
+                    Some(newest) => {
+                        // A future task holds the most speculative entry: it
+                        // must abort (Alg. 2 line 47).
+                        if self.uthread.completed_task() >= newest {
+                            // Already completed: it can no longer observe an
+                            // individual abort signal, so its whole
+                            // user-transaction is asked to abort instead.
+                            match chain.entry_for_serial(newest) {
+                                Some(e) => {
+                                    WwAction::SignalCompletedTxn(OwnerHandle::clone(&e.owner))
+                                }
+                                None => WwAction::Retry,
+                            }
+                        } else {
+                            WwAction::SignalRunning(newest)
+                        }
+                    }
+                    }
+                }
+            } else {
+                WwAction::InterThread
+            };
+            match action {
+                WwAction::Acquired => break,
+                WwAction::SelfAbort => {
+                    return Err(Abort::new(AbortReason::IntraThreadWaw));
+                }
+                WwAction::SignalRunning(target) => {
+                    self.uthread.slot(target).signal_abort(target);
+                    self.uthread.wait_slice();
+                    continue;
+                }
+                WwAction::SignalCompletedTxn(owner) => {
+                    owner.signal_abort();
+                    self.uthread.wait_slice();
+                    continue;
+                }
+                WwAction::InterThread => {
+                    // Write lock held by another user-thread: task-aware
+                    // contention management (Alg. 2 lines 41-43, 54-64).
+                    let decision = {
+                        let chain = entry.chain();
+                        match chain.newest() {
+                            None => CmDecision::Wait,
+                            // Ownership switched to our own user-thread since
+                            // the token read: retry and take the intra-thread
+                            // path instead of contending against ourselves.
+                            Some(spec) if spec.ptid == self.uthread.ptid() => CmDecision::Wait,
+                            Some(spec) => self.cm.resolve(&self.txn, spec.owner.as_ref()),
+                        }
+                    };
+                    match decision {
+                        CmDecision::AbortSelf => {
+                            self.substrate.stats.bump(&self.substrate.stats.cm_self_aborts);
+                            return Err(Abort::new(AbortReason::InterThreadWriteConflict));
+                        }
+                        CmDecision::AbortOwner => {
+                            self.substrate
+                                .stats
+                                .bump(&self.substrate.stats.cm_owner_aborts);
+                            contention_pause(spin);
+                            spin = spin.wrapping_add(1);
+                            continue;
+                        }
+                        CmDecision::Wait => {
+                            contention_pause(spin);
+                            spin = spin.wrapping_add(1);
+                            continue;
+                        }
+                    }
+                }
+                WwAction::Retry => {
+                    contention_pause(spin);
+                    spin = spin.wrapping_add(1);
+                    continue;
+                }
+            }
+        }
+        // Post-write consistency checks (Algorithm 2, lines 52-53).
+        let version = entry.version();
+        if version != LOCKED && version > self.valid_ts {
+            self.extend()?;
+        }
+        self.maybe_validate_task()?;
+        Ok(())
+    }
+
+    // --- task / transaction commit (Algorithm 3) --------------------------------
+
+    /// Builds the publishable snapshot of this task's logs.
+    ///
+    /// The read logs are *moved* out rather than cloned — once a task has
+    /// completed it never validates itself again, and a transaction rollback
+    /// clears and rebuilds them anyway. The `acquired` list is cloned because
+    /// the task still needs it to dismantle its chain entries on rollback.
+    fn make_logs(&mut self) -> TaskLogs {
+        TaskLogs {
+            valid_ts: self.valid_ts,
+            read_log: std::mem::take(&mut self.read_log),
+            task_read_log: std::mem::take(&mut self.task_read_log),
+            writes: self
+                .write_map
+                .iter()
+                .map(|(&addr, &value)| (WordAddr::new(addr), value))
+                .collect(),
+            acquired: self.acquired.clone(),
+        }
+    }
+
+    /// Commits the task: waits for every past task of the user-thread to
+    /// complete, re-validates intra-thread conflicts, and then either waits
+    /// for the commit-task (intermediate tasks) or commits the whole
+    /// user-transaction (the commit-task).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] when the task (or its whole transaction) must roll
+    /// back; the worker loop interprets the abort reason.
+    pub(crate) fn task_commit(&mut self) -> Result<(), Abort> {
+        // Wait for all past tasks of the user-thread to complete (line 66).
+        loop {
+            self.check_signals()?;
+            if self.uthread.completed_task() >= self.serial.saturating_sub(1) {
+                break;
+            }
+            self.uthread.wait_slice();
+        }
+        // Final intra-thread WAR validation (lines 69-70).
+        self.maybe_validate_task()?;
+
+        if !self.try_commit {
+            // Intermediate task (lines 71-77): publish logs, mark completion,
+            // then wait for the outcome of the whole user-transaction.
+            let wrote = !self.write_map.is_empty();
+            let logs = self.make_logs();
+            self.txn.publish_logs(self.serial, logs);
+            self.uthread.mark_completed(self.serial, wrote);
+            loop {
+                if self.txn.is_committed() {
+                    return Ok(());
+                }
+                if self.txn.rollback_started() {
+                    return Err(Abort::new(AbortReason::TransactionAbortSignal));
+                }
+                self.uthread.wait_slice();
+            }
+        }
+        // Commit-task: commit the whole user-transaction (lines 78-94).
+        self.check_signals()?;
+        self.commit_transaction()
+    }
+
+    /// Performs the user-transaction commit on behalf of every task.
+    fn commit_transaction(&mut self) -> Result<(), Abort> {
+        let own_logs = self.make_logs();
+        let mut all = self.txn.collect_logs();
+        all.push((self.serial, own_logs));
+        all.sort_by_key(|(serial, _)| *serial);
+        debug_assert_eq!(
+            all.len() as u64,
+            self.txn.n_tasks(),
+            "commit-task must see the logs of every task of its transaction"
+        );
+
+        let read_only = all.iter().all(|(_, logs)| logs.is_read_only());
+        if read_only {
+            // Read user-transactions only need validation when their tasks
+            // completed at different snapshots (§3.2 "Transaction Commit").
+            let same_ts = all.windows(2).all(|w| w[0].1.valid_ts == w[1].1.valid_ts);
+            if !same_ts {
+                self.substrate.stats.bump(&self.substrate.stats.validations);
+                for (_, logs) in &all {
+                    if !Self::validate_read_entries(self.substrate, &logs.read_log, None) {
+                        self.txn.request_abort();
+                        return Err(Abort::new(AbortReason::ReadValidation));
+                    }
+                }
+            }
+            self.finish_transaction_commit(false);
+            return Ok(());
+        }
+
+        // Write transaction: acquire the r-locks of every written location.
+        self.txn.set_finishing();
+        let mut lock_set: Vec<LockIndex> = all
+            .iter()
+            .flat_map(|(_, logs)| logs.acquired.iter().copied())
+            .collect();
+        lock_set.sort_unstable_by_key(|idx| idx.0);
+        lock_set.dedup();
+        let mut old_versions: HashMap<LockIndex, u64> = HashMap::with_capacity(lock_set.len());
+        for &idx in &lock_set {
+            old_versions.insert(idx, self.substrate.locks.entry(idx).lock_version());
+        }
+        let ts = self.substrate.clock.tick();
+        self.substrate.stats.bump(&self.substrate.stats.validations);
+        let mut valid = true;
+        for (_, logs) in &all {
+            if !Self::validate_read_entries(self.substrate, &logs.read_log, Some(&old_versions)) {
+                valid = false;
+                break;
+            }
+        }
+        if !valid {
+            for (&idx, &prev) in &old_versions {
+                self.substrate.locks.entry(idx).set_version(prev);
+            }
+            self.txn.request_abort();
+            return Err(Abort::new(AbortReason::ReadValidation));
+        }
+        // Write back every task's buffered writes in program order, so later
+        // tasks' values win for locations written by several tasks.
+        for (_, logs) in &all {
+            for &(addr, value) in &logs.writes {
+                self.substrate.heap.store_committed(addr, value);
+            }
+        }
+        // Remove the transaction's speculative entries, publish the new
+        // version and release the write locks that become free.
+        for &idx in &lock_set {
+            let entry = self.substrate.locks.entry(idx);
+            {
+                let mut chain = entry.chain();
+                chain.remove_transaction(self.txn.start_serial(), self.txn.commit_serial());
+                if chain.is_empty() {
+                    entry.release_writer_if(self.token);
+                }
+            }
+            entry.set_version(ts);
+        }
+        self.finish_transaction_commit(true);
+        Ok(())
+    }
+
+    fn finish_transaction_commit(&mut self, wrote: bool) {
+        let stats = &self.substrate.stats;
+        stats.bump(&stats.tx_commits);
+        self.txn.mark_committed();
+        self.uthread.mark_completed(self.serial, wrote);
+        // The transaction's chain entries are gone; nothing left to dismantle.
+        self.acquired.clear();
+    }
+}
+
+impl TxMem for TaskCtx<'_> {
+    fn read(&mut self, addr: WordAddr) -> Result<u64, Abort> {
+        self.local_reads += 1;
+        self.read_word(addr)
+    }
+
+    fn write(&mut self, addr: WordAddr, value: u64) -> Result<(), Abort> {
+        self.local_writes += 1;
+        self.write_word(addr, value)
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<WordAddr, Abort> {
+        self.substrate
+            .heap
+            .alloc(words)
+            .map_err(|_| Abort::new(AbortReason::OutOfMemory))
+    }
+}

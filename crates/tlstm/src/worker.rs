@@ -1,0 +1,205 @@
+//! Worker threads: the execution engine behind a TLSTM user-thread.
+//!
+//! Each user-thread owns `SPECDEPTH` worker threads. Task `serial` is always
+//! dispatched to worker `serial mod SPECDEPTH`; because a worker does not pick
+//! up its next task until the current one has *retired* (its user-transaction
+//! committed), at most `SPECDEPTH` tasks of the user-thread are active at any
+//! time — exactly the admission rule of the paper.
+//!
+//! The worker loop also implements the rollback protocols:
+//!
+//! * **individual task rollback** (intra-thread WAR/WAW, losing an
+//!   inter-thread conflict): remove the task's speculative chain entries,
+//!   reset its logs and re-run the body;
+//! * **user-transaction rollback**: every task removes its own entries and
+//!   acknowledges; the commit-task waits for all acknowledgements, resets the
+//!   user-thread counters, bumps the rollback epoch and everyone re-executes.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use swisstm::cm::GreedyTicket;
+use txmem::{AbortReason, TxSubstrate};
+
+use crate::cm::TaskAwareCm;
+use crate::task::TaskCtx;
+use crate::txn_state::TxnShared;
+use crate::uthread_state::UThreadShared;
+use crate::TaskFn;
+
+/// After this many rollbacks of the same user-transaction, its tasks fall back
+/// to executing in program order (each task waits for all past tasks to
+/// complete before running its body). This breaks pathological intra-thread
+/// write-after-write livelocks at the cost of serialising the transaction —
+/// the behaviour the paper reports for write-heavy long traversals.
+const PESSIMISTIC_AFTER_ROLLBACKS: u32 = 2;
+
+/// After this many rollbacks a transaction turns greedy (draws a
+/// contention-manager ticket), mirroring the SwissTM two-phase policy.
+const GREEDY_AFTER_ROLLBACKS: u32 = 2;
+
+/// A unit of work sent to a worker: one task of one user-transaction.
+pub(crate) struct WorkItem {
+    /// Serial number of the task.
+    pub serial: u64,
+    /// `true` if this is the commit-task of its user-transaction.
+    pub try_commit: bool,
+    /// Shared state of the enclosing user-transaction.
+    pub txn: Arc<TxnShared>,
+    /// The task body.
+    pub body: TaskFn,
+    /// Notified (with the task serial) when the task has retired.
+    pub done: Sender<u64>,
+}
+
+impl std::fmt::Debug for WorkItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkItem")
+            .field("serial", &self.serial)
+            .field("try_commit", &self.try_commit)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Long-lived state of one worker thread.
+pub(crate) struct Worker {
+    pub substrate: Arc<TxSubstrate>,
+    pub uthread: Arc<UThreadShared>,
+    pub cm: TaskAwareCm,
+    pub tickets: Arc<GreedyTicket>,
+    pub queue: Receiver<WorkItem>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("ptid", &self.uthread.ptid())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Worker {
+    /// The worker main loop: runs tasks from the queue until the channel is
+    /// closed (the user-thread handle was dropped).
+    ///
+    /// Between tasks the worker first spins briefly on the queue (the next
+    /// task of a pipelined batch is usually already there, and parking the
+    /// thread would put an OS wake-up on the critical path of every
+    /// transaction) before falling back to a blocking receive.
+    pub fn run(self) {
+        'outer: loop {
+            let mut item = None;
+            for i in 0..4_000u32 {
+                match self.queue.try_recv() {
+                    Ok(work) => {
+                        item = Some(work);
+                        break;
+                    }
+                    Err(crossbeam::channel::TryRecvError::Empty) => {
+                        if i % 256 == 255 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => break 'outer,
+                }
+            }
+            let item = match item {
+                Some(work) => work,
+                None => match self.queue.recv() {
+                    Ok(work) => work,
+                    Err(_) => break,
+                },
+            };
+            self.run_task(&item);
+            // The receiver of `done` may already be gone if the caller timed
+            // out; that is not an error for the worker.
+            let _ = item.done.send(item.serial);
+        }
+    }
+
+    /// Executes one task until it retires (its user-transaction commits).
+    fn run_task(&self, item: &WorkItem) {
+        let stats = &self.substrate.stats;
+        stats.bump(&stats.task_starts);
+        let mut ctx = TaskCtx::new(
+            &self.substrate,
+            self.cm,
+            Arc::clone(&self.uthread),
+            Arc::clone(&item.txn),
+            item.serial,
+            item.try_commit,
+        );
+        let mut attempt = 0u32;
+        loop {
+            attempt = attempt.wrapping_add(1);
+            // If a rollback of this transaction is already pending, join it
+            // before (re-)executing the body.
+            if item.txn.abort_requested() {
+                self.participate_in_rollback(&mut ctx);
+            }
+            // Pessimistic fallback: after repeated transaction rollbacks, run
+            // the tasks of this transaction in program order.
+            if item.txn.rollbacks() >= PESSIMISTIC_AFTER_ROLLBACKS {
+                let uthread = Arc::clone(&self.uthread);
+                let serial = item.serial;
+                let txn = Arc::clone(&item.txn);
+                uthread.wait_until(|| {
+                    uthread.completed_task() >= serial.saturating_sub(1) || txn.abort_requested()
+                });
+                if item.txn.abort_requested() {
+                    continue;
+                }
+            }
+            ctx.reset_for_attempt();
+            let outcome = (item.body)(&mut ctx).and_then(|()| ctx.task_commit());
+            match outcome {
+                Ok(()) => {
+                    stats.bump(&stats.task_commits);
+                    ctx.flush_op_counters();
+                    return;
+                }
+                Err(abort) => {
+                    stats.bump(&stats.task_aborts);
+                    stats.record_abort_reason(abort.reason);
+                    ctx.remove_chain_entries();
+                    if abort.reason == AbortReason::TransactionAbortSignal
+                        || item.txn.abort_requested()
+                    {
+                        self.participate_in_rollback(&mut ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Joins the coordinated rollback of the task's user-transaction.
+    ///
+    /// Non-commit tasks acknowledge and wait for the rollback epoch to
+    /// advance; the commit-task drives the protocol (waits for every other
+    /// task, resets the user-thread counters and re-arms the transaction).
+    fn participate_in_rollback(&self, ctx: &mut TaskCtx<'_>) {
+        let txn = Arc::clone(ctx.txn());
+        let uthread = Arc::clone(ctx.uthread());
+        if ctx.is_commit_task() {
+            txn.start_rollback();
+            let needed = (txn.n_tasks() - 1) as u32;
+            uthread.wait_until(|| txn.acks() >= needed);
+            uthread.reset_after_rollback(txn.start_serial());
+            let stats = &self.substrate.stats;
+            stats.bump(&stats.tx_aborts);
+            if txn.rollbacks() + 1 >= GREEDY_AFTER_ROLLBACKS
+                && txn.priority() == crate::txn_state::TIMID_PRIORITY
+            {
+                txn.set_priority(self.tickets.draw());
+            }
+            txn.finish_rollback();
+        } else {
+            let epoch = txn.epoch();
+            txn.ack_abort();
+            uthread.wait_until(|| txn.epoch() > epoch);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! A transactional counter word (and small fixed-size arrays of counters).
+
+use txmem::{Abort, TxMem, WordAddr};
+
+/// Handle to a single transactional counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxCounter {
+    addr: WordAddr,
+}
+
+impl TxCounter {
+    /// Allocates a counter initialised to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+        let addr = mem.alloc(1)?;
+        mem.write(addr, 0)?;
+        Ok(TxCounter { addr })
+    }
+
+    /// Wraps an existing word as a counter.
+    pub fn at(addr: WordAddr) -> Self {
+        TxCounter { addr }
+    }
+
+    /// The counter's heap address.
+    pub fn addr(&self) -> WordAddr {
+        self.addr
+    }
+
+    /// Reads the counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        mem.read(self.addr)
+    }
+
+    /// Sets the counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn set<M: TxMem>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
+        mem.write(self.addr, value)
+    }
+
+    /// Adds `delta` and returns the new value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn add<M: TxMem>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
+        let v = mem.read(self.addr)?.wrapping_add(delta);
+        mem.write(self.addr, v)?;
+        Ok(v)
+    }
+
+    /// Subtracts `delta` (saturating at zero) and returns the new value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn sub<M: TxMem>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
+        let v = mem.read(self.addr)?.saturating_sub(delta);
+        mem.write(self.addr, v)?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::{DirectMem, TxConfig, TxHeap};
+
+    #[test]
+    fn counter_arithmetic() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let mut mem = DirectMem::new(&heap);
+        let c = TxCounter::create(&mut mem).unwrap();
+        assert_eq!(c.get(&mut mem).unwrap(), 0);
+        assert_eq!(c.add(&mut mem, 5).unwrap(), 5);
+        assert_eq!(c.add(&mut mem, 3).unwrap(), 8);
+        assert_eq!(c.sub(&mut mem, 10).unwrap(), 0, "saturating subtraction");
+        c.set(&mut mem, 42).unwrap();
+        assert_eq!(c.get(&mut mem).unwrap(), 42);
+        assert_eq!(TxCounter::at(c.addr()).get(&mut mem).unwrap(), 42);
+    }
+}

@@ -1,0 +1,240 @@
+//! A transactional fixed-bucket chained hash map.
+//!
+//! Header layout: `n_buckets, size, bucket_0_head, bucket_1_head, ...`.
+//! Each bucket is an unsorted singly-linked chain of 3-word nodes
+//! (`key, value, next`).
+
+use txmem::{Abort, TxMem, WordAddr};
+
+const NODE_WORDS: u64 = 3;
+const OFF_KEY: u64 = 0;
+const OFF_VALUE: u64 = 1;
+const OFF_NEXT: u64 = 2;
+
+const HDR_BUCKETS: u64 = 0;
+const HDR_SIZE: u64 = 1;
+const HDR_TABLE: u64 = 2;
+
+/// Handle to a transactional hash map (the address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxHashMap {
+    header: WordAddr,
+}
+
+impl TxHashMap {
+    /// Allocates a map with `n_buckets` buckets (rounded up to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn create<M: TxMem>(mem: &mut M, n_buckets: u64) -> Result<Self, Abort> {
+        let n_buckets = n_buckets.max(1);
+        let header = mem.alloc(HDR_TABLE + n_buckets)?;
+        mem.write(header.offset(HDR_BUCKETS), n_buckets)?;
+        mem.write(header.offset(HDR_SIZE), 0)?;
+        for b in 0..n_buckets {
+            mem.write_ref(header.offset(HDR_TABLE + b), None)?;
+        }
+        Ok(TxHashMap { header })
+    }
+
+    /// Re-creates a handle from a previously obtained header address.
+    pub fn from_header(header: WordAddr) -> Self {
+        TxHashMap { header }
+    }
+
+    /// The heap address of the map header.
+    pub fn header(&self) -> WordAddr {
+        self.header
+    }
+
+    fn bucket_slot<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<WordAddr, Abort> {
+        let n = mem.read(self.header.offset(HDR_BUCKETS))?;
+        // Fibonacci hashing keeps adjacent keys in different buckets.
+        let hash = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Ok(self.header.offset(HDR_TABLE + hash % n))
+    }
+
+    /// Number of entries in the map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        mem.read(self.header.offset(HDR_SIZE))
+    }
+
+    /// `true` if the map has no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+        Ok(self.len(mem)? == 0)
+    }
+
+    /// Inserts `key → value`. Returns `false` (updating the value) if the key
+    /// was already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert<M: TxMem>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, Abort> {
+        let slot = self.bucket_slot(mem, key)?;
+        let head = mem.read_ref(slot)?;
+        let mut cur = head;
+        while let Some(node) = cur {
+            if mem.read(node.offset(OFF_KEY))? == key {
+                mem.write(node.offset(OFF_VALUE), value)?;
+                return Ok(false);
+            }
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        let node = mem.alloc(NODE_WORDS)?;
+        mem.write(node.offset(OFF_KEY), key)?;
+        mem.write(node.offset(OFF_VALUE), value)?;
+        mem.write_ref(node.offset(OFF_NEXT), head)?;
+        mem.write_ref(slot, Some(node))?;
+        let size = mem.read(self.header.offset(HDR_SIZE))?;
+        mem.write(self.header.offset(HDR_SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+        let slot = self.bucket_slot(mem, key)?;
+        let mut cur = mem.read_ref(slot)?;
+        while let Some(node) = cur {
+            if mem.read(node.offset(OFF_KEY))? == key {
+                return Ok(Some(mem.read(node.offset(OFF_VALUE))?));
+            }
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(None)
+    }
+
+    /// `true` if `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn contains<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+        Ok(self.get(mem, key)?.is_some())
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+        let slot = self.bucket_slot(mem, key)?;
+        let mut prev: Option<WordAddr> = None;
+        let mut cur = mem.read_ref(slot)?;
+        while let Some(node) = cur {
+            if mem.read(node.offset(OFF_KEY))? == key {
+                let next = mem.read_ref(node.offset(OFF_NEXT))?;
+                match prev {
+                    None => mem.write_ref(slot, next)?,
+                    Some(p) => mem.write_ref(p.offset(OFF_NEXT), next)?,
+                }
+                let size = mem.read(self.header.offset(HDR_SIZE))?;
+                mem.write(self.header.offset(HDR_SIZE), size - 1)?;
+                return Ok(true);
+            }
+            prev = Some(node);
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Collects all `(key, value)` pairs (bucket order, then chain order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
+        let n = mem.read(self.header.offset(HDR_BUCKETS))?;
+        let mut out = Vec::new();
+        for b in 0..n {
+            let mut cur = mem.read_ref(self.header.offset(HDR_TABLE + b))?;
+            while let Some(node) = cur {
+                out.push((
+                    mem.read(node.offset(OFF_KEY))?,
+                    mem.read(node.offset(OFF_VALUE))?,
+                ));
+                cur = mem.read_ref(node.offset(OFF_NEXT))?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::{DirectMem, TxConfig, TxHeap};
+
+    fn heap() -> TxHeap {
+        TxHeap::new(&TxConfig::small())
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 8).unwrap();
+        for k in 0..50u64 {
+            assert!(map.insert(&mut mem, k, k * 3).unwrap());
+        }
+        assert_eq!(map.len(&mut mem).unwrap(), 50);
+        for k in 0..50u64 {
+            assert_eq!(map.get(&mut mem, k).unwrap(), Some(k * 3));
+        }
+        assert_eq!(map.get(&mut mem, 99).unwrap(), None);
+        for k in (0..50u64).step_by(2) {
+            assert!(map.remove(&mut mem, k).unwrap());
+        }
+        assert_eq!(map.len(&mut mem).unwrap(), 25);
+        assert!(!map.remove(&mut mem, 0).unwrap());
+        assert!(map.contains(&mut mem, 1).unwrap());
+        assert!(!map.contains(&mut mem, 2).unwrap());
+    }
+
+    #[test]
+    fn duplicate_insert_updates_in_place() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 4).unwrap();
+        assert!(map.insert(&mut mem, 7, 1).unwrap());
+        assert!(!map.insert(&mut mem, 7, 2).unwrap());
+        assert_eq!(map.get(&mut mem, 7).unwrap(), Some(2));
+        assert_eq!(map.len(&mut mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_a_list_but_still_works() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 1).unwrap();
+        for k in 0..20u64 {
+            map.insert(&mut mem, k, k).unwrap();
+        }
+        let mut all = map.to_vec(&mut mem).unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..20u64).map(|k| (k, k)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_bucket_request_is_clamped() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 0).unwrap();
+        assert!(map.insert(&mut mem, 1, 1).unwrap());
+        assert_eq!(map.get(&mut mem, 1).unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,274 @@
+//! A transactional sorted singly-linked list.
+//!
+//! Node layout (3 words): `key, value, next`.
+//! Header layout (2 words): `head, size`.
+
+use txmem::{Abort, TxMem, WordAddr};
+
+const NODE_WORDS: u64 = 3;
+const OFF_KEY: u64 = 0;
+const OFF_VALUE: u64 = 1;
+const OFF_NEXT: u64 = 2;
+
+const HDR_WORDS: u64 = 2;
+const HDR_HEAD: u64 = 0;
+const HDR_SIZE: u64 = 1;
+
+/// Handle to a transactional sorted list (the address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSortedList {
+    header: WordAddr,
+}
+
+impl TxSortedList {
+    /// Allocates an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+        let header = mem.alloc(HDR_WORDS)?;
+        mem.write_ref(header.offset(HDR_HEAD), None)?;
+        mem.write(header.offset(HDR_SIZE), 0)?;
+        Ok(TxSortedList { header })
+    }
+
+    /// Re-creates a handle from a previously obtained header address.
+    pub fn from_header(header: WordAddr) -> Self {
+        TxSortedList { header }
+    }
+
+    /// The heap address of the list header.
+    pub fn header(&self) -> WordAddr {
+        self.header
+    }
+
+    /// Number of elements in the list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        mem.read(self.header.offset(HDR_SIZE))
+    }
+
+    /// `true` if the list holds no elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+        Ok(self.len(mem)? == 0)
+    }
+
+    /// Inserts `key → value` keeping keys sorted. Returns `false` (updating
+    /// the value in place) if the key was already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert<M: TxMem>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, Abort> {
+        let mut prev: Option<WordAddr> = None;
+        let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
+        while let Some(node) = cur {
+            let nkey = mem.read(node.offset(OFF_KEY))?;
+            if nkey == key {
+                mem.write(node.offset(OFF_VALUE), value)?;
+                return Ok(false);
+            }
+            if nkey > key {
+                break;
+            }
+            prev = Some(node);
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        let node = mem.alloc(NODE_WORDS)?;
+        mem.write(node.offset(OFF_KEY), key)?;
+        mem.write(node.offset(OFF_VALUE), value)?;
+        mem.write_ref(node.offset(OFF_NEXT), cur)?;
+        match prev {
+            None => mem.write_ref(self.header.offset(HDR_HEAD), Some(node))?,
+            Some(p) => mem.write_ref(p.offset(OFF_NEXT), Some(node))?,
+        }
+        let size = mem.read(self.header.offset(HDR_SIZE))?;
+        mem.write(self.header.offset(HDR_SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+        let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
+        while let Some(node) = cur {
+            let nkey = mem.read(node.offset(OFF_KEY))?;
+            if nkey == key {
+                return Ok(Some(mem.read(node.offset(OFF_VALUE))?));
+            }
+            if nkey > key {
+                return Ok(None);
+            }
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(None)
+    }
+
+    /// `true` if `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn contains<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+        Ok(self.get(mem, key)?.is_some())
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+        let mut prev: Option<WordAddr> = None;
+        let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
+        while let Some(node) = cur {
+            let nkey = mem.read(node.offset(OFF_KEY))?;
+            if nkey == key {
+                let next = mem.read_ref(node.offset(OFF_NEXT))?;
+                match prev {
+                    None => mem.write_ref(self.header.offset(HDR_HEAD), next)?,
+                    Some(p) => mem.write_ref(p.offset(OFF_NEXT), next)?,
+                }
+                let size = mem.read(self.header.offset(HDR_SIZE))?;
+                mem.write(self.header.offset(HDR_SIZE), size - 1)?;
+                return Ok(true);
+            }
+            if nkey > key {
+                return Ok(false);
+            }
+            prev = Some(node);
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Collects all `(key, value)` pairs in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
+        while let Some(node) = cur {
+            out.push((
+                mem.read(node.offset(OFF_KEY))?,
+                mem.read(node.offset(OFF_VALUE))?,
+            ));
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every `(key, value)` pair in key order (traversals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts (including aborts raised by `f`).
+    pub fn for_each<M: TxMem>(
+        &self,
+        mem: &mut M,
+        mut f: impl FnMut(&mut M, u64, u64) -> Result<(), Abort>,
+    ) -> Result<(), Abort> {
+        let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
+        while let Some(node) = cur {
+            let key = mem.read(node.offset(OFF_KEY))?;
+            let value = mem.read(node.offset(OFF_VALUE))?;
+            f(mem, key, value)?;
+            cur = mem.read_ref(node.offset(OFF_NEXT))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::{DirectMem, TxConfig, TxHeap};
+
+    fn heap() -> TxHeap {
+        TxHeap::new(&TxConfig::small())
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let list = TxSortedList::create(&mut mem).unwrap();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(list.insert(&mut mem, k, k * 10).unwrap());
+        }
+        assert_eq!(
+            list.to_vec(&mut mem).unwrap(),
+            vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+        );
+        assert_eq!(list.len(&mut mem).unwrap(), 5);
+    }
+
+    #[test]
+    fn duplicate_insert_updates_value() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let list = TxSortedList::create(&mut mem).unwrap();
+        assert!(list.insert(&mut mem, 4, 40).unwrap());
+        assert!(!list.insert(&mut mem, 4, 44).unwrap());
+        assert_eq!(list.get(&mut mem, 4).unwrap(), Some(44));
+        assert_eq!(list.len(&mut mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_head_middle_tail() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let list = TxSortedList::create(&mut mem).unwrap();
+        for k in 1..=5u64 {
+            list.insert(&mut mem, k, k).unwrap();
+        }
+        assert!(list.remove(&mut mem, 1).unwrap()); // head
+        assert!(list.remove(&mut mem, 3).unwrap()); // middle
+        assert!(list.remove(&mut mem, 5).unwrap()); // tail
+        assert!(!list.remove(&mut mem, 9).unwrap());
+        assert_eq!(list.to_vec(&mut mem).unwrap(), vec![(2, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn get_and_contains_on_missing_keys() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let list = TxSortedList::create(&mut mem).unwrap();
+        assert!(list.is_empty(&mut mem).unwrap());
+        assert_eq!(list.get(&mut mem, 1).unwrap(), None);
+        list.insert(&mut mem, 10, 1).unwrap();
+        assert!(!list.contains(&mut mem, 5).unwrap());
+        assert!(!list.contains(&mut mem, 15).unwrap());
+        assert!(list.contains(&mut mem, 10).unwrap());
+    }
+
+    #[test]
+    fn for_each_visits_in_order() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let list = TxSortedList::create(&mut mem).unwrap();
+        for k in [3u64, 1, 2] {
+            list.insert(&mut mem, k, k).unwrap();
+        }
+        let mut seen = Vec::new();
+        list.for_each(&mut mem, |_, k, _| {
+            seen.push(k);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}

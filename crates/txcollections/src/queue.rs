@@ -1,0 +1,162 @@
+//! A transactional FIFO queue.
+//!
+//! Node layout (2 words): `value, next`.
+//! Header layout (3 words): `head, tail, size`.
+
+use txmem::{Abort, TxMem, WordAddr};
+
+const NODE_WORDS: u64 = 2;
+const OFF_VALUE: u64 = 0;
+const OFF_NEXT: u64 = 1;
+
+const HDR_WORDS: u64 = 3;
+const HDR_HEAD: u64 = 0;
+const HDR_TAIL: u64 = 1;
+const HDR_SIZE: u64 = 2;
+
+/// Handle to a transactional FIFO queue (the address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxQueue {
+    header: WordAddr,
+}
+
+impl TxQueue {
+    /// Allocates an empty queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+        let header = mem.alloc(HDR_WORDS)?;
+        mem.write_ref(header.offset(HDR_HEAD), None)?;
+        mem.write_ref(header.offset(HDR_TAIL), None)?;
+        mem.write(header.offset(HDR_SIZE), 0)?;
+        Ok(TxQueue { header })
+    }
+
+    /// Re-creates a handle from a previously obtained header address.
+    pub fn from_header(header: WordAddr) -> Self {
+        TxQueue { header }
+    }
+
+    /// The heap address of the queue header.
+    pub fn header(&self) -> WordAddr {
+        self.header
+    }
+
+    /// Number of queued elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        mem.read(self.header.offset(HDR_SIZE))
+    }
+
+    /// `true` if the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+        Ok(self.len(mem)? == 0)
+    }
+
+    /// Appends `value` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn enqueue<M: TxMem>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
+        let node = mem.alloc(NODE_WORDS)?;
+        mem.write(node.offset(OFF_VALUE), value)?;
+        mem.write_ref(node.offset(OFF_NEXT), None)?;
+        match mem.read_ref(self.header.offset(HDR_TAIL))? {
+            None => {
+                mem.write_ref(self.header.offset(HDR_HEAD), Some(node))?;
+            }
+            Some(tail) => {
+                mem.write_ref(tail.offset(OFF_NEXT), Some(node))?;
+            }
+        }
+        mem.write_ref(self.header.offset(HDR_TAIL), Some(node))?;
+        let size = mem.read(self.header.offset(HDR_SIZE))?;
+        mem.write(self.header.offset(HDR_SIZE), size + 1)?;
+        Ok(())
+    }
+
+    /// Removes and returns the head element, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn dequeue<M: TxMem>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
+        let head = match mem.read_ref(self.header.offset(HDR_HEAD))? {
+            None => return Ok(None),
+            Some(h) => h,
+        };
+        let value = mem.read(head.offset(OFF_VALUE))?;
+        let next = mem.read_ref(head.offset(OFF_NEXT))?;
+        mem.write_ref(self.header.offset(HDR_HEAD), next)?;
+        if next.is_none() {
+            mem.write_ref(self.header.offset(HDR_TAIL), None)?;
+        }
+        let size = mem.read(self.header.offset(HDR_SIZE))?;
+        mem.write(self.header.offset(HDR_SIZE), size - 1)?;
+        Ok(Some(value))
+    }
+
+    /// Returns the head element without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn peek<M: TxMem>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
+        match mem.read_ref(self.header.offset(HDR_HEAD))? {
+            None => Ok(None),
+            Some(head) => Ok(Some(mem.read(head.offset(OFF_VALUE))?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::{DirectMem, TxConfig, TxHeap};
+
+    #[test]
+    fn fifo_order_preserved() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let mut mem = DirectMem::new(&heap);
+        let q = TxQueue::create(&mut mem).unwrap();
+        assert!(q.is_empty(&mut mem).unwrap());
+        assert_eq!(q.dequeue(&mut mem).unwrap(), None);
+        for v in 1..=5u64 {
+            q.enqueue(&mut mem, v).unwrap();
+        }
+        assert_eq!(q.len(&mut mem).unwrap(), 5);
+        assert_eq!(q.peek(&mut mem).unwrap(), Some(1));
+        for v in 1..=5u64 {
+            assert_eq!(q.dequeue(&mut mem).unwrap(), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut mem).unwrap(), None);
+        assert!(q.is_empty(&mut mem).unwrap());
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let mut mem = DirectMem::new(&heap);
+        let q = TxQueue::create(&mut mem).unwrap();
+        q.enqueue(&mut mem, 1).unwrap();
+        q.enqueue(&mut mem, 2).unwrap();
+        assert_eq!(q.dequeue(&mut mem).unwrap(), Some(1));
+        q.enqueue(&mut mem, 3).unwrap();
+        assert_eq!(q.dequeue(&mut mem).unwrap(), Some(2));
+        assert_eq!(q.dequeue(&mut mem).unwrap(), Some(3));
+        assert_eq!(q.peek(&mut mem).unwrap(), None);
+        // Tail pointer must have been reset: new enqueues still work.
+        q.enqueue(&mut mem, 4).unwrap();
+        assert_eq!(q.dequeue(&mut mem).unwrap(), Some(4));
+    }
+}

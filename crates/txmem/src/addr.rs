@@ -1,0 +1,114 @@
+//! Word addresses.
+//!
+//! The substrate exposes memory as an array of 64-bit words. A [`WordAddr`]
+//! is the index of one word in the [`TxHeap`](crate::TxHeap). This mirrors the
+//! word-based design of SwissTM (and hence TLSTM) where every program address
+//! is mapped to a lock-table entry; here a "program address" is a heap word
+//! index, which keeps the implementation free of raw pointers while preserving
+//! the lock-granularity and hashing behaviour of the original systems.
+
+use std::fmt;
+
+/// A "null pointer" value for word-encoded references.
+///
+/// Transactional data structures store references to other heap blocks as
+/// plain words; `NULL_ADDR` is the conventional sentinel for "no reference".
+/// The heap reserves word 0 at construction time and never hands it out, so a
+/// zero-initialised reference field reads back as null.
+pub const NULL_ADDR: u64 = 0;
+
+/// The index of one 64-bit word in the transactional heap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordAddr(pub u64);
+
+impl WordAddr {
+    /// Creates an address from a raw word index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        WordAddr(index)
+    }
+
+    /// Returns the raw word index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `offset` words after `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows.
+    #[inline]
+    pub const fn offset(self, offset: u64) -> Self {
+        WordAddr(self.0 + offset)
+    }
+
+    /// Returns `true` if this address is the conventional null sentinel.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == NULL_ADDR
+    }
+
+    /// The conventional null address.
+    #[inline]
+    pub const fn null() -> Self {
+        WordAddr(NULL_ADDR)
+    }
+}
+
+impl fmt::Debug for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "WordAddr(NULL)")
+        } else {
+            write!(f, "WordAddr({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for WordAddr {
+    fn from(index: u64) -> Self {
+        WordAddr(index)
+    }
+}
+
+impl From<WordAddr> for u64 {
+    fn from(addr: WordAddr) -> Self {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_and_index_round_trip() {
+        let a = WordAddr::new(10);
+        assert_eq!(a.offset(5).index(), 15);
+        assert_eq!(u64::from(a), 10);
+        assert_eq!(WordAddr::from(10u64), a);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(WordAddr::null().is_null());
+        assert!(WordAddr::new(0).is_null());
+        assert!(!WordAddr::new(1).is_null());
+        assert_eq!(format!("{:?}", WordAddr::null()), "WordAddr(NULL)");
+        assert_eq!(format!("{}", WordAddr::new(3)), "WordAddr(3)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(WordAddr::new(1) < WordAddr::new(2));
+        assert_eq!(WordAddr::new(7), WordAddr::new(7));
+    }
+}

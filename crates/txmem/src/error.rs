@@ -1,0 +1,182 @@
+//! Error and abort types shared by the runtimes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reason a transaction or speculative task had to abort.
+///
+/// These map directly onto the conflict classes discussed in §3.2 of the
+/// paper; the statistics collector counts them separately so that the
+/// evaluation harness can report *why* speculation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A read observed a version newer than `valid-ts` and the read-log could
+    /// not be extended (inter-thread read/write conflict).
+    ReadValidation,
+    /// Write/write conflict with a transaction of another user-thread where
+    /// the contention manager decided that *we* abort.
+    InterThreadWriteConflict,
+    /// Intra-thread write-after-read conflict: a past task wrote to a location
+    /// this task had already read speculatively (TLSTM `validate-task`).
+    IntraThreadWar,
+    /// Intra-thread write-after-write conflict: this task raced with another
+    /// task of the same user-thread for a location's write lock.
+    IntraThreadWaw,
+    /// The whole user-transaction was signalled to abort (for example because
+    /// the contention manager aborted it on behalf of another user-thread).
+    TransactionAbortSignal,
+    /// The task was signalled to abort individually (`aborted-internally`).
+    TaskAbortSignal,
+    /// The user's transaction body requested an explicit retry.
+    UserRetry,
+    /// Heap allocation failed inside the transaction.
+    OutOfMemory,
+}
+
+impl AbortReason {
+    /// Short machine-friendly label, used in stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::ReadValidation => "read-validation",
+            AbortReason::InterThreadWriteConflict => "inter-ww",
+            AbortReason::IntraThreadWar => "intra-war",
+            AbortReason::IntraThreadWaw => "intra-waw",
+            AbortReason::TransactionAbortSignal => "tx-abort-signal",
+            AbortReason::TaskAbortSignal => "task-abort-signal",
+            AbortReason::UserRetry => "user-retry",
+            AbortReason::OutOfMemory => "out-of-memory",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Control-flow value returned by transactional operations when the enclosing
+/// transaction or task must roll back and re-execute.
+///
+/// User transaction bodies simply propagate it with `?`; the runtime catches
+/// it, rolls back and re-runs the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// Why the abort happened.
+    pub reason: AbortReason,
+}
+
+impl Abort {
+    /// Creates an abort with the given reason.
+    pub const fn new(reason: AbortReason) -> Self {
+        Abort { reason }
+    }
+
+    /// Abort requested explicitly by user code (`retry`).
+    pub const fn user_retry() -> Self {
+        Abort::new(AbortReason::UserRetry)
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason)
+    }
+}
+
+impl Error for Abort {}
+
+impl From<AbortReason> for Abort {
+    fn from(reason: AbortReason) -> Self {
+        Abort::new(reason)
+    }
+}
+
+/// Non-transactional memory errors (setup/allocation time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The heap ran out of reserved address space.
+    HeapExhausted {
+        /// Words requested by the failing allocation.
+        requested: u64,
+        /// Words still available.
+        available: u64,
+    },
+    /// An allocation of zero words was requested.
+    ZeroSizedAlloc,
+    /// An address outside the allocated heap range was used.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::HeapExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "transactional heap exhausted: requested {requested} words, {available} available"
+            ),
+            MemError::ZeroSizedAlloc => write!(f, "zero-sized allocation requested"),
+            MemError::AddressOutOfRange { addr } => {
+                write!(f, "address {addr} is outside the allocated heap range")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_display_includes_reason() {
+        let a = Abort::new(AbortReason::IntraThreadWar);
+        assert!(a.to_string().contains("intra-war"));
+        let b: Abort = AbortReason::ReadValidation.into();
+        assert_eq!(b.reason, AbortReason::ReadValidation);
+    }
+
+    #[test]
+    fn mem_error_display() {
+        let e = MemError::HeapExhausted {
+            requested: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+        assert!(MemError::ZeroSizedAlloc.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn all_reasons_have_distinct_labels() {
+        use AbortReason::*;
+        let reasons = [
+            ReadValidation,
+            InterThreadWriteConflict,
+            IntraThreadWar,
+            IntraThreadWaw,
+            TransactionAbortSignal,
+            TaskAbortSignal,
+            UserRetry,
+            OutOfMemory,
+        ];
+        let mut labels: Vec<_> = reasons.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), reasons.len());
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<Abort>();
+        assert_err::<MemError>();
+    }
+}

@@ -1,0 +1,283 @@
+//! The transactional word heap.
+//!
+//! [`TxHeap`] is a bump-allocated arena of 64-bit words. Committed state is
+//! stored in `AtomicU64` cells, which gives us the same semantics as the raw
+//! word memory SwissTM operates on without any `unsafe` code: transactional
+//! reads of committed state are acquire atomic loads, commit-time write-back
+//! is a release store, and all speculative values live in logs until commit.
+//!
+//! The heap reserves a fixed amount of *address space* up front (see
+//! [`TxConfig::heap_capacity_words`](crate::TxConfig)) but only materialises
+//! segments of it on demand, so large capacities are cheap. Segments are
+//! published through `OnceLock`, so the hot load/store path is lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::addr::WordAddr;
+use crate::config::TxConfig;
+use crate::error::MemError;
+
+/// A lazily materialised segment of words.
+#[derive(Debug)]
+struct Segment {
+    words: Box<[AtomicU64]>,
+}
+
+impl Segment {
+    fn new(len: u64) -> Self {
+        let mut v = Vec::with_capacity(len as usize);
+        v.resize_with(len as usize, || AtomicU64::new(0));
+        Segment {
+            words: v.into_boxed_slice(),
+        }
+    }
+}
+
+/// Growable arena of 64-bit words holding committed transactional state.
+#[derive(Debug)]
+pub struct TxHeap {
+    segments: Box<[OnceLock<Segment>]>,
+    segment_words: u64,
+    segment_shift: u32,
+    capacity_words: u64,
+    next_free: AtomicU64,
+}
+
+impl TxHeap {
+    /// Builds a heap from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TxConfig::validate`].
+    pub fn new(config: &TxConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid TxConfig passed to TxHeap::new");
+        let segment_words = config.heap_segment_words;
+        let n_segments = config.heap_capacity_words.div_ceil(segment_words);
+        let mut segments = Vec::with_capacity(n_segments as usize);
+        segments.resize_with(n_segments as usize, OnceLock::new);
+        let heap = TxHeap {
+            segments: segments.into_boxed_slice(),
+            segment_words,
+            segment_shift: segment_words.trailing_zeros(),
+            capacity_words: config.heap_capacity_words,
+            // Word 0 is reserved so that address 0 can serve as the null
+            // reference (see `NULL_ADDR`); zero-initialised reference fields
+            // then read back as null.
+            next_free: AtomicU64::new(1),
+        };
+        heap.segments[0].get_or_init(|| Segment::new(heap.segment_words));
+        heap
+    }
+
+    /// Total words of address space this heap can serve.
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity_words
+    }
+
+    /// Words handed out so far (including the reserved null word 0).
+    pub fn words_allocated(&self) -> u64 {
+        self.next_free
+            .load(Ordering::Relaxed)
+            .min(self.capacity_words)
+    }
+
+    /// Allocates a block of `words` consecutive words and returns the address
+    /// of its first word. The block is zero-initialised.
+    ///
+    /// Allocation is a wait-free atomic bump; blocks are never reclaimed
+    /// (transactional `free` is a no-op in this reproduction, as it is in most
+    /// word-based STM research prototypes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ZeroSizedAlloc`] for `words == 0` and
+    /// [`MemError::HeapExhausted`] when the reserved address space runs out.
+    pub fn alloc(&self, words: u64) -> Result<WordAddr, MemError> {
+        if words == 0 {
+            return Err(MemError::ZeroSizedAlloc);
+        }
+        let start = self.next_free.fetch_add(words, Ordering::Relaxed);
+        let end = start.checked_add(words).ok_or(MemError::HeapExhausted {
+            requested: words,
+            available: 0,
+        })?;
+        if end > self.capacity_words {
+            return Err(MemError::HeapExhausted {
+                requested: words,
+                available: self.capacity_words.saturating_sub(start),
+            });
+        }
+        // Materialise every segment the block spans so later loads/stores
+        // find them without synchronisation.
+        let first_seg = start >> self.segment_shift;
+        let last_seg = (end - 1) >> self.segment_shift;
+        for seg in first_seg..=last_seg {
+            self.segments[seg as usize].get_or_init(|| Segment::new(self.segment_words));
+        }
+        Ok(WordAddr::new(start))
+    }
+
+    #[inline]
+    fn word(&self, addr: WordAddr) -> &AtomicU64 {
+        let idx = addr.index();
+        assert!(
+            idx < self.next_free.load(Ordering::Relaxed) && idx < self.capacity_words,
+            "address {idx} is outside the allocated heap range"
+        );
+        let seg = (idx >> self.segment_shift) as usize;
+        let off = (idx & (self.segment_words - 1)) as usize;
+        let segment = self.segments[seg]
+            .get()
+            .expect("allocated address must have a materialised segment");
+        &segment.words[off]
+    }
+
+    /// Loads the committed value of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never allocated.
+    #[inline]
+    pub fn load_committed(&self, addr: WordAddr) -> u64 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Stores a committed value of a word (used at commit time and for
+    /// non-transactional initialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never allocated.
+    #[inline]
+    pub fn store_committed(&self, addr: WordAddr, value: u64) {
+        self.word(addr).store(value, Ordering::Release);
+    }
+
+    /// Returns `true` if `addr` falls inside the allocated range.
+    pub fn contains(&self, addr: WordAddr) -> bool {
+        addr.index() < self.words_allocated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn small_heap() -> TxHeap {
+        TxHeap::new(&TxConfig::small())
+    }
+
+    #[test]
+    fn alloc_and_rw_round_trip() {
+        let heap = small_heap();
+        let a = heap.alloc(4).unwrap();
+        for i in 0..4 {
+            heap.store_committed(a.offset(i), i * 10);
+        }
+        for i in 0..4 {
+            assert_eq!(heap.load_committed(a.offset(i)), i * 10);
+        }
+    }
+
+    #[test]
+    fn fresh_allocations_are_zeroed() {
+        let heap = small_heap();
+        let a = heap.alloc(16).unwrap();
+        for i in 0..16 {
+            assert_eq!(heap.load_committed(a.offset(i)), 0);
+        }
+    }
+
+    #[test]
+    fn zero_sized_alloc_rejected() {
+        let heap = small_heap();
+        assert_eq!(heap.alloc(0), Err(MemError::ZeroSizedAlloc));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut cfg = TxConfig::small();
+        cfg.heap_capacity_words = 128;
+        cfg.heap_segment_words = 64;
+        let heap = TxHeap::new(&cfg);
+        assert!(heap.alloc(100).is_ok());
+        let err = heap.alloc(100).unwrap_err();
+        assert!(matches!(err, MemError::HeapExhausted { .. }));
+    }
+
+    #[test]
+    fn word_zero_is_reserved_for_null() {
+        let heap = small_heap();
+        let a = heap.alloc(1).unwrap();
+        assert!(a.index() >= 1, "allocations must never return the null word");
+        assert_eq!(heap.words_allocated(), a.index() + 1);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let heap = small_heap();
+        let a = heap.alloc(10).unwrap();
+        let b = heap.alloc(10).unwrap();
+        assert!(b.index() >= a.index() + 10);
+    }
+
+    #[test]
+    fn blocks_spanning_segments_work() {
+        let mut cfg = TxConfig::small();
+        cfg.heap_segment_words = 8;
+        cfg.heap_capacity_words = 64;
+        let heap = TxHeap::new(&cfg);
+        let a = heap.alloc(20).unwrap();
+        for i in 0..20 {
+            heap.store_committed(a.offset(i), 1000 + i);
+        }
+        for i in 0..20 {
+            assert_eq!(heap.load_committed(a.offset(i)), 1000 + i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the allocated heap range")]
+    fn unallocated_access_panics() {
+        let heap = small_heap();
+        let _ = heap.load_committed(WordAddr::new(5));
+    }
+
+    #[test]
+    fn concurrent_alloc_yields_disjoint_blocks() {
+        let heap = Arc::new(small_heap());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let heap = Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                let mut blocks = Vec::new();
+                for _ in 0..100 {
+                    blocks.push(heap.alloc(3).unwrap().index());
+                }
+                blocks
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for pair in all.windows(2) {
+            assert!(pair[1] - pair[0] >= 3, "blocks overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn contains_tracks_allocation() {
+        let heap = small_heap();
+        assert!(!heap.contains(WordAddr::new(1)));
+        let a = heap.alloc(2).unwrap();
+        assert!(heap.contains(a));
+        assert!(heap.contains(a.offset(1)));
+        assert!(!heap.contains(a.offset(2)));
+    }
+}

@@ -1,0 +1,128 @@
+//! # txmem — word-based transactional memory substrate
+//!
+//! This crate provides the shared substrate used by both the [`SwissTM`
+//! baseline](https://dl.acm.org/doi/10.1145/1542476.1542494) reimplementation
+//! (`swisstm` crate) and the TLSTM unified STM+TLS runtime (`tlstm` crate)
+//! from *"Unifying Thread-Level Speculation and Transactional Memory"*
+//! (Barreto et al., Middleware 2012).
+//!
+//! The substrate consists of:
+//!
+//! * [`TxHeap`] — a growable arena of 64-bit words ([`WordAddr`] addressed).
+//!   Committed state is stored in plain atomics, so no `unsafe` is required
+//!   for speculative execution: speculative values live in per-task logs and
+//!   in per-lock write chains until commit.
+//! * [`LockTable`] — the global table mapping every word address to an
+//!   (r-lock, w-lock) pair, exactly as SwissTM does. The r-lock holds either a
+//!   commit timestamp or a `LOCKED` sentinel; the w-lock holds the owner of
+//!   the location plus a chain of speculative write entries
+//!   ([`WriteChain`]) used by TLSTM tasks of the owning user-thread.
+//! * [`GlobalClock`] — the global commit counter (`commit-ts` in the paper).
+//! * [`TxMem`] — the uniform access trait implemented by both runtimes'
+//!   transaction/task handles, so that transactional data structures
+//!   (`txcollections`) and benchmarks (`tlstm-workloads`) are written once and
+//!   run unchanged on either runtime.
+//! * [`StatsCollector`] — cheap atomic counters for commits, aborts and
+//!   conflict classes, used by the evaluation harness and by tests.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use txmem::{TxHeap, LockTable, GlobalClock, TxConfig};
+//!
+//! let config = TxConfig::default();
+//! let heap = TxHeap::new(&config);
+//! let locks = LockTable::new(&config);
+//! let clock = GlobalClock::new();
+//!
+//! // Allocate three words of committed state and initialise them directly
+//! // (outside of any transaction).
+//! let block = heap.alloc(3).unwrap();
+//! heap.store_committed(block, 42);
+//! assert_eq!(heap.load_committed(block), 42);
+//! assert_eq!(clock.now(), 0);
+//! let _ = locks.entry_for(block);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod chain;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod heap;
+pub mod lock_table;
+pub mod owner;
+pub mod stats;
+pub mod traits;
+
+pub use addr::{WordAddr, NULL_ADDR};
+pub use chain::{SpecEntry, WriteChain};
+pub use clock::{GlobalClock, ThreadIdAllocator};
+pub use config::TxConfig;
+pub use error::{Abort, AbortReason, MemError};
+pub use heap::TxHeap;
+pub use lock_table::{LockEntry, LockIndex, LockTable, LOCKED};
+pub use owner::{CmDecision, LockOwner, OwnerToken};
+pub use stats::{StatsCollector, StatsSnapshot};
+pub use owner::OwnerHandle;
+pub use traits::{DirectMem, TxMem};
+
+/// Shared, immutable bundle of the global structures a runtime needs.
+///
+/// Both the SwissTM and the TLSTM runtime are built around one [`TxSubstrate`]
+/// instance; benchmarks that compare the two runtimes on the *same* data
+/// simply hand the same substrate to both.
+#[derive(Debug)]
+pub struct TxSubstrate {
+    /// The word heap holding committed state.
+    pub heap: TxHeap,
+    /// The global lock table.
+    pub locks: LockTable,
+    /// The global commit timestamp (`commit-ts`).
+    pub clock: GlobalClock,
+    /// Global statistics counters.
+    pub stats: StatsCollector,
+    /// Configuration used to build the substrate.
+    pub config: TxConfig,
+}
+
+impl TxSubstrate {
+    /// Builds a substrate from a configuration.
+    pub fn new(config: TxConfig) -> Self {
+        Self {
+            heap: TxHeap::new(&config),
+            locks: LockTable::new(&config),
+            clock: GlobalClock::new(),
+            stats: StatsCollector::new(),
+            config,
+        }
+    }
+}
+
+impl Default for TxSubstrate {
+    fn default() -> Self {
+        Self::new(TxConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_default_builds() {
+        let s = TxSubstrate::default();
+        assert_eq!(s.clock.now(), 0);
+        // Only the reserved null word is allocated on a fresh heap.
+        assert_eq!(s.heap.words_allocated(), 1);
+    }
+
+    #[test]
+    fn substrate_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TxSubstrate>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Lock-owner abstraction used by the contention managers.
+//!
+//! When a transaction (SwissTM) or a user-thread's set of tasks (TLSTM) holds
+//! a location's write lock, other threads that want the lock must consult the
+//! contention manager. The contention manager needs to (a) inspect the owner's
+//! progress/priority and (b) possibly signal it to abort. Both runtimes expose
+//! that capability through the [`LockOwner`] trait so that the lock table can
+//! store the owner uniformly.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A compact token identifying which user-thread (TLSTM) or transaction
+/// descriptor (SwissTM) owns a write lock.
+///
+/// `0` is reserved for "unlocked"; tokens handed to the lock table are always
+/// `id + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OwnerToken(u64);
+
+impl OwnerToken {
+    /// Token meaning "nobody owns the lock".
+    pub const UNLOCKED: OwnerToken = OwnerToken(0);
+
+    /// Builds a token from a thread / transaction id.
+    #[inline]
+    pub fn from_id(id: u32) -> Self {
+        OwnerToken(u64::from(id) + 1)
+    }
+
+    /// Recovers the id, or `None` for the unlocked token.
+    #[inline]
+    pub fn id(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some((self.0 - 1) as u32)
+        }
+    }
+
+    /// Raw packed representation (for storing in an atomic).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a token from its raw representation.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        OwnerToken(raw)
+    }
+
+    /// `true` if this is the unlocked token.
+    #[inline]
+    pub fn is_unlocked(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for OwnerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.id() {
+            None => write!(f, "unlocked"),
+            Some(id) => write!(f, "owner#{id}"),
+        }
+    }
+}
+
+/// Decision returned by a contention manager when two owners conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmDecision {
+    /// The requester must abort (roll back its transaction / task).
+    AbortSelf,
+    /// The current owner was signalled to abort; the requester should wait for
+    /// the lock to be released and then retry the acquisition.
+    AbortOwner,
+    /// Neither side aborts; the requester should simply wait and retry
+    /// (used while the owner is already in the process of aborting).
+    Wait,
+}
+
+/// Interface the lock table exposes to contention managers for the current
+/// owner of a write lock.
+///
+/// Implemented by the SwissTM transaction descriptor and by the TLSTM
+/// user-transaction descriptor.
+pub trait LockOwner: Send + Sync + fmt::Debug {
+    /// Signals the owner that its user-transaction must abort.
+    fn signal_abort(&self);
+
+    /// `true` once the owner has observed (or completed) an abort request, or
+    /// has already committed; in either case the lock will be released soon
+    /// and waiting is the right strategy.
+    fn is_finishing(&self) -> bool;
+
+    /// Progress measure used by the task-aware TLSTM contention manager:
+    /// number of tasks of the owner's user-transaction that have already
+    /// completed (always `0` for plain SwissTM transactions).
+    fn completed_progress(&self) -> u64;
+
+    /// Greedy-contention-manager priority: smaller value = older = stronger.
+    /// Two-phase greedy assigns `u64::MAX` until the transaction aborts for
+    /// the first time and acquires a real ticket.
+    fn cm_priority(&self) -> u64;
+
+    /// Identifier of the owning user-thread, for assertions and tracing.
+    fn owner_id(&self) -> u32;
+}
+
+/// Reference-counted owner handle stored in the lock table.
+pub type OwnerHandle = Arc<dyn LockOwner>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        let t = OwnerToken::from_id(7);
+        assert_eq!(t.id(), Some(7));
+        assert!(!t.is_unlocked());
+        assert_eq!(OwnerToken::from_raw(t.raw()), t);
+        assert_eq!(OwnerToken::UNLOCKED.id(), None);
+        assert!(OwnerToken::UNLOCKED.is_unlocked());
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(OwnerToken::from_id(3).to_string(), "owner#3");
+        assert_eq!(OwnerToken::UNLOCKED.to_string(), "unlocked");
+    }
+
+    #[test]
+    fn tokens_for_distinct_ids_differ() {
+        assert_ne!(OwnerToken::from_id(0), OwnerToken::UNLOCKED);
+        assert_ne!(OwnerToken::from_id(0), OwnerToken::from_id(1));
+    }
+}

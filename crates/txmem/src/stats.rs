@@ -1,0 +1,294 @@
+//! Runtime statistics.
+//!
+//! Both runtimes update a shared [`StatsCollector`]; the evaluation harness
+//! and the tests read consistent snapshots through [`StatsCollector::snapshot`].
+//! Counters are deliberately coarse (relaxed atomics) — they are diagnostics,
+//! not part of the synchronisation protocol.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::AbortReason;
+
+macro_rules! counters {
+    ($(#[$collector_meta:meta])* collector $collector:ident;
+     $(#[$snapshot_meta:meta])* snapshot $snapshot:ident;
+     fields { $($(#[$field_meta:meta])* $field:ident),+ $(,)? }) => {
+        $(#[$collector_meta])*
+        #[derive(Debug, Default)]
+        pub struct $collector {
+            $($(#[$field_meta])* pub $field: AtomicU64,)+
+        }
+
+        $(#[$snapshot_meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $snapshot {
+            $($(#[$field_meta])* pub $field: u64,)+
+        }
+
+        impl $collector {
+            /// Creates a collector with all counters at zero.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Takes a snapshot of all counters.
+            pub fn snapshot(&self) -> $snapshot {
+                $snapshot {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Resets every counter to zero.
+            pub fn reset(&self) {
+                $(self.$field.store(0, Ordering::Relaxed);)+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Atomic counters describing runtime activity.
+    collector StatsCollector;
+    /// A point-in-time copy of [`StatsCollector`].
+    snapshot StatsSnapshot;
+    fields {
+        /// User-transactions started (first attempt only).
+        tx_starts,
+        /// User-transactions committed.
+        tx_commits,
+        /// User-transaction aborts (whole-transaction rollbacks).
+        tx_aborts,
+        /// Speculative tasks started (first attempt only).
+        task_starts,
+        /// Speculative tasks committed (reached retirement).
+        task_commits,
+        /// Individual task rollbacks (task restarted without aborting the
+        /// whole user-transaction).
+        task_aborts,
+        /// Transactional read operations.
+        reads,
+        /// Transactional write operations.
+        writes,
+        /// Aborts caused by failed read validation (inter-thread R/W).
+        aborts_read_validation,
+        /// Aborts caused by inter-thread write/write conflicts.
+        aborts_inter_ww,
+        /// Aborts caused by intra-thread write-after-read conflicts.
+        aborts_intra_war,
+        /// Aborts caused by intra-thread write-after-write conflicts.
+        aborts_intra_waw,
+        /// Aborts caused by an external abort-transaction signal.
+        aborts_tx_signal,
+        /// Aborts caused by an internal (single-task) abort signal.
+        aborts_task_signal,
+        /// Aborts requested explicitly by user code.
+        aborts_user_retry,
+        /// Aborts caused by allocation failure.
+        aborts_oom,
+        /// Successful read-log extensions (`extend`).
+        extensions,
+        /// Full task/transaction validations executed.
+        validations,
+        /// Times a reader had to wait for a past writer task to complete.
+        reader_waits,
+        /// Times the contention manager aborted the lock owner.
+        cm_owner_aborts,
+        /// Times the contention manager aborted the requester.
+        cm_self_aborts,
+    }
+}
+
+impl StatsCollector {
+    /// Bumps a counter by one.
+    #[inline]
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an abort with the given reason against the per-reason counters.
+    /// The caller is responsible for also bumping `tx_aborts`/`task_aborts` as
+    /// appropriate.
+    pub fn record_abort_reason(&self, reason: AbortReason) {
+        let counter = match reason {
+            AbortReason::ReadValidation => &self.aborts_read_validation,
+            AbortReason::InterThreadWriteConflict => &self.aborts_inter_ww,
+            AbortReason::IntraThreadWar => &self.aborts_intra_war,
+            AbortReason::IntraThreadWaw => &self.aborts_intra_waw,
+            AbortReason::TransactionAbortSignal => &self.aborts_tx_signal,
+            AbortReason::TaskAbortSignal => &self.aborts_task_signal,
+            AbortReason::UserRetry => &self.aborts_user_retry,
+            AbortReason::OutOfMemory => &self.aborts_oom,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Total aborts of any kind (transaction + individual task aborts).
+    pub fn total_aborts(&self) -> u64 {
+        self.tx_aborts + self.task_aborts
+    }
+
+    /// Commit rate: committed transactions over attempted commits.
+    /// Returns 1.0 when nothing was attempted.
+    pub fn commit_ratio(&self) -> f64 {
+        let attempts = self.tx_commits + self.tx_aborts;
+        if attempts == 0 {
+            1.0
+        } else {
+            self.tx_commits as f64 / attempts as f64
+        }
+    }
+
+    /// Difference between two snapshots (`self - earlier`), saturating at 0.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tx_starts: self.tx_starts.saturating_sub(earlier.tx_starts),
+            tx_commits: self.tx_commits.saturating_sub(earlier.tx_commits),
+            tx_aborts: self.tx_aborts.saturating_sub(earlier.tx_aborts),
+            task_starts: self.task_starts.saturating_sub(earlier.task_starts),
+            task_commits: self.task_commits.saturating_sub(earlier.task_commits),
+            task_aborts: self.task_aborts.saturating_sub(earlier.task_aborts),
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            aborts_read_validation: self
+                .aborts_read_validation
+                .saturating_sub(earlier.aborts_read_validation),
+            aborts_inter_ww: self.aborts_inter_ww.saturating_sub(earlier.aborts_inter_ww),
+            aborts_intra_war: self
+                .aborts_intra_war
+                .saturating_sub(earlier.aborts_intra_war),
+            aborts_intra_waw: self
+                .aborts_intra_waw
+                .saturating_sub(earlier.aborts_intra_waw),
+            aborts_tx_signal: self
+                .aborts_tx_signal
+                .saturating_sub(earlier.aborts_tx_signal),
+            aborts_task_signal: self
+                .aborts_task_signal
+                .saturating_sub(earlier.aborts_task_signal),
+            aborts_user_retry: self
+                .aborts_user_retry
+                .saturating_sub(earlier.aborts_user_retry),
+            aborts_oom: self.aborts_oom.saturating_sub(earlier.aborts_oom),
+            extensions: self.extensions.saturating_sub(earlier.extensions),
+            validations: self.validations.saturating_sub(earlier.validations),
+            reader_waits: self.reader_waits.saturating_sub(earlier.reader_waits),
+            cm_owner_aborts: self.cm_owner_aborts.saturating_sub(earlier.cm_owner_aborts),
+            cm_self_aborts: self.cm_self_aborts.saturating_sub(earlier.cm_self_aborts),
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tx: {} started, {} committed, {} aborted ({:.1}% commit ratio)",
+            self.tx_starts,
+            self.tx_commits,
+            self.tx_aborts,
+            self.commit_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "tasks: {} started, {} committed, {} aborted",
+            self.task_starts, self.task_commits, self.task_aborts
+        )?;
+        writeln!(f, "ops: {} reads, {} writes", self.reads, self.writes)?;
+        writeln!(
+            f,
+            "aborts by cause: validation={} inter-ww={} intra-war={} intra-waw={} tx-signal={} task-signal={} retry={} oom={}",
+            self.aborts_read_validation,
+            self.aborts_inter_ww,
+            self.aborts_intra_war,
+            self.aborts_intra_waw,
+            self.aborts_tx_signal,
+            self.aborts_task_signal,
+            self.aborts_user_retry,
+            self.aborts_oom
+        )?;
+        write!(
+            f,
+            "misc: extensions={} validations={} reader-waits={} cm-owner-aborts={} cm-self-aborts={}",
+            self.extensions,
+            self.validations,
+            self.reader_waits,
+            self.cm_owner_aborts,
+            self.cm_self_aborts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = StatsCollector::new();
+        s.bump(&s.tx_commits);
+        s.bump(&s.tx_commits);
+        s.bump(&s.reads);
+        let snap = s.snapshot();
+        assert_eq!(snap.tx_commits, 2);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 0);
+    }
+
+    #[test]
+    fn abort_reasons_map_to_counters() {
+        let s = StatsCollector::new();
+        s.record_abort_reason(AbortReason::IntraThreadWar);
+        s.record_abort_reason(AbortReason::IntraThreadWar);
+        s.record_abort_reason(AbortReason::ReadValidation);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts_intra_war, 2);
+        assert_eq!(snap.aborts_read_validation, 1);
+        assert_eq!(snap.aborts_intra_waw, 0);
+    }
+
+    #[test]
+    fn commit_ratio_handles_zero() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.commit_ratio(), 1.0);
+        let snap = StatsSnapshot {
+            tx_commits: 3,
+            tx_aborts: 1,
+            ..Default::default()
+        };
+        assert!((snap.commit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let s = StatsCollector::new();
+        s.bump(&s.reads);
+        let early = s.snapshot();
+        s.bump(&s.reads);
+        s.bump(&s.writes);
+        let late = s.snapshot();
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.writes, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = StatsCollector::new();
+        s.bump(&s.tx_aborts);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_commits() {
+        let snap = StatsSnapshot {
+            tx_commits: 5,
+            ..Default::default()
+        };
+        let text = snap.to_string();
+        assert!(text.contains("5 committed"));
+    }
+}

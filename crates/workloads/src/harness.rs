@@ -1,0 +1,244 @@
+//! Throughput measurement harness.
+//!
+//! The paper reports throughput (operations per second / per millisecond) of
+//! fixed-duration multi-threaded runs, averaged over repetitions. The harness
+//! here does the same: it runs one driver closure per user-thread until a stop
+//! flag is raised, counts committed operations, and aggregates.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default measured duration of one data point.
+pub const DEFAULT_DURATION: Duration = Duration::from_millis(300);
+
+/// Common knobs of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// How long each data point is measured for.
+    pub duration: Duration,
+    /// Number of repetitions to average (the paper averages three runs).
+    pub repetitions: u32,
+    /// Seed for the deterministic workload generators.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            duration: DEFAULT_DURATION,
+            repetitions: 1,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A configuration suitable for unit tests (very short runs).
+    pub fn quick() -> Self {
+        WorkloadConfig {
+            duration: Duration::from_millis(60),
+            repetitions: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Committed operations (benchmark-defined unit, e.g. lookups or client
+    /// operations).
+    pub ops: u64,
+    /// Wall-clock duration of the measurement.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Operations per millisecond (the unit of Figure 1b).
+    pub fn ops_per_ms(&self) -> f64 {
+        self.ops_per_sec() / 1_000.0
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops in {:.0} ms ({:.0} ops/s)",
+            self.ops,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.ops_per_sec()
+        )
+    }
+}
+
+/// Runs `driver` on `n_threads` OS threads for `duration` and returns the
+/// aggregated throughput.
+///
+/// Each driver receives its thread index, a stop flag to poll between
+/// operations and a counter to add committed operations to.
+pub fn run_threads<F>(n_threads: usize, duration: Duration, driver: F) -> Throughput
+where
+    F: Fn(usize, &AtomicBool, &AtomicU64) + Send + Sync,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let driver = &driver;
+        for thread_index in 0..n_threads {
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            scope.spawn(move || {
+                driver(thread_index, &stop, &ops);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    Throughput {
+        ops: ops.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Averages the throughput of `repetitions` runs produced by `make_run`.
+pub fn average_runs(repetitions: u32, mut make_run: impl FnMut(u32) -> Throughput) -> Throughput {
+    let repetitions = repetitions.max(1);
+    let mut total_ops = 0u64;
+    let mut total_time = Duration::ZERO;
+    for rep in 0..repetitions {
+        let t = make_run(rep);
+        total_ops += t.ops;
+        total_time += t.elapsed;
+    }
+    Throughput {
+        ops: total_ops / u64::from(repetitions),
+        elapsed: total_time / repetitions,
+    }
+}
+
+/// A small, fast, deterministic PRNG (xorshift*), used by the workload
+/// generators so that runs are reproducible and re-executed tasks see the
+/// same operation stream.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a non-zero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn percent(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let t = Throughput {
+            ops: 1000,
+            elapsed: Duration::from_millis(500),
+        };
+        assert!((t.ops_per_sec() - 2000.0).abs() < 1.0);
+        assert!((t.ops_per_ms() - 2.0).abs() < 0.01);
+        assert!(t.to_string().contains("1000 ops"));
+        let zero = Throughput {
+            ops: 10,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(zero.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn run_threads_counts_all_threads() {
+        let t = run_threads(4, Duration::from_millis(50), |_idx, stop, ops| {
+            while !stop.load(Ordering::Relaxed) {
+                ops.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+        });
+        assert!(t.ops > 4, "all threads should contribute");
+        assert!(t.elapsed >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn average_runs_divides_by_repetitions() {
+        let mut calls = 0;
+        let avg = average_runs(3, |_| {
+            calls += 1;
+            Throughput {
+                ops: 300,
+                elapsed: Duration::from_millis(30),
+            }
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(avg.ops, 300);
+        assert_eq!(avg.elapsed, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_and_bounded() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = DetRng::new(7);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+            let _ = r.percent(30);
+        }
+        // Seed zero must not get stuck at zero.
+        let mut z = DetRng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

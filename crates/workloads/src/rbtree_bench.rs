@@ -1,0 +1,311 @@
+//! The modified red-black-tree micro-benchmark (Figure 1a).
+//!
+//! One user-thread repeatedly runs a transaction that performs `N` read-only
+//! lookups on a shared red-black tree. Under SwissTM the transaction is
+//! executed as-is; under TLSTM it is split into `k` tasks of `N / k` lookups
+//! each. The paper reports the speed-up of TLSTM-2 and TLSTM-4 over SwissTM
+//! for `N ∈ {2, 4, 8, 16, 32, 64}`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swisstm::SwisstmRuntime;
+use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
+use txcollections::TxRbTree;
+use txmem::{Abort, TxConfig, TxMem};
+
+use crate::harness::{average_runs, run_threads, DetRng, Throughput, WorkloadConfig};
+
+/// Parameters of the red-black-tree micro-benchmark.
+#[derive(Debug, Clone)]
+pub struct RbTreeBenchParams {
+    /// Number of keys pre-loaded into the tree.
+    pub initial_keys: u64,
+    /// Key space the lookups draw from (twice `initial_keys` gives ~50% hit
+    /// rate, as in the classic micro-benchmark).
+    pub key_space: u64,
+    /// Lookups per transaction (`N`, the x-axis of Figure 1a).
+    pub ops_per_txn: u64,
+    /// Tasks the transaction is split into (1 = plain SwissTM behaviour).
+    pub tasks_per_txn: usize,
+    /// Number of user-threads (Figure 1a uses one).
+    pub threads: usize,
+}
+
+impl Default for RbTreeBenchParams {
+    fn default() -> Self {
+        RbTreeBenchParams {
+            initial_keys: 4096,
+            key_space: 8192,
+            ops_per_txn: 16,
+            tasks_per_txn: 2,
+            threads: 1,
+        }
+    }
+}
+
+impl RbTreeBenchParams {
+    fn substrate_config(&self) -> TxConfig {
+        let mut cfg = TxConfig::default();
+        cfg.spec_depth = self.tasks_per_txn.max(1);
+        cfg
+    }
+}
+
+/// Pre-loads a tree with `initial_keys` evenly spread keys.
+fn populate<M: TxMem>(mem: &mut M, params: &RbTreeBenchParams) -> Result<TxRbTree, Abort> {
+    let tree = TxRbTree::create(mem)?;
+    let stride = (params.key_space / params.initial_keys).max(1);
+    for i in 0..params.initial_keys {
+        tree.insert(mem, i * stride, i)?;
+    }
+    Ok(tree)
+}
+
+/// The per-transaction lookup batch, written once against `TxMem` so the same
+/// code runs on both runtimes.
+fn lookup_batch<M: TxMem>(mem: &mut M, tree: TxRbTree, keys: &[u64]) -> Result<(), Abort> {
+    for &key in keys {
+        let _ = tree.get(mem, key)?;
+    }
+    Ok(())
+}
+
+/// Generates the keys of one transaction.
+fn txn_keys(rng: &mut DetRng, params: &RbTreeBenchParams) -> Vec<u64> {
+    (0..params.ops_per_txn)
+        .map(|_| rng.below(params.key_space))
+        .collect()
+}
+
+/// Measures the benchmark on the SwissTM baseline.
+pub fn run_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
+    average_runs(config.repetitions, |rep| {
+        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
+            let mut thread = runtime.register_thread();
+            let mut rng = DetRng::new(
+                config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32),
+            );
+            while !stop.load(Ordering::Relaxed) {
+                let keys = txn_keys(&mut rng, params);
+                thread.atomic(|tx| lookup_batch(tx, tree, &keys));
+                ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
+            }
+        })
+    })
+}
+
+/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction.
+pub fn run_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
+    average_runs(config.repetitions, |rep| {
+        let runtime = TlstmRuntime::new(params.substrate_config());
+        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
+            let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+            let mut rng = DetRng::new(
+                config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32),
+            );
+            while !stop.load(Ordering::Relaxed) {
+                let keys = Arc::new(txn_keys(&mut rng, params));
+                let spec = split_into_tasks(tree, &keys, params.tasks_per_txn);
+                uthread.execute(vec![spec]);
+                ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
+            }
+        })
+    })
+}
+
+/// Splits the transaction's lookups into `tasks` equally sized tasks.
+fn split_into_tasks(tree: TxRbTree, keys: &Arc<Vec<u64>>, tasks: usize) -> TxnSpec {
+    let tasks = tasks.max(1);
+    let chunk = keys.len().div_ceil(tasks).max(1);
+    let mut bodies = Vec::with_capacity(tasks);
+    for t in 0..tasks {
+        let keys = Arc::clone(keys);
+        let lo = (t * chunk).min(keys.len());
+        let hi = ((t + 1) * chunk).min(keys.len());
+        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+            lookup_batch(ctx, tree, &keys[lo..hi])
+        }));
+    }
+    TxnSpec::new(bodies)
+}
+
+/// One row of the Figure 1a series: lookups per transaction and the measured
+/// speed-up of TLSTM over SwissTM.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1aPoint {
+    /// Lookups per transaction (`N`).
+    pub ops_per_txn: u64,
+    /// SwissTM throughput (lookups per second).
+    pub swisstm_ops_per_sec: f64,
+    /// TLSTM throughput (lookups per second).
+    pub tlstm_ops_per_sec: f64,
+}
+
+impl Fig1aPoint {
+    /// TLSTM speed-up over SwissTM.
+    pub fn speedup(&self) -> f64 {
+        if self.swisstm_ops_per_sec == 0.0 {
+            0.0
+        } else {
+            self.tlstm_ops_per_sec / self.swisstm_ops_per_sec
+        }
+    }
+}
+
+/// Regenerates one Figure 1a series (one TLSTM task count across the
+/// transaction sizes).
+pub fn fig1a_series(
+    ops_per_txn_values: &[u64],
+    tasks_per_txn: usize,
+    config: &WorkloadConfig,
+) -> Vec<Fig1aPoint> {
+    ops_per_txn_values
+        .iter()
+        .map(|&ops_per_txn| {
+            let params = RbTreeBenchParams {
+                ops_per_txn,
+                tasks_per_txn,
+                ..Default::default()
+            };
+            let swisstm = run_swisstm(
+                &RbTreeBenchParams {
+                    tasks_per_txn: 1,
+                    ..params.clone()
+                },
+                config,
+            );
+            let tlstm = run_tlstm(&params, config);
+            Fig1aPoint {
+                ops_per_txn,
+                swisstm_ops_per_sec: swisstm.ops_per_sec(),
+                tlstm_ops_per_sec: tlstm.ops_per_sec(),
+            }
+        })
+        .collect()
+}
+
+/// Quick correctness cross-check used by tests: the same lookup stream returns
+/// the same hit count on both runtimes.
+pub fn crosscheck_hit_counts(params: &RbTreeBenchParams, txns: u64, seed: u64) -> (u64, u64) {
+    // SwissTM side.
+    let sw_hits = {
+        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        let mut thread = runtime.register_thread();
+        let mut rng = DetRng::new(seed);
+        let mut hits = 0u64;
+        for _ in 0..txns {
+            let keys = txn_keys(&mut rng, params);
+            hits += thread.atomic(|tx| {
+                let mut h = 0u64;
+                for &k in &keys {
+                    if tree.get(tx, k)?.is_some() {
+                        h += 1;
+                    }
+                }
+                Ok(h)
+            });
+        }
+        hits
+    };
+    // TLSTM side: each task writes its hit count into a per-task result slot;
+    // the slot is *stored* (not added to) so re-executed attempts cannot
+    // over-count, and the driver sums the slots only after the transaction
+    // has committed.
+    let tl_hits = {
+        let runtime = TlstmRuntime::new(params.substrate_config());
+        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+        let mut rng = DetRng::new(seed);
+        let mut total = 0u64;
+        for _ in 0..txns {
+            let keys = Arc::new(txn_keys(&mut rng, params));
+            let tasks = params.tasks_per_txn.max(1);
+            let chunk = keys.len().div_ceil(tasks).max(1);
+            let mut bodies = Vec::new();
+            let mut slots = Vec::new();
+            for t in 0..tasks {
+                let keys = Arc::clone(&keys);
+                let lo = (t * chunk).min(keys.len());
+                let hi = ((t + 1) * chunk).min(keys.len());
+                let slot = Arc::new(AtomicU64::new(0));
+                slots.push(Arc::clone(&slot));
+                bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+                    let mut h = 0u64;
+                    for &k in &keys[lo..hi] {
+                        if tree.get(ctx, k)?.is_some() {
+                            h += 1;
+                        }
+                    }
+                    slot.store(h, Ordering::Relaxed);
+                    Ok(())
+                }));
+            }
+            uthread.execute(vec![TxnSpec::new(bodies)]);
+            total += slots.iter().map(|s| s.load(Ordering::Relaxed)).sum::<u64>();
+        }
+        total
+    };
+    (sw_hits, tl_hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RbTreeBenchParams {
+        RbTreeBenchParams {
+            initial_keys: 128,
+            key_space: 256,
+            ops_per_txn: 8,
+            tasks_per_txn: 2,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn both_runtimes_make_progress() {
+        let config = WorkloadConfig::quick();
+        let params = tiny();
+        let sw = run_swisstm(&params, &config);
+        let tl = run_tlstm(&params, &config);
+        assert!(sw.ops > 0, "SwissTM made no progress");
+        assert!(tl.ops > 0, "TLSTM made no progress");
+    }
+
+    #[test]
+    fn identical_streams_return_identical_hit_counts() {
+        let params = tiny();
+        let (sw, tl) = crosscheck_hit_counts(&params, 20, 99);
+        assert_eq!(sw, tl);
+        assert!(sw > 0, "the stream should hit at least once");
+    }
+
+    #[test]
+    fn fig1a_series_has_one_point_per_requested_size() {
+        let config = WorkloadConfig::quick();
+        let points = fig1a_series(&[2, 8], 2, &config);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.swisstm_ops_per_sec > 0.0);
+            assert!(p.tlstm_ops_per_sec > 0.0);
+            assert!(p.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn split_into_tasks_covers_all_keys() {
+        let cfg = TxConfig::small();
+        let rt = TlstmRuntime::new(cfg);
+        let tree = populate(&mut rt.direct(), &tiny()).unwrap();
+        let keys = Arc::new(vec![1u64, 2, 3, 4, 5]);
+        let spec = split_into_tasks(tree, &keys, 2);
+        assert_eq!(spec.len(), 2);
+        let spec = split_into_tasks(tree, &keys, 4);
+        assert_eq!(spec.len(), 4);
+    }
+}

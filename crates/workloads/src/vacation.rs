@@ -1,0 +1,585 @@
+//! A re-implementation of the STAMP *Vacation* travel-reservation OLTP
+//! application, modified as in the TLSTM paper (Figure 1b).
+//!
+//! The system manages four relations (cars, flights, rooms, customers). The
+//! paper modifies the original benchmark so that each client issues **eight
+//! operations per transaction** (an "application-server transaction"), which
+//! TLSTM then splits into **two tasks of four operations** each. Both the
+//! low-contention and the high-contention parameterisations of the original
+//! benchmark are retained.
+//!
+//! Every operation is generated ahead of the transaction (deterministically),
+//! so re-executed tasks replay exactly the same logical operation and the
+//! SwissTM and TLSTM runs execute identical operation streams.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use swisstm::SwisstmRuntime;
+use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
+use txcollections::{TxRbTree, TxSortedList};
+use txmem::{Abort, TxConfig, TxMem, WordAddr};
+
+use crate::harness::{average_runs, run_threads, DetRng, Throughput, WorkloadConfig};
+
+/// The three reservable resource kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResKind {
+    /// Rental cars.
+    Car,
+    /// Flight seats.
+    Flight,
+    /// Hotel rooms.
+    Room,
+}
+
+impl ResKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [ResKind; 3] = [ResKind::Car, ResKind::Flight, ResKind::Room];
+
+    fn index(self) -> u64 {
+        match self {
+            ResKind::Car => 0,
+            ResKind::Flight => 1,
+            ResKind::Room => 2,
+        }
+    }
+}
+
+/// Reservation-table record layout: `total, used, free, price`.
+const REC_WORDS: u64 = 4;
+const REC_TOTAL: u64 = 0;
+const REC_USED: u64 = 1;
+const REC_FREE: u64 = 2;
+const REC_PRICE: u64 = 3;
+
+/// Benchmark parameters (the `-n -q -u -r` knobs of STAMP Vacation).
+#[derive(Debug, Clone)]
+pub struct VacationParams {
+    /// Rows in each reservation relation (`-r`).
+    pub relations: u64,
+    /// Number of customers.
+    pub customers: u64,
+    /// Items queried by each operation (`-n`).
+    pub queries_per_op: u64,
+    /// Percentage of the relation that queries may touch (`-q`); lower values
+    /// concentrate the accesses and raise contention.
+    pub query_range_pct: u64,
+    /// Percentage of operations that are client reservations (`-u`); the rest
+    /// are administrative (delete customer / update tables).
+    pub user_op_pct: u64,
+    /// Operations per client transaction (the paper uses 8).
+    pub ops_per_txn: usize,
+    /// Tasks the transaction is split into under TLSTM (the paper uses 2).
+    pub tasks_per_txn: usize,
+    /// Number of clients (user-threads).
+    pub clients: usize,
+}
+
+impl VacationParams {
+    /// The paper's low-contention configuration (STAMP `-n2 -q90 -u98`).
+    pub fn low_contention() -> Self {
+        VacationParams {
+            relations: 4096,
+            customers: 4096,
+            queries_per_op: 2,
+            query_range_pct: 90,
+            user_op_pct: 98,
+            ops_per_txn: 8,
+            tasks_per_txn: 2,
+            clients: 1,
+        }
+    }
+
+    /// The paper's high-contention configuration (STAMP `-n4 -q60 -u90`).
+    pub fn high_contention() -> Self {
+        VacationParams {
+            relations: 4096,
+            customers: 4096,
+            queries_per_op: 4,
+            query_range_pct: 60,
+            user_op_pct: 90,
+            ops_per_txn: 8,
+            tasks_per_txn: 2,
+            clients: 1,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        VacationParams {
+            relations: 64,
+            customers: 64,
+            queries_per_op: 2,
+            query_range_pct: 90,
+            user_op_pct: 90,
+            ops_per_txn: 4,
+            tasks_per_txn: 2,
+            clients: 1,
+        }
+    }
+
+    fn substrate_config(&self) -> TxConfig {
+        let mut cfg = TxConfig::default();
+        cfg.spec_depth = self.tasks_per_txn.max(1);
+        cfg
+    }
+
+    fn query_range(&self) -> u64 {
+        ((self.relations * self.query_range_pct) / 100).max(1)
+    }
+}
+
+/// Handles to the shared reservation system state.
+#[derive(Debug, Clone, Copy)]
+pub struct Manager {
+    tables: [TxRbTree; 3],
+    /// customer id → header of the customer's reservation list.
+    customers: TxRbTree,
+}
+
+impl Manager {
+    /// Builds and populates the reservation system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    pub fn populate<M: TxMem>(mem: &mut M, params: &VacationParams) -> Result<Self, Abort> {
+        let tables = [
+            TxRbTree::create(mem)?,
+            TxRbTree::create(mem)?,
+            TxRbTree::create(mem)?,
+        ];
+        let customers = TxRbTree::create(mem)?;
+        let mut rng = DetRng::new(0xFACADE);
+        for kind in ResKind::ALL {
+            for id in 0..params.relations {
+                let record = mem.alloc(REC_WORDS)?;
+                let capacity = 100 + rng.below(100);
+                mem.write(record.offset(REC_TOTAL), capacity)?;
+                mem.write(record.offset(REC_USED), 0)?;
+                mem.write(record.offset(REC_FREE), capacity)?;
+                mem.write(record.offset(REC_PRICE), 50 + rng.below(450))?;
+                tables[kind.index() as usize].insert(mem, id, record.index())?;
+            }
+        }
+        for cid in 0..params.customers {
+            let list = TxSortedList::create(mem)?;
+            customers.insert(mem, cid, list.header().index())?;
+        }
+        Ok(Manager { tables, customers })
+    }
+
+    fn table(&self, kind: ResKind) -> TxRbTree {
+        self.tables[kind.index() as usize]
+    }
+
+    fn record<M: TxMem>(
+        &self,
+        mem: &mut M,
+        kind: ResKind,
+        id: u64,
+    ) -> Result<Option<WordAddr>, Abort> {
+        Ok(self
+            .table(kind)
+            .get(mem, id)?
+            .map(WordAddr::new))
+    }
+
+    /// Total free units of `kind`/`id` (test helper).
+    pub fn free_units<M: TxMem>(
+        &self,
+        mem: &mut M,
+        kind: ResKind,
+        id: u64,
+    ) -> Result<Option<u64>, Abort> {
+        match self.record(mem, kind, id)? {
+            None => Ok(None),
+            Some(rec) => Ok(Some(mem.read(rec.offset(REC_FREE))?)),
+        }
+    }
+
+    /// Sums `used` over every record of every table (test invariant helper:
+    /// must equal the total number of reservations held by customers).
+    pub fn total_used<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        let mut sum = 0;
+        for kind in ResKind::ALL {
+            for (_, rec) in self.table(kind).to_vec(mem)? {
+                sum += mem.read(WordAddr::new(rec).offset(REC_USED))?;
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Counts reservations across all customer lists (test invariant helper).
+    pub fn total_reservations<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        let mut sum = 0;
+        for (_, list_header) in self.customers.to_vec(mem)? {
+            let list = TxSortedList::from_header(WordAddr::new(list_header));
+            sum += list.len(mem)?;
+        }
+        Ok(sum)
+    }
+}
+
+/// One pre-generated client/administrative operation.
+#[derive(Debug, Clone)]
+pub enum VacationOp {
+    /// Query `queries` items and reserve the highest-priced available one for
+    /// `customer`.
+    MakeReservation {
+        /// The reserving customer.
+        customer: u64,
+        /// `(kind, id)` pairs to query.
+        queries: Vec<(ResKind, u64)>,
+    },
+    /// Remove a customer and release all of their reservations.
+    DeleteCustomer {
+        /// The customer to remove.
+        customer: u64,
+    },
+    /// Administrative price/capacity updates.
+    UpdateTables {
+        /// `(kind, id, new_price)` updates; a price of 0 retires the item's
+        /// free capacity instead.
+        updates: Vec<(ResKind, u64, u64)>,
+    },
+}
+
+/// Generates one operation.
+fn generate_op(rng: &mut DetRng, params: &VacationParams) -> VacationOp {
+    let range = params.query_range();
+    if rng.percent(params.user_op_pct) {
+        let customer = rng.below(params.customers);
+        let queries = (0..params.queries_per_op)
+            .map(|_| {
+                let kind = ResKind::ALL[rng.below(3) as usize];
+                (kind, rng.below(range))
+            })
+            .collect();
+        VacationOp::MakeReservation { customer, queries }
+    } else if rng.percent(50) {
+        VacationOp::DeleteCustomer {
+            customer: rng.below(params.customers),
+        }
+    } else {
+        let updates = (0..params.queries_per_op)
+            .map(|_| {
+                let kind = ResKind::ALL[rng.below(3) as usize];
+                (kind, rng.below(range), 50 + rng.below(450))
+            })
+            .collect();
+        VacationOp::UpdateTables { updates }
+    }
+}
+
+/// Generates the operations of one client transaction.
+pub fn generate_txn(rng: &mut DetRng, params: &VacationParams) -> Vec<VacationOp> {
+    (0..params.ops_per_txn)
+        .map(|_| generate_op(rng, params))
+        .collect()
+}
+
+/// Executes one operation against the shared state. Written once over
+/// [`TxMem`], so SwissTM transactions and TLSTM tasks run identical code.
+pub fn execute_op<M: TxMem>(mem: &mut M, manager: &Manager, op: &VacationOp) -> Result<(), Abort> {
+    match op {
+        VacationOp::MakeReservation { customer, queries } => {
+            // Find the highest-priced item with free capacity among the
+            // queried ones (the STAMP semantics).
+            let mut best: Option<(ResKind, u64, WordAddr, u64)> = None;
+            for &(kind, id) in queries {
+                if let Some(rec) = manager.record(mem, kind, id)? {
+                    let free = mem.read(rec.offset(REC_FREE))?;
+                    let price = mem.read(rec.offset(REC_PRICE))?;
+                    if free > 0 && best.as_ref().is_none_or(|b| price > b.3) {
+                        best = Some((kind, id, rec, price));
+                    }
+                }
+            }
+            if let Some((kind, id, rec, price)) = best {
+                let free = mem.read(rec.offset(REC_FREE))?;
+                if free > 0 {
+                    mem.write(rec.offset(REC_FREE), free - 1)?;
+                    let used = mem.read(rec.offset(REC_USED))?;
+                    mem.write(rec.offset(REC_USED), used + 1)?;
+                    if let Some(list_header) = manager.customers.get(mem, *customer)? {
+                        let list = TxSortedList::from_header(WordAddr::new(list_header));
+                        let reservation_key = kind.index() << 32 | id;
+                        list.insert(mem, reservation_key, price)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        VacationOp::DeleteCustomer { customer } => {
+            if let Some(list_header) = manager.customers.get(mem, *customer)? {
+                let list = TxSortedList::from_header(WordAddr::new(list_header));
+                // Release every reservation the customer holds.
+                for (reservation_key, _price) in list.to_vec(mem)? {
+                    let kind = ResKind::ALL[(reservation_key >> 32) as usize];
+                    let id = reservation_key & 0xFFFF_FFFF;
+                    if let Some(rec) = manager.record(mem, kind, id)? {
+                        let free = mem.read(rec.offset(REC_FREE))?;
+                        mem.write(rec.offset(REC_FREE), free + 1)?;
+                        let used = mem.read(rec.offset(REC_USED))?;
+                        mem.write(rec.offset(REC_USED), used.saturating_sub(1))?;
+                    }
+                    list.remove(mem, reservation_key)?;
+                }
+            }
+            Ok(())
+        }
+        VacationOp::UpdateTables { updates } => {
+            for &(kind, id, new_price) in updates {
+                if let Some(rec) = manager.record(mem, kind, id)? {
+                    mem.write(rec.offset(REC_PRICE), new_price)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Executes a slice of a client transaction's operations.
+pub fn execute_ops<M: TxMem>(
+    mem: &mut M,
+    manager: &Manager,
+    ops: &[VacationOp],
+) -> Result<(), Abort> {
+    for op in ops {
+        execute_op(mem, manager, op)?;
+    }
+    Ok(())
+}
+
+/// Builds the TLSTM transaction for one client transaction, splitting the
+/// operations evenly across `tasks_per_txn` tasks.
+fn split_txn(manager: Manager, ops: Arc<Vec<VacationOp>>, tasks: usize) -> TxnSpec {
+    let tasks = tasks.max(1);
+    let chunk = ops.len().div_ceil(tasks).max(1);
+    let mut bodies = Vec::with_capacity(tasks);
+    for t in 0..tasks {
+        let ops = Arc::clone(&ops);
+        let lo = (t * chunk).min(ops.len());
+        let hi = ((t + 1) * chunk).min(ops.len());
+        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+            execute_ops(ctx, &manager, &ops[lo..hi])
+        }));
+    }
+    TxnSpec::new(bodies)
+}
+
+/// Measures Vacation on SwissTM with `params.clients` client threads.
+/// Throughput is reported in client *operations* (not transactions).
+pub fn run_swisstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
+    average_runs(config.repetitions, |rep| {
+        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let manager =
+            Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        run_threads(params.clients, config.duration, |client, stop, ops| {
+            let mut thread = runtime.register_thread();
+            let mut rng =
+                DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+            while !stop.load(Ordering::Relaxed) {
+                let txn = generate_txn(&mut rng, params);
+                thread.atomic(|tx| execute_ops(tx, &manager, &txn));
+                ops.fetch_add(txn.len() as u64, Ordering::Relaxed);
+            }
+        })
+    })
+}
+
+/// Measures Vacation on TLSTM with `params.clients` user-threads and
+/// `params.tasks_per_txn` tasks per client transaction.
+pub fn run_tlstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
+    average_runs(config.repetitions, |rep| {
+        let runtime = TlstmRuntime::new(params.substrate_config());
+        let manager =
+            Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        run_threads(params.clients, config.duration, |client, stop, ops| {
+            let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+            let mut rng =
+                DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+            while !stop.load(Ordering::Relaxed) {
+                let txn = Arc::new(generate_txn(&mut rng, params));
+                let n = txn.len() as u64;
+                let spec = split_txn(manager, txn, params.tasks_per_txn);
+                uthread.execute(vec![spec]);
+                ops.fetch_add(n, Ordering::Relaxed);
+            }
+        })
+    })
+}
+
+/// One Figure 1b data point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1bPoint {
+    /// Number of clients (user-threads).
+    pub clients: usize,
+    /// SwissTM throughput (operations per millisecond).
+    pub swisstm_ops_per_ms: f64,
+    /// TLSTM with one task per transaction.
+    pub tlstm1_ops_per_ms: f64,
+    /// TLSTM with two tasks per transaction.
+    pub tlstm2_ops_per_ms: f64,
+}
+
+/// Regenerates one Figure 1b series (one contention level across client
+/// counts).
+pub fn fig1b_series(
+    base: &VacationParams,
+    client_counts: &[usize],
+    config: &WorkloadConfig,
+) -> Vec<Fig1bPoint> {
+    client_counts
+        .iter()
+        .map(|&clients| {
+            let mut params = base.clone();
+            params.clients = clients;
+            params.tasks_per_txn = 1;
+            let swisstm = run_swisstm(&params, config);
+            let tlstm1 = run_tlstm(&params, config);
+            params.tasks_per_txn = 2;
+            let tlstm2 = run_tlstm(&params, config);
+            Fig1bPoint {
+                clients,
+                swisstm_ops_per_ms: swisstm.ops_per_ms(),
+                tlstm1_ops_per_ms: tlstm1.ops_per_ms(),
+                tlstm2_ops_per_ms: tlstm2.ops_per_ms(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::DirectMem;
+
+    #[test]
+    fn populate_builds_all_tables() {
+        let params = VacationParams::tiny();
+        let substrate = txmem::TxSubstrate::new(params.substrate_config());
+        let mut mem = DirectMem::new(&substrate.heap);
+        let manager = Manager::populate(&mut mem, &params).unwrap();
+        for kind in ResKind::ALL {
+            assert_eq!(manager.table(kind).len(&mut mem).unwrap(), params.relations);
+        }
+        assert_eq!(manager.customers.len(&mut mem).unwrap(), params.customers);
+        assert_eq!(manager.total_used(&mut mem).unwrap(), 0);
+    }
+
+    #[test]
+    fn make_reservation_updates_capacity_and_customer_list() {
+        let params = VacationParams::tiny();
+        let substrate = txmem::TxSubstrate::new(params.substrate_config());
+        let mut mem = DirectMem::new(&substrate.heap);
+        let manager = Manager::populate(&mut mem, &params).unwrap();
+        let before = manager.free_units(&mut mem, ResKind::Car, 3).unwrap().unwrap();
+        let op = VacationOp::MakeReservation {
+            customer: 1,
+            queries: vec![(ResKind::Car, 3)],
+        };
+        execute_op(&mut mem, &manager, &op).unwrap();
+        let after = manager.free_units(&mut mem, ResKind::Car, 3).unwrap().unwrap();
+        assert_eq!(after, before - 1);
+        assert_eq!(manager.total_used(&mut mem).unwrap(), 1);
+        assert_eq!(manager.total_reservations(&mut mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_customer_releases_reservations() {
+        let params = VacationParams::tiny();
+        let substrate = txmem::TxSubstrate::new(params.substrate_config());
+        let mut mem = DirectMem::new(&substrate.heap);
+        let manager = Manager::populate(&mut mem, &params).unwrap();
+        for id in 0..3 {
+            execute_op(
+                &mut mem,
+                &manager,
+                &VacationOp::MakeReservation {
+                    customer: 7,
+                    queries: vec![(ResKind::Room, id)],
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(manager.total_used(&mut mem).unwrap(), 3);
+        execute_op(
+            &mut mem,
+            &manager,
+            &VacationOp::DeleteCustomer { customer: 7 },
+        )
+        .unwrap();
+        assert_eq!(manager.total_used(&mut mem).unwrap(), 0);
+        assert_eq!(manager.total_reservations(&mut mem).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_tables_changes_prices() {
+        let params = VacationParams::tiny();
+        let substrate = txmem::TxSubstrate::new(params.substrate_config());
+        let mut mem = DirectMem::new(&substrate.heap);
+        let manager = Manager::populate(&mut mem, &params).unwrap();
+        execute_op(
+            &mut mem,
+            &manager,
+            &VacationOp::UpdateTables {
+                updates: vec![(ResKind::Flight, 5, 777)],
+            },
+        )
+        .unwrap();
+        let rec = manager.record(&mut mem, ResKind::Flight, 5).unwrap().unwrap();
+        assert_eq!(mem.read(rec.offset(REC_PRICE)).unwrap(), 777);
+    }
+
+    #[test]
+    fn reservation_invariant_holds_under_both_runtimes() {
+        // used units across tables must always equal reservations held by
+        // customers, no matter which runtime executed the operations.
+        let mut params = VacationParams::tiny();
+        params.clients = 2;
+        let config = WorkloadConfig::quick();
+        for use_tlstm in [false, true] {
+            let t = if use_tlstm {
+                run_tlstm(&params, &config)
+            } else {
+                run_swisstm(&params, &config)
+            };
+            assert!(t.ops > 0, "no operations committed (tlstm={use_tlstm})");
+        }
+    }
+
+    #[test]
+    fn both_runtimes_apply_the_same_deterministic_stream_identically() {
+        let params = VacationParams::tiny();
+        // SwissTM, single-threaded, fixed stream.
+        let sw_used = {
+            let runtime = SwisstmRuntime::new(params.substrate_config());
+            let manager =
+                Manager::populate(&mut runtime.direct(), &params).expect("populate");
+            let mut thread = runtime.register_thread();
+            let mut rng = DetRng::new(123);
+            for _ in 0..25 {
+                let txn = generate_txn(&mut rng, &params);
+                thread.atomic(|tx| execute_ops(tx, &manager, &txn));
+            }
+            manager.total_used(&mut runtime.direct()).unwrap()
+        };
+        // TLSTM, same stream, 2 tasks per transaction.
+        let tl_used = {
+            let runtime = TlstmRuntime::new(params.substrate_config());
+            let manager =
+                Manager::populate(&mut runtime.direct(), &params).expect("populate");
+            let uthread = runtime.register_uthread(2);
+            let mut rng = DetRng::new(123);
+            for _ in 0..25 {
+                let txn = Arc::new(generate_txn(&mut rng, &params));
+                uthread.execute(vec![split_txn(manager, txn, 2)]);
+            }
+            manager.total_used(&mut runtime.direct()).unwrap()
+        };
+        assert_eq!(sw_used, tl_used, "runtimes diverged on the same stream");
+    }
+}
