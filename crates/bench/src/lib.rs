@@ -60,6 +60,9 @@ mod tests {
     #[test]
     fn cell_formatting() {
         assert_eq!(cell(12345.6), "12346");
-        assert_eq!(cell(3.14159), "3.14");
+        assert_eq!(cell(3.25159), "3.25");
+        // Either side of the precision switchover.
+        assert_eq!(cell(999.994), "999.99");
+        assert_eq!(cell(1000.0), "1000");
     }
 }

@@ -35,9 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let make_txn = |id: u64| {
         // Task 1: CPU/read-heavy prologue (independent work, parallelisable).
-        let prologue = task(move |ctx: &mut TaskCtx<'_>| {
-            busy_reads(ctx, scratch, WORK_PER_TASK).map(|_| ())
-        });
+        let prologue =
+            task(move |ctx: &mut TaskCtx<'_>| busy_reads(ctx, scratch, WORK_PER_TASK).map(|_| ()));
         // Task 2: appends the transaction id to the log (carries the true
         // data dependency between transactions).
         let append = task(move |ctx: &mut TaskCtx<'_>| {
@@ -74,8 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(runtime.heap().load_committed(log.offset(i)), i);
     }
     println!("transactions                  : {BATCH}");
-    println!("serial submission             : {:>8.1} ms", serial.as_secs_f64() * 1e3);
-    println!("pipelined (speculative) batch : {:>8.1} ms", pipelined.as_secs_f64() * 1e3);
+    println!(
+        "serial submission             : {:>8.1} ms",
+        serial.as_secs_f64() * 1e3
+    );
+    println!(
+        "pipelined (speculative) batch : {:>8.1} ms",
+        pipelined.as_secs_f64() * 1e3
+    );
     println!(
         "pipelining speed-up           : {:>8.2}x",
         serial.as_secs_f64() / pipelined.as_secs_f64()

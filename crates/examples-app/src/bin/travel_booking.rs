@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let mut mem = runtime.direct();
-    let used = manager.total_used(&mut mem).expect("direct reads cannot abort");
+    let used = manager
+        .total_used(&mut mem)
+        .expect("direct reads cannot abort");
     let held = manager
         .total_reservations(&mut mem)
         .expect("direct reads cannot abort");

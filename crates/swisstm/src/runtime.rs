@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use txmem::{
-    Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate,
-};
+use txmem::{Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate};
 
 use crate::cm::{GreedyCm, GreedyTicket, TIMID};
 use crate::transaction::{contention_pause, Transaction};
@@ -135,7 +133,10 @@ impl SwisstmThread {
                     stats.bump(&stats.tx_aborts);
                     self.consecutive_aborts += 1;
                     if self.greedy_priority.is_none()
-                        && self.runtime.cm().should_turn_greedy(self.consecutive_aborts)
+                        && self
+                            .runtime
+                            .cm()
+                            .should_turn_greedy(self.consecutive_aborts)
                     {
                         self.greedy_priority = Some(self.runtime.draw_ticket());
                     }

@@ -17,16 +17,13 @@ use crate::cm::GreedyCm;
 use crate::descriptor::TxDescriptor;
 use crate::runtime::SwisstmRuntime;
 
-/// How many busy-spin iterations a waiter performs before yielding the CPU.
+/// How many busy-spin iterations a waiter performs before yielding the CPU
+/// (spinning is skipped entirely on single-core hosts).
 const SPIN_BEFORE_YIELD: u32 = 64;
 
 /// Spin/yield helper used when waiting for a lock to be released.
 pub(crate) fn contention_pause(iteration: u32) {
-    if iteration < SPIN_BEFORE_YIELD {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
+    txmem::pause::contention_pause(iteration, SPIN_BEFORE_YIELD);
 }
 
 /// A single SwissTM transaction attempt.
@@ -201,8 +198,7 @@ impl<'rt> Transaction<'rt> {
         }
         // Lock the r-locks of every written location, remembering the
         // previous versions so they can be restored if validation fails.
-        let mut old_versions: HashMap<LockIndex, u64> =
-            HashMap::with_capacity(self.acquired.len());
+        let mut old_versions: HashMap<LockIndex, u64> = HashMap::with_capacity(self.acquired.len());
         for &idx in &self.acquired {
             let entry = self.locks.entry(idx);
             let prev = entry.lock_version();

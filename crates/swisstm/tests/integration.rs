@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use swisstm::SwisstmRuntime;
+use tlstm_testutil::with_default_watchdog;
 use txcollections::TxRbTree;
 use txmem::{TxConfig, TxMem};
 
@@ -22,8 +23,11 @@ fn ops_strategy(len: usize) -> impl Strategy<Value = Vec<Op>> {
         prop_oneof![
             (0..40u64, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
             (0..40u64).prop_map(Op::Remove),
-            (0..8u64, 0..8u64, 1..5u64)
-                .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+            (0..8u64, 0..8u64, 1..5u64).prop_map(|(from, to, amount)| Op::Transfer {
+                from,
+                to,
+                amount
+            }),
         ],
         1..len,
     )
@@ -85,6 +89,7 @@ proptest! {
     /// partitions of the operation stream across threads.
     #[test]
     fn concurrent_transfers_conserve_money(seed in any::<u64>(), per_thread in 50usize..150) {
+        with_default_watchdog(move || {
         let rt = SwisstmRuntime::new(TxConfig::small());
         let accounts = rt.heap().alloc(16).unwrap();
         for i in 0..16 {
@@ -118,6 +123,7 @@ proptest! {
         });
         let total: u64 = (0..16).map(|i| rt.heap().load_committed(accounts.offset(i))).sum();
         prop_assert_eq!(total, 16 * 1000);
+        });
     }
 }
 
@@ -125,38 +131,40 @@ proptest! {
 /// contention on one rb-tree node (deterministic, non-proptest stress test).
 #[test]
 fn contended_rbtree_updates_are_exact() {
-    let rt = SwisstmRuntime::new(TxConfig::small());
-    let tree = TxRbTree::create(&mut rt.direct()).unwrap();
-    {
+    with_default_watchdog(|| {
+        let rt = SwisstmRuntime::new(TxConfig::small());
+        let tree = TxRbTree::create(&mut rt.direct()).unwrap();
+        {
+            let mut mem = rt.direct();
+            for k in 0..8u64 {
+                tree.insert(&mut mem, k, 0).unwrap();
+            }
+        }
+        let per_thread = 300u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rt = Arc::clone(&rt);
+                scope.spawn(move || {
+                    let mut thread = rt.register_thread();
+                    for i in 0..per_thread {
+                        let key = (t + i) % 8;
+                        thread.atomic(|tx| {
+                            let v = tree.get(tx, key)?.unwrap_or(0);
+                            tree.insert(tx, key, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
         let mut mem = rt.direct();
-        for k in 0..8u64 {
-            tree.insert(&mut mem, k, 0).unwrap();
-        }
-    }
-    let per_thread = 300u64;
-    std::thread::scope(|scope| {
-        for t in 0..4u64 {
-            let rt = Arc::clone(&rt);
-            scope.spawn(move || {
-                let mut thread = rt.register_thread();
-                for i in 0..per_thread {
-                    let key = (t + i) % 8;
-                    thread.atomic(|tx| {
-                        let v = tree.get(tx, key)?.unwrap_or(0);
-                        tree.insert(tx, key, v + 1)?;
-                        Ok(())
-                    });
-                }
-            });
-        }
+        let sum: u64 = tree
+            .to_vec(&mut mem)
+            .unwrap()
+            .into_iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sum, 4 * per_thread);
+        tree.check_invariants(&mut mem).unwrap();
     });
-    let mut mem = rt.direct();
-    let sum: u64 = tree
-        .to_vec(&mut mem)
-        .unwrap()
-        .into_iter()
-        .map(|(_, v)| v)
-        .sum();
-    assert_eq!(sum, 4 * per_thread);
-    tree.check_invariants(&mut mem).unwrap();
 }

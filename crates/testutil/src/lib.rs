@@ -1,0 +1,180 @@
+//! Shared deterministic harness for the workspace's multi-threaded STM tests.
+//!
+//! Three recurring needs of the integration/stress tests live here:
+//!
+//! * [`TestRng`] — a seeded, deterministic PRNG so every test run replays the
+//!   same operation streams (override the seed per call site, never from
+//!   ambient entropy);
+//! * [`bounded_threads`] — caps test thread counts at the machine's
+//!   parallelism so oversubscribed CI runners don't turn contention tests
+//!   into multi-minute crawls;
+//! * [`with_watchdog`] — runs a test body on a helper thread and panics if it
+//!   exceeds its deadline, turning a livelocked or deadlocked STM run into a
+//!   loud failure instead of a CI job that hangs forever.
+
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Default deadline applied by [`with_default_watchdog`]. Generous enough for
+/// debug builds on slow CI, far below any CI-level job timeout.
+pub const DEFAULT_TEST_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A small deterministic PRNG (xorshift*) for reproducible test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (zero is remapped to a constant).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn percent(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Caps a desired test thread count at the machine's available parallelism
+/// (and at 1 from below), so contention tests scale down on small runners.
+pub fn bounded_threads(desired: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2);
+    desired.clamp(1, available.max(1))
+}
+
+/// Runs `body` on a helper thread and waits at most `deadline` for it.
+///
+/// If the body finishes, its panic (if any) is propagated to the caller so
+/// ordinary assertion failures keep working. If the deadline expires the
+/// calling test panics with a diagnostic — the runaway helper thread is
+/// leaked, which is acceptable in a test process that is about to fail.
+///
+/// # Panics
+///
+/// Panics if `body` panics or does not finish within `deadline`.
+pub fn with_watchdog<T: Send + 'static>(
+    deadline: Duration,
+    body: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name("test-body".to_string())
+        .spawn(move || {
+            let _ = tx.send(body());
+        })
+        .expect("failed to spawn watchdog test thread");
+    match rx.recv_timeout(deadline) {
+        Ok(value) => {
+            worker.join().expect("test body panicked after reporting");
+            value
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The body panicked before sending: join to propagate the panic.
+            match worker.join() {
+                Err(panic) => std::panic::resume_unwind(panic),
+                Ok(()) => unreachable!("worker disconnected without panicking"),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!(
+                "test exceeded its {:?} watchdog deadline — probable deadlock or livelock \
+                 in the STM runtime under test",
+                deadline
+            );
+        }
+    }
+}
+
+/// [`with_watchdog`] with the [`DEFAULT_TEST_DEADLINE`].
+pub fn with_default_watchdog<T: Send + 'static>(body: impl FnOnce() -> T + Send + 'static) -> T {
+    with_watchdog(DEFAULT_TEST_DEADLINE, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = TestRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+        for _ in 0..100 {
+            assert!(r.range(3, 9) < 9);
+            let _ = r.percent(50);
+        }
+    }
+
+    #[test]
+    fn bounded_threads_clamps() {
+        assert_eq!(bounded_threads(0), 1);
+        assert!(bounded_threads(1_000_000) >= 1);
+        assert!(bounded_threads(2) <= 2);
+    }
+
+    #[test]
+    fn watchdog_returns_value() {
+        assert_eq!(with_watchdog(Duration::from_secs(5), || 42), 42);
+    }
+
+    #[test]
+    fn watchdog_propagates_body_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_watchdog(Duration::from_secs(5), || panic!("inner failure"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn watchdog_fires_on_hang() {
+        let result = std::panic::catch_unwind(|| {
+            with_watchdog(Duration::from_millis(50), || loop {
+                std::thread::sleep(Duration::from_millis(10));
+            });
+        });
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("watchdog"), "unexpected panic message: {msg}");
+    }
+}

@@ -64,7 +64,11 @@ mod tests {
     use crate::uthread_state::UThreadShared;
     use std::sync::Arc;
 
-    fn txn_with_progress(ptid: u32, completed: u64, n_tasks: u64) -> (Arc<UThreadShared>, TxnShared) {
+    fn txn_with_progress(
+        ptid: u32,
+        completed: u64,
+        n_tasks: u64,
+    ) -> (Arc<UThreadShared>, TxnShared) {
         let u = Arc::new(UThreadShared::new(ptid, n_tasks.max(1) as usize));
         let t = TxnShared::new(Arc::clone(&u), 1, n_tasks.max(1));
         for s in 1..=completed {

@@ -7,9 +7,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use swisstm::cm::GreedyTicket;
-use txmem::{
-    Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate,
-};
+use txmem::{Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate};
 
 use crate::cm::TaskAwareCm;
 use crate::task::TaskCtx;
@@ -45,7 +43,10 @@ impl TxnSpec {
     ///
     /// Panics if `tasks` is empty.
     pub fn new(tasks: Vec<TaskFn>) -> Self {
-        assert!(!tasks.is_empty(), "a user-transaction needs at least one task");
+        assert!(
+            !tasks.is_empty(),
+            "a user-transaction needs at least one task"
+        );
         TxnSpec { tasks }
     }
 
@@ -263,6 +264,13 @@ impl UThread {
         }
         let mut received = 0usize;
         let mut idle_spins = 0u32;
+        // Spinning before the blocking receive only pays off when the worker
+        // threads can retire tasks on other cores in the meantime.
+        let spin_budget = if txmem::pause::multi_core() {
+            4_000u32
+        } else {
+            0
+        };
         while received < total_tasks {
             // Spin briefly first: task retirement is usually imminent, and a
             // blocking receive would put an OS wake-up on every transaction's
@@ -279,7 +287,7 @@ impl UThread {
                 }
             }
             idle_spins += 1;
-            if idle_spins < 4_000 {
+            if idle_spins < spin_budget {
                 if idle_spins % 256 == 255 {
                     std::thread::yield_now();
                 } else {

@@ -19,15 +19,12 @@ use crate::cm::TaskAwareCm;
 use crate::txn_state::{TaskLogs, TaskReadEntry, TxnShared};
 use crate::uthread_state::UThreadShared;
 
-/// Busy-spin iterations before falling back to `yield`.
+/// Busy-spin iterations before falling back to `yield` (spinning is skipped
+/// entirely on single-core hosts).
 const SPIN_BEFORE_YIELD: u32 = 64;
 
 fn contention_pause(iteration: u32) {
-    if iteration < SPIN_BEFORE_YIELD {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
+    txmem::pause::contention_pause(iteration, SPIN_BEFORE_YIELD);
 }
 
 /// Execution context of one speculative task attempt.
@@ -158,7 +155,10 @@ impl<'rt> TaskCtx<'rt> {
         self.read_log.clear();
         self.task_read_log.clear();
         self.write_map.clear();
-        debug_assert!(self.acquired.is_empty(), "chain entries must be removed before reset");
+        debug_assert!(
+            self.acquired.is_empty(),
+            "chain entries must be removed before reset"
+        );
         self.acquired.clear();
         self.valid_ts = self.substrate.clock.now();
         self.last_writer_events = self.uthread.writer_events();
@@ -401,7 +401,9 @@ impl<'rt> TaskCtx<'rt> {
                 SpecProbe::WaitForWriter => {
                     // The most recent past writer is still running: wait for
                     // it to complete (Algorithm 1, line 11).
-                    self.substrate.stats.bump(&self.substrate.stats.reader_waits);
+                    self.substrate
+                        .stats
+                        .bump(&self.substrate.stats.reader_waits);
                     self.check_signals()?;
                     self.uthread.wait_slice();
                     continue;
@@ -473,46 +475,46 @@ impl<'rt> TaskCtx<'rt> {
                     WwAction::Retry
                 } else {
                     match chain.newest_serial() {
-                    None => WwAction::Retry,
-                    Some(newest) if newest <= self.serial => {
-                        if newest < self.serial && self.uthread.completed_task() < newest {
-                            // The most recent past writer is still running:
-                            // this (future) task rolls back (Alg. 2 line 45).
-                            WwAction::SelfAbort
-                        } else {
-                            chain.record_write(
-                                self.uthread.ptid(),
-                                self.serial,
-                                self.txn.start_serial(),
-                                &self.txn_owner,
-                                addr,
-                                value,
-                            );
-                            drop(chain);
-                            if !self.acquired.contains(&idx) {
-                                self.acquired.push(idx);
-                            }
-                            self.write_map.insert(addr.index(), value);
-                            WwAction::Acquired
-                        }
-                    }
-                    Some(newest) => {
-                        // A future task holds the most speculative entry: it
-                        // must abort (Alg. 2 line 47).
-                        if self.uthread.completed_task() >= newest {
-                            // Already completed: it can no longer observe an
-                            // individual abort signal, so its whole
-                            // user-transaction is asked to abort instead.
-                            match chain.entry_for_serial(newest) {
-                                Some(e) => {
-                                    WwAction::SignalCompletedTxn(OwnerHandle::clone(&e.owner))
+                        None => WwAction::Retry,
+                        Some(newest) if newest <= self.serial => {
+                            if newest < self.serial && self.uthread.completed_task() < newest {
+                                // The most recent past writer is still running:
+                                // this (future) task rolls back (Alg. 2 line 45).
+                                WwAction::SelfAbort
+                            } else {
+                                chain.record_write(
+                                    self.uthread.ptid(),
+                                    self.serial,
+                                    self.txn.start_serial(),
+                                    &self.txn_owner,
+                                    addr,
+                                    value,
+                                );
+                                drop(chain);
+                                if !self.acquired.contains(&idx) {
+                                    self.acquired.push(idx);
                                 }
-                                None => WwAction::Retry,
+                                self.write_map.insert(addr.index(), value);
+                                WwAction::Acquired
                             }
-                        } else {
-                            WwAction::SignalRunning(newest)
                         }
-                    }
+                        Some(newest) => {
+                            // A future task holds the most speculative entry: it
+                            // must abort (Alg. 2 line 47).
+                            if self.uthread.completed_task() >= newest {
+                                // Already completed: it can no longer observe an
+                                // individual abort signal, so its whole
+                                // user-transaction is asked to abort instead.
+                                match chain.entry_for_serial(newest) {
+                                    Some(e) => {
+                                        WwAction::SignalCompletedTxn(OwnerHandle::clone(&e.owner))
+                                    }
+                                    None => WwAction::Retry,
+                                }
+                            } else {
+                                WwAction::SignalRunning(newest)
+                            }
+                        }
                     }
                 }
             } else {
@@ -549,7 +551,9 @@ impl<'rt> TaskCtx<'rt> {
                     };
                     match decision {
                         CmDecision::AbortSelf => {
-                            self.substrate.stats.bump(&self.substrate.stats.cm_self_aborts);
+                            self.substrate
+                                .stats
+                                .bump(&self.substrate.stats.cm_self_aborts);
                             return Err(Abort::new(AbortReason::InterThreadWriteConflict));
                         }
                         CmDecision::AbortOwner => {
@@ -713,18 +717,20 @@ impl<'rt> TaskCtx<'rt> {
                 self.substrate.heap.store_committed(addr, value);
             }
         }
-        // Remove the transaction's speculative entries, publish the new
-        // version and release the write locks that become free.
+        // Publish the new version first, then remove the transaction's
+        // speculative entries and release the write locks that become free.
+        // The r-lock must be released (set_version) before the w-lock: a
+        // contender that grabbed a prematurely-released w-lock could run
+        // `lock_version` on the still-LOCKED r-lock, recording LOCKED as the
+        // version to restore and racing its swap against our store.
         for &idx in &lock_set {
             let entry = self.substrate.locks.entry(idx);
-            {
-                let mut chain = entry.chain();
-                chain.remove_transaction(self.txn.start_serial(), self.txn.commit_serial());
-                if chain.is_empty() {
-                    entry.release_writer_if(self.token);
-                }
-            }
             entry.set_version(ts);
+            let mut chain = entry.chain();
+            chain.remove_transaction(self.txn.start_serial(), self.txn.commit_serial());
+            if chain.is_empty() {
+                entry.release_writer_if(self.token);
+            }
         }
         self.finish_transaction_commit(true);
         Ok(())

@@ -84,6 +84,13 @@ pub struct TxnShared {
     epoch: AtomicU64,
     /// Tasks that have acknowledged the current abort request.
     acks: AtomicU32,
+    /// Individual task aborts decided by the inter-thread contention manager
+    /// against this transaction. Unlike whole-transaction rollbacks these can
+    /// accumulate without the transaction ever restarting as a unit, so they
+    /// must also drive the two-phase greedy escalation: with symmetric
+    /// conflict cycles both sides stay timid, keep self-aborting and deadlock
+    /// unless one of them eventually draws a ticket.
+    cm_retries: AtomicU32,
     /// Two-phase greedy priority of the whole user-transaction.
     priority: AtomicU64,
     /// Logs published by completed tasks, keyed by serial.
@@ -121,6 +128,7 @@ impl TxnShared {
             rollbacks: AtomicU32::new(0),
             epoch: AtomicU64::new(0),
             acks: AtomicU32::new(0),
+            cm_retries: AtomicU32::new(0),
             priority: AtomicU64::new(TIMID_PRIORITY),
             logs: Mutex::new(Vec::new()),
         }
@@ -190,6 +198,12 @@ impl TxnShared {
     /// Number of rollbacks suffered so far.
     pub fn rollbacks(&self) -> u32 {
         self.rollbacks.load(Ordering::Relaxed)
+    }
+
+    /// Records one contention-manager self-abort of a task of this
+    /// transaction and returns the running total.
+    pub fn note_cm_self_abort(&self) -> u32 {
+        self.cm_retries.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Current greedy priority.

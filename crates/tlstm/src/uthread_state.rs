@@ -153,12 +153,8 @@ impl UThreadShared {
         let floor = start_serial.saturating_sub(1);
         // Clamp rather than overwrite: the counters can never exceed the
         // rolled-back transaction's serials at this point, but be defensive.
-        let _ = self
-            .completed_task
-            .fetch_min(floor, Ordering::AcqRel);
-        let _ = self
-            .completed_writer
-            .fetch_min(floor, Ordering::AcqRel);
+        let _ = self.completed_task.fetch_min(floor, Ordering::AcqRel);
+        let _ = self.completed_writer.fetch_min(floor, Ordering::AcqRel);
         self.writer_events.fetch_add(1, Ordering::AcqRel);
         self.notify();
     }
@@ -177,12 +173,15 @@ impl UThreadShared {
     /// parks on the condition variable (with a timeout that bounds the effect
     /// of a missed wake-up).
     pub fn wait_until(&self, mut predicate: impl FnMut() -> bool) {
-        // Spin phase.
-        for _ in 0..2_000 {
-            if predicate() {
-                return;
+        // Spin phase (pointless on a single-core host, where spinning starves
+        // the very thread being waited on).
+        if txmem::pause::multi_core() {
+            for _ in 0..2_000 {
+                if predicate() {
+                    return;
+                }
+                std::hint::spin_loop();
             }
-            std::hint::spin_loop();
         }
         // Yield phase.
         for _ in 0..64 {
@@ -205,8 +204,10 @@ impl UThreadShared {
     /// non-counter state (such as lock chains): spins, then yields, without
     /// parking — the caller re-checks its own condition after every call.
     pub fn wait_slice(&self) {
-        for _ in 0..128 {
-            std::hint::spin_loop();
+        if txmem::pause::multi_core() {
+            for _ in 0..128 {
+                std::hint::spin_loop();
+            }
         }
         std::thread::yield_now();
     }

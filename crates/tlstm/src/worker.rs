@@ -39,6 +39,14 @@ const PESSIMISTIC_AFTER_ROLLBACKS: u32 = 2;
 /// contention-manager ticket), mirroring the SwissTM two-phase policy.
 const GREEDY_AFTER_ROLLBACKS: u32 = 2;
 
+/// After this many *individual task* aborts decided by the inter-thread
+/// contention manager, the whole user-transaction turns greedy. Without this
+/// escalation two transactions whose tasks hold each other's write locks can
+/// self-abort in a symmetric-timid cycle forever: neither ever suffers a
+/// whole-transaction rollback (the locks they already hold stay held), so
+/// [`GREEDY_AFTER_ROLLBACKS`] alone never breaks the tie.
+const GREEDY_AFTER_CM_SELF_ABORTS: u32 = 3;
+
 /// A unit of work sent to a worker: one task of one user-transaction.
 pub(crate) struct WorkItem {
     /// Serial number of the task.
@@ -88,9 +96,16 @@ impl Worker {
     /// thread would put an OS wake-up on the critical path of every
     /// transaction) before falling back to a blocking receive.
     pub fn run(self) {
+        // On a single-core host, spinning on the queue starves the producer;
+        // fall through to the blocking receive immediately.
+        let spin_budget = if txmem::pause::multi_core() {
+            4_000u32
+        } else {
+            0
+        };
         'outer: loop {
             let mut item = None;
-            for i in 0..4_000u32 {
+            for i in 0..spin_budget {
                 match self.queue.try_recv() {
                     Ok(work) => {
                         item = Some(work);
@@ -165,12 +180,40 @@ impl Worker {
                     stats.bump(&stats.task_aborts);
                     stats.record_abort_reason(abort.reason);
                     ctx.remove_chain_entries();
+                    if abort.reason == AbortReason::InterThreadWriteConflict
+                        && item.txn.note_cm_self_abort() >= GREEDY_AFTER_CM_SELF_ABORTS
+                        && item.txn.priority() == crate::txn_state::TIMID_PRIORITY
+                    {
+                        item.txn.set_priority(self.tickets.draw());
+                    }
                     if abort.reason == AbortReason::TransactionAbortSignal
                         || item.txn.abort_requested()
                     {
                         self.participate_in_rollback(&mut ctx);
                     }
+                    // Back off before re-executing, while holding no locks or
+                    // chain entries. Without this, a signalled future task can
+                    // phase-lock with the past writer that keeps signalling
+                    // it: the future task releases and re-acquires the
+                    // contested write lock faster than the (yielding) past
+                    // writer re-samples it, so the writer never gets the lock
+                    // and the pair livelocks. Sleeping with the lock free
+                    // guarantees the past writer's next sample succeeds.
+                    Self::abort_backoff(attempt);
                 }
+            }
+        }
+    }
+
+    /// Exponential backoff between re-execution attempts of an aborted task:
+    /// the first few retries only yield, later ones sleep for exponentially
+    /// longer (capped), which breaks intra-thread signal/re-acquire livelocks.
+    fn abort_backoff(attempt: u32) {
+        match attempt {
+            0..=2 => std::thread::yield_now(),
+            n => {
+                let micros = 1u64 << n.saturating_sub(3).min(6);
+                std::thread::sleep(std::time::Duration::from_micros(micros));
             }
         }
     }

@@ -1,0 +1,225 @@
+//! Cross-runtime conformance: the same deterministic `txcollections` workload,
+//! expressed once against the `TxMem` trait, must leave byte-identical
+//! committed state when executed through SwissTM transactions and through
+//! TLSTM speculative tasks (and must match a plain sequential reference run).
+
+use std::sync::Arc;
+
+use swisstm::SwisstmRuntime;
+use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
+use tlstm_testutil::{with_default_watchdog, TestRng};
+use txcollections::{TxCounter, TxHashMap, TxQueue, TxRbTree};
+use txmem::{Abort, TxConfig, TxMem};
+
+/// One workload operation against the shared collection set.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    TreeInsert(u64, u64),
+    TreeRemove(u64),
+    MapInsert(u64, u64),
+    MapRemove(u64),
+    Enqueue(u64),
+    /// Dequeue one element and add it to the counter (links two structures
+    /// inside one transaction, so partial execution would be observable).
+    DequeueIntoCounter,
+    CounterAdd(u64),
+}
+
+/// The collection handles (plain `Copy` word addresses).
+#[derive(Debug, Clone, Copy)]
+struct World {
+    tree: TxRbTree,
+    map: TxHashMap,
+    queue: TxQueue,
+    counter: TxCounter,
+}
+
+impl World {
+    fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+        Ok(World {
+            tree: TxRbTree::create(mem)?,
+            map: TxHashMap::create(mem, 8)?,
+            queue: TxQueue::create(mem)?,
+            counter: TxCounter::create(mem)?,
+        })
+    }
+
+    fn apply<M: TxMem>(&self, mem: &mut M, op: Op) -> Result<(), Abort> {
+        match op {
+            Op::TreeInsert(k, v) => self.tree.insert(mem, k, v).map(|_| ()),
+            Op::TreeRemove(k) => self.tree.remove(mem, k).map(|_| ()),
+            Op::MapInsert(k, v) => self.map.insert(mem, k, v).map(|_| ()),
+            Op::MapRemove(k) => self.map.remove(mem, k).map(|_| ()),
+            Op::Enqueue(v) => self.queue.enqueue(mem, v),
+            Op::DequeueIntoCounter => {
+                if let Some(v) = self.queue.dequeue(mem)? {
+                    self.counter.add(mem, v % 1000)?;
+                }
+                Ok(())
+            }
+            Op::CounterAdd(d) => self.counter.add(mem, d).map(|_| ()),
+        }
+    }
+
+    /// Snapshot of all committed state, in a canonical order.
+    fn snapshot<M: TxMem>(&self, mem: &mut M) -> Result<Snapshot, Abort> {
+        let tree = self.tree.to_vec(mem)?;
+        let mut map = self.map.to_vec(mem)?;
+        map.sort_unstable();
+        let mut queue = Vec::new();
+        while let Some(v) = self.queue.dequeue(mem)? {
+            queue.push(v);
+        }
+        Ok(Snapshot {
+            tree,
+            map,
+            queue,
+            counter: self.counter.get(mem)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snapshot {
+    tree: Vec<(u64, u64)>,
+    map: Vec<(u64, u64)>,
+    queue: Vec<u64>,
+    counter: u64,
+}
+
+/// Deterministic stream of transactions (each a short list of ops).
+fn generate_transactions(seed: u64, n_txns: usize) -> Vec<Vec<Op>> {
+    let mut rng = TestRng::new(seed);
+    (0..n_txns)
+        .map(|_| {
+            let len = 1 + rng.below(4) as usize;
+            (0..len)
+                .map(|_| match rng.below(7) {
+                    0 => Op::TreeInsert(rng.below(64), rng.next_u64() % 1000),
+                    1 => Op::TreeRemove(rng.below(64)),
+                    2 => Op::MapInsert(rng.below(48), rng.next_u64() % 1000),
+                    3 => Op::MapRemove(rng.below(48)),
+                    4 => Op::Enqueue(rng.below(500)),
+                    5 => Op::DequeueIntoCounter,
+                    _ => Op::CounterAdd(rng.below(10)),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn config(depth: usize) -> TxConfig {
+    let mut cfg = TxConfig::small();
+    cfg.heap_capacity_words = 1 << 22;
+    cfg.spec_depth = depth;
+    cfg
+}
+
+/// Executes the transaction stream on SwissTM, one transaction per `atomic`.
+fn run_on_swisstm(txns: &[Vec<Op>]) -> Snapshot {
+    let rt = SwisstmRuntime::new(config(1));
+    let world = World::create(&mut rt.direct()).unwrap();
+    let mut thread = rt.register_thread();
+    for txn in txns {
+        let txn = txn.clone();
+        thread.atomic(|tx| {
+            for &op in &txn {
+                world.apply(tx, op)?;
+            }
+            Ok(())
+        });
+    }
+    world.snapshot(&mut rt.direct()).unwrap()
+}
+
+/// Executes the transaction stream on TLSTM, splitting every transaction into
+/// `split` speculative tasks.
+fn run_on_tlstm(txns: &[Vec<Op>], depth: usize, split: usize) -> Snapshot {
+    assert!(split >= 1 && split <= depth);
+    let rt = TlstmRuntime::new(config(depth));
+    let world = World::create(&mut rt.direct()).unwrap();
+    let u = rt.register_uthread(depth);
+    for txn in txns {
+        let ops = Arc::new(txn.clone());
+        let per_task = ops.len().div_ceil(split);
+        let bodies: Vec<_> = (0..split)
+            .map(|t| {
+                let ops = Arc::clone(&ops);
+                let lo = (t * per_task).min(ops.len());
+                let hi = ((t + 1) * per_task).min(ops.len());
+                task(move |ctx: &mut TaskCtx<'_>| {
+                    for &op in &ops[lo..hi] {
+                        world.apply(ctx, op)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        u.execute(vec![TxnSpec::new(bodies)]);
+    }
+    world.snapshot(&mut rt.direct()).unwrap()
+}
+
+/// Sequential reference execution through `DirectMem` (no concurrency
+/// control; valid because the stream is applied in program order).
+fn run_on_reference(txns: &[Vec<Op>]) -> Snapshot {
+    let rt = SwisstmRuntime::new(config(1));
+    let mut mem = rt.direct();
+    let world = World::create(&mut mem).unwrap();
+    for txn in txns {
+        for &op in txn {
+            world.apply(&mut mem, op).unwrap();
+        }
+    }
+    world.snapshot(&mut mem).unwrap()
+}
+
+#[test]
+fn swisstm_and_tlstm_commit_identical_state() {
+    with_default_watchdog(|| {
+        for seed in [1u64, 0xDEAD_BEEF, 42] {
+            let txns = generate_transactions(seed, 250);
+            let reference = run_on_reference(&txns);
+            let swisstm = run_on_swisstm(&txns);
+            assert_eq!(
+                swisstm, reference,
+                "SwissTM diverged from the sequential reference (seed {seed})"
+            );
+            for (depth, split) in [(2, 2), (4, 3)] {
+                let tlstm = run_on_tlstm(&txns, depth, split);
+                assert_eq!(
+                    tlstm, reference,
+                    "TLSTM (depth {depth}, split {split}) diverged from the \
+                     sequential reference (seed {seed})"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn conformance_holds_under_intra_transaction_dependencies() {
+    // Every transaction enqueues then immediately dequeues-into-counter, so
+    // the second task of the split observes the first task's speculative
+    // write through the redo-log chain; any forwarding bug changes the
+    // committed counter.
+    with_default_watchdog(|| {
+        let txns: Vec<Vec<Op>> = (0..200u64)
+            .map(|i| {
+                vec![
+                    Op::Enqueue(i),
+                    Op::DequeueIntoCounter,
+                    Op::TreeInsert(i % 32, i),
+                ]
+            })
+            .collect();
+        let reference = run_on_reference(&txns);
+        let swisstm = run_on_swisstm(&txns);
+        let tlstm = run_on_tlstm(&txns, 3, 3);
+        assert_eq!(swisstm, reference);
+        assert_eq!(tlstm, reference);
+        // The queue drains completely, so the counter is the whole story.
+        assert_eq!(reference.queue, Vec::<u64>::new());
+        assert_eq!(reference.counter, (0..200u64).sum::<u64>());
+    });
+}

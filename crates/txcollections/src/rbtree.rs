@@ -169,11 +169,7 @@ impl TxRbTree {
         mem.write(node.offset(OFF_COLOR), color)
     }
 
-    fn parent_of<M: TxMem>(
-        &self,
-        mem: &mut M,
-        node: WordAddr,
-    ) -> Result<Option<WordAddr>, Abort> {
+    fn parent_of<M: TxMem>(&self, mem: &mut M, node: WordAddr) -> Result<Option<WordAddr>, Abort> {
         mem.read_ref(node.offset(OFF_PARENT))
     }
 
@@ -519,11 +515,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn ceiling<M: TxMem>(
-        &self,
-        mem: &mut M,
-        key: u64,
-    ) -> Result<Option<(u64, u64)>, Abort> {
+    pub fn ceiling<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<(u64, u64)>, Abort> {
         let mut cur = self.root(mem)?;
         let mut best: Option<(u64, u64)> = None;
         while let Some(node) = cur {
@@ -608,7 +600,11 @@ impl TxRbTree {
         let left = self.left_of(mem, node)?;
         let right = self.right_of(mem, node)?;
         if color == RED {
-            assert_eq!(self.color(mem, left)?, BLACK, "red node with red left child");
+            assert_eq!(
+                self.color(mem, left)?,
+                BLACK,
+                "red node with red left child"
+            );
             assert_eq!(
                 self.color(mem, right)?,
                 BLACK,
@@ -706,7 +702,10 @@ mod tests {
                     assert_eq!(removed, reference.remove(&key).is_some());
                 }
                 _ => {
-                    assert_eq!(tree.get(&mut mem, key).unwrap(), reference.get(&key).copied());
+                    assert_eq!(
+                        tree.get(&mut mem, key).unwrap(),
+                        reference.get(&key).copied()
+                    );
                 }
             }
         }

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use std::collections::{BTreeMap, VecDeque};
 
-use txcollections::{TxHashMap, TxQueue, TxRbTree, TxSortedList};
+use txcollections::{TxCounter, TxHashMap, TxQueue, TxRbTree, TxSortedList};
 use txmem::{DirectMem, TxConfig, TxHeap};
 
 fn big_heap() -> TxHeap {
@@ -137,6 +137,118 @@ proptest! {
             }
             prop_assert_eq!(queue.peek(&mut mem).unwrap(), model.front().copied());
             prop_assert_eq!(queue.len(&mut mem).unwrap(), model.len() as u64);
+        }
+    }
+
+    /// Removal-heavy rb-tree sequences over a small key space, with the
+    /// balancing invariants re-checked after *every* mutation — this drives
+    /// the rebalance-on-delete paths (red sibling rotations, double-black
+    /// propagation) that an insert-biased mix rarely reaches. The op vector
+    /// shrinks element-by-element, so failures minimise to short sequences.
+    #[test]
+    fn rbtree_survives_removal_heavy_churn(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0..24u64, 0..1000u64).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                (0..24u64).prop_map(MapOp::Remove),
+                (0..24u64).prop_map(MapOp::Remove),
+                (0..24u64).prop_map(MapOp::Get),
+            ],
+            1..120,
+        )
+    ) {
+        let heap = big_heap();
+        let mut mem = DirectMem::new(&heap);
+        let tree = TxRbTree::create(&mut mem).unwrap();
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(
+                        tree.insert(&mut mem, k, v).unwrap(),
+                        model.insert(k, v).is_none()
+                    );
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(
+                        tree.remove(&mut mem, k).unwrap(),
+                        model.remove(&k).is_some()
+                    );
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut mem, k).unwrap(), model.get(&k).copied());
+                }
+            }
+            tree.check_invariants(&mut mem).unwrap();
+        }
+        // Drain the remainder through remove as well, still checking balance.
+        let keys: Vec<u64> = model.keys().copied().collect();
+        for k in keys {
+            prop_assert!(tree.remove(&mut mem, k).unwrap());
+            tree.check_invariants(&mut mem).unwrap();
+        }
+        prop_assert!(tree.is_empty(&mut mem).unwrap());
+    }
+
+    /// Alternating bursts of enqueues and dequeues (including full drains)
+    /// exercise the queue's empty/non-empty boundary transitions, where the
+    /// head/tail pointers are re-linked.
+    #[test]
+    fn queue_drain_refill_cycles_match_vecdeque(
+        bursts in prop::collection::vec((1..20u64, 0..30u64), 1..24)
+    ) {
+        let heap = big_heap();
+        let mut mem = DirectMem::new(&heap);
+        let queue = TxQueue::create(&mut mem).unwrap();
+        let mut model = VecDeque::new();
+        let mut next_value = 0u64;
+        for (enqueues, dequeues) in bursts {
+            for _ in 0..enqueues {
+                queue.enqueue(&mut mem, next_value).unwrap();
+                model.push_back(next_value);
+                next_value += 1;
+            }
+            // Dequeue possibly more than is present to hit the empty case.
+            for _ in 0..dequeues {
+                prop_assert_eq!(queue.dequeue(&mut mem).unwrap(), model.pop_front());
+            }
+            prop_assert_eq!(queue.len(&mut mem).unwrap(), model.len() as u64);
+            prop_assert_eq!(queue.peek(&mut mem).unwrap(), model.front().copied());
+            prop_assert_eq!(queue.is_empty(&mut mem).unwrap(), model.is_empty());
+        }
+        // FIFO order must survive to the very end.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(queue.dequeue(&mut mem).unwrap(), Some(expected));
+        }
+        prop_assert_eq!(queue.dequeue(&mut mem).unwrap(), None);
+    }
+
+    /// The counter behaves like a plain u64 accumulator under arbitrary
+    /// add/sub/set sequences (sub saturates at zero by contract).
+    #[test]
+    fn counter_matches_u64_model(
+        ops in prop::collection::vec((0..3u64, 0..1000u64), 0..100)
+    ) {
+        let heap = big_heap();
+        let mut mem = DirectMem::new(&heap);
+        let counter = TxCounter::create(&mut mem).unwrap();
+        let mut model = 0u64;
+        for (kind, amount) in ops {
+            match kind {
+                0 => {
+                    counter.add(&mut mem, amount).unwrap();
+                    model += amount;
+                }
+                1 => {
+                    counter.sub(&mut mem, amount).unwrap();
+                    model = model.saturating_sub(amount);
+                }
+                _ => {
+                    counter.set(&mut mem, amount).unwrap();
+                    model = amount;
+                }
+            }
+            prop_assert_eq!(counter.get(&mut mem).unwrap(), model);
         }
     }
 }

@@ -322,7 +322,10 @@ mod tests {
         assert_eq!(serials, vec![2, 4, 6]);
         assert_eq!(chain.newest_serial(), Some(6));
         assert_eq!(chain.latest_at_or_before(5).unwrap().serial, 4);
-        assert_eq!(chain.entry_for_serial(4).unwrap().value_of(addr(1)), Some(40));
+        assert_eq!(
+            chain.entry_for_serial(4).unwrap().value_of(addr(1)),
+            Some(40)
+        );
     }
 
     #[test]

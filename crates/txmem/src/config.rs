@@ -102,15 +102,19 @@ mod tests {
 
     #[test]
     fn invalid_segment_size_rejected() {
-        let mut c = TxConfig::default();
-        c.heap_segment_words = 100;
+        let c = TxConfig {
+            heap_segment_words: 100,
+            ..TxConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn invalid_lock_bits_rejected() {
-        let mut c = TxConfig::default();
-        c.lock_table_bits = 0;
+        let mut c = TxConfig {
+            lock_table_bits: 0,
+            ..TxConfig::default()
+        };
         assert!(c.validate().is_err());
         c.lock_table_bits = 31;
         assert!(c.validate().is_err());
@@ -118,15 +122,19 @@ mod tests {
 
     #[test]
     fn zero_spec_depth_rejected() {
-        let mut c = TxConfig::default();
-        c.spec_depth = 0;
+        let c = TxConfig {
+            spec_depth: 0,
+            ..TxConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn non_power_of_two_words_per_lock_rejected() {
-        let mut c = TxConfig::default();
-        c.words_per_lock = 3;
+        let c = TxConfig {
+            words_per_lock: 3,
+            ..TxConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

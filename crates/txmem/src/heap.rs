@@ -213,7 +213,10 @@ mod tests {
     fn word_zero_is_reserved_for_null() {
         let heap = small_heap();
         let a = heap.alloc(1).unwrap();
-        assert!(a.index() >= 1, "allocations must never return the null word");
+        assert!(
+            a.index() >= 1,
+            "allocations must never return the null word"
+        );
         assert_eq!(heap.words_allocated(), a.index() + 1);
     }
 

@@ -55,6 +55,7 @@ pub mod error;
 pub mod heap;
 pub mod lock_table;
 pub mod owner;
+pub mod pause;
 pub mod stats;
 pub mod traits;
 
@@ -65,9 +66,9 @@ pub use config::TxConfig;
 pub use error::{Abort, AbortReason, MemError};
 pub use heap::TxHeap;
 pub use lock_table::{LockEntry, LockIndex, LockTable, LOCKED};
+pub use owner::OwnerHandle;
 pub use owner::{CmDecision, LockOwner, OwnerToken};
 pub use stats::{StatsCollector, StatsSnapshot};
-pub use owner::OwnerHandle;
 pub use traits::{DirectMem, TxMem};
 
 /// Shared, immutable bundle of the global structures a runtime needs.

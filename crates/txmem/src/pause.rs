@@ -1,0 +1,51 @@
+//! Adaptive busy-wait helpers.
+//!
+//! Spinning only helps when the thread being waited on can make progress on
+//! another core. On a single-core host every spin burns the exact CPU time
+//! the other thread needs, so all wait loops in the runtimes consult
+//! [`multi_core`] and fall straight through to `yield_now` when there is no
+//! parallelism to exploit.
+
+use std::sync::OnceLock;
+
+/// `true` if the host exposes more than one unit of parallelism.
+///
+/// Cached after the first call; defaults to `true` when the parallelism
+/// cannot be determined.
+pub fn multi_core() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(true)
+    })
+}
+
+/// Backs off inside a wait loop: spins on the `iteration`-th call only while
+/// that is useful (multi-core host and below `spin_limit`), otherwise yields
+/// the CPU to the thread being waited on.
+#[inline]
+pub fn contention_pause(iteration: u32, spin_limit: u32) {
+    if multi_core() && iteration < spin_limit {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_core_is_stable() {
+        assert_eq!(multi_core(), multi_core());
+    }
+
+    #[test]
+    fn contention_pause_terminates() {
+        for i in 0..200 {
+            contention_pause(i, 64);
+        }
+    }
+}

@@ -63,10 +63,7 @@ pub trait TxMem {
 
     /// Writes a reference (`None` ⇒ `NULL_ADDR`).
     fn write_ref(&mut self, addr: WordAddr, target: Option<WordAddr>) -> Result<(), Abort> {
-        self.write(
-            addr,
-            target.map_or(crate::addr::NULL_ADDR, |t| t.index()),
-        )
+        self.write(addr, target.map_or(crate::addr::NULL_ADDR, |t| t.index()))
     }
 
     /// Reads a word and interprets it as a boolean (non-zero ⇒ `true`).

@@ -46,9 +46,10 @@ impl Default for RbTreeBenchParams {
 
 impl RbTreeBenchParams {
     fn substrate_config(&self) -> TxConfig {
-        let mut cfg = TxConfig::default();
-        cfg.spec_depth = self.tasks_per_txn.max(1);
-        cfg
+        TxConfig {
+            spec_depth: self.tasks_per_txn.max(1),
+            ..TxConfig::default()
+        }
     }
 }
 
@@ -83,17 +84,20 @@ pub fn run_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throu
     average_runs(config.repetitions, |rep| {
         let runtime = SwisstmRuntime::new(params.substrate_config());
         let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
-            let mut thread = runtime.register_thread();
-            let mut rng = DetRng::new(
-                config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32),
-            );
-            while !stop.load(Ordering::Relaxed) {
-                let keys = txn_keys(&mut rng, params);
-                thread.atomic(|tx| lookup_batch(tx, tree, &keys));
-                ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
-            }
-        })
+        run_threads(
+            params.threads,
+            config.duration,
+            |thread_index, stop, ops| {
+                let mut thread = runtime.register_thread();
+                let mut rng =
+                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let keys = txn_keys(&mut rng, params);
+                    thread.atomic(|tx| lookup_batch(tx, tree, &keys));
+                    ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
+                }
+            },
+        )
     })
 }
 
@@ -102,18 +106,21 @@ pub fn run_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Through
     average_runs(config.repetitions, |rep| {
         let runtime = TlstmRuntime::new(params.substrate_config());
         let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
-            let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-            let mut rng = DetRng::new(
-                config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32),
-            );
-            while !stop.load(Ordering::Relaxed) {
-                let keys = Arc::new(txn_keys(&mut rng, params));
-                let spec = split_into_tasks(tree, &keys, params.tasks_per_txn);
-                uthread.execute(vec![spec]);
-                ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
-            }
-        })
+        run_threads(
+            params.threads,
+            config.duration,
+            |thread_index, stop, ops| {
+                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+                let mut rng =
+                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let keys = Arc::new(txn_keys(&mut rng, params));
+                    let spec = split_into_tasks(tree, &keys, params.tasks_per_txn);
+                    uthread.execute(vec![spec]);
+                    ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
+                }
+            },
+        )
     })
 }
 

@@ -93,9 +93,10 @@ impl Stmbench7Params {
     }
 
     fn substrate_config(&self) -> TxConfig {
-        let mut cfg = TxConfig::default();
-        cfg.spec_depth = self.tasks_per_txn.max(1);
-        cfg
+        TxConfig {
+            spec_depth: self.tasks_per_txn.max(1),
+            ..TxConfig::default()
+        }
     }
 
     /// Number of base assemblies in the graph.
@@ -277,16 +278,20 @@ pub fn run_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Through
         let runtime = SwisstmRuntime::new(params.substrate_config());
         let bench =
             Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
-            let mut thread = runtime.register_thread();
-            let mut rng =
-                DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
-            while !stop.load(Ordering::Relaxed) {
-                let write = !rng.percent(params.read_pct);
-                thread.atomic(|tx| traverse(tx, params, bench.root, write).map(|_| ()));
-                ops.fetch_add(1, Ordering::Relaxed);
-            }
-        })
+        run_threads(
+            params.threads,
+            config.duration,
+            |thread_index, stop, ops| {
+                let mut thread = runtime.register_thread();
+                let mut rng =
+                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let write = !rng.percent(params.read_pct);
+                    thread.atomic(|tx| traverse(tx, params, bench.root, write).map(|_| ()));
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        )
     })
 }
 
@@ -303,17 +308,21 @@ pub fn run_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughpu
                 .subtree_roots(&mut runtime.direct(), params, split_depth)
                 .expect("subtree discovery cannot abort"),
         );
-        run_threads(params.threads, config.duration, |thread_index, stop, ops| {
-            let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-            let mut rng =
-                DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
-            while !stop.load(Ordering::Relaxed) {
-                let write = !rng.percent(params.read_pct);
-                let spec = split_traversal(bench, params, &subtrees, write);
-                uthread.execute(vec![spec]);
-                ops.fetch_add(1, Ordering::Relaxed);
-            }
-        })
+        run_threads(
+            params.threads,
+            config.duration,
+            |thread_index, stop, ops| {
+                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+                let mut rng =
+                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let write = !rng.percent(params.read_pct);
+                    let spec = split_traversal(bench, params, &subtrees, write);
+                    uthread.execute(vec![spec]);
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        )
     })
 }
 

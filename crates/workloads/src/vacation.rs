@@ -120,9 +120,10 @@ impl VacationParams {
     }
 
     fn substrate_config(&self) -> TxConfig {
-        let mut cfg = TxConfig::default();
-        cfg.spec_depth = self.tasks_per_txn.max(1);
-        cfg
+        TxConfig {
+            spec_depth: self.tasks_per_txn.max(1),
+            ..TxConfig::default()
+        }
     }
 
     fn query_range(&self) -> u64 {
@@ -180,10 +181,7 @@ impl Manager {
         kind: ResKind,
         id: u64,
     ) -> Result<Option<WordAddr>, Abort> {
-        Ok(self
-            .table(kind)
-            .get(mem, id)?
-            .map(WordAddr::new))
+        Ok(self.table(kind).get(mem, id)?.map(WordAddr::new))
     }
 
     /// Total free units of `kind`/`id` (test helper).
@@ -300,13 +298,19 @@ pub fn execute_op<M: TxMem>(mem: &mut M, manager: &Manager, op: &VacationOp) -> 
             if let Some((kind, id, rec, price)) = best {
                 let free = mem.read(rec.offset(REC_FREE))?;
                 if free > 0 {
-                    mem.write(rec.offset(REC_FREE), free - 1)?;
-                    let used = mem.read(rec.offset(REC_USED))?;
-                    mem.write(rec.offset(REC_USED), used + 1)?;
                     if let Some(list_header) = manager.customers.get(mem, *customer)? {
                         let list = TxSortedList::from_header(WordAddr::new(list_header));
                         let reservation_key = kind.index() << 32 | id;
-                        list.insert(mem, reservation_key, price)?;
+                        // The customer list is keyed by item, so re-booking an
+                        // already-held item only refreshes the stored price.
+                        // Capacity must move in lockstep with list membership,
+                        // otherwise `used` drifts ahead of the reservations
+                        // that `DeleteCustomer` can ever release.
+                        if list.insert(mem, reservation_key, price)? {
+                            mem.write(rec.offset(REC_FREE), free - 1)?;
+                            let used = mem.read(rec.offset(REC_USED))?;
+                            mem.write(rec.offset(REC_USED), used + 1)?;
+                        }
                     }
                 }
             }
@@ -379,8 +383,7 @@ pub fn run_swisstm(params: &VacationParams, config: &WorkloadConfig) -> Throughp
             Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
         run_threads(params.clients, config.duration, |client, stop, ops| {
             let mut thread = runtime.register_thread();
-            let mut rng =
-                DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+            let mut rng = DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
             while !stop.load(Ordering::Relaxed) {
                 let txn = generate_txn(&mut rng, params);
                 thread.atomic(|tx| execute_ops(tx, &manager, &txn));
@@ -399,8 +402,7 @@ pub fn run_tlstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput
             Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
         run_threads(params.clients, config.duration, |client, stop, ops| {
             let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-            let mut rng =
-                DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+            let mut rng = DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
             while !stop.load(Ordering::Relaxed) {
                 let txn = Arc::new(generate_txn(&mut rng, params));
                 let n = txn.len() as u64;
@@ -476,13 +478,19 @@ mod tests {
         let substrate = txmem::TxSubstrate::new(params.substrate_config());
         let mut mem = DirectMem::new(&substrate.heap);
         let manager = Manager::populate(&mut mem, &params).unwrap();
-        let before = manager.free_units(&mut mem, ResKind::Car, 3).unwrap().unwrap();
+        let before = manager
+            .free_units(&mut mem, ResKind::Car, 3)
+            .unwrap()
+            .unwrap();
         let op = VacationOp::MakeReservation {
             customer: 1,
             queries: vec![(ResKind::Car, 3)],
         };
         execute_op(&mut mem, &manager, &op).unwrap();
-        let after = manager.free_units(&mut mem, ResKind::Car, 3).unwrap().unwrap();
+        let after = manager
+            .free_units(&mut mem, ResKind::Car, 3)
+            .unwrap()
+            .unwrap();
         assert_eq!(after, before - 1);
         assert_eq!(manager.total_used(&mut mem).unwrap(), 1);
         assert_eq!(manager.total_reservations(&mut mem).unwrap(), 1);
@@ -530,7 +538,10 @@ mod tests {
             },
         )
         .unwrap();
-        let rec = manager.record(&mut mem, ResKind::Flight, 5).unwrap().unwrap();
+        let rec = manager
+            .record(&mut mem, ResKind::Flight, 5)
+            .unwrap()
+            .unwrap();
         assert_eq!(mem.read(rec.offset(REC_PRICE)).unwrap(), 777);
     }
 
@@ -557,8 +568,7 @@ mod tests {
         // SwissTM, single-threaded, fixed stream.
         let sw_used = {
             let runtime = SwisstmRuntime::new(params.substrate_config());
-            let manager =
-                Manager::populate(&mut runtime.direct(), &params).expect("populate");
+            let manager = Manager::populate(&mut runtime.direct(), &params).expect("populate");
             let mut thread = runtime.register_thread();
             let mut rng = DetRng::new(123);
             for _ in 0..25 {
@@ -570,8 +580,7 @@ mod tests {
         // TLSTM, same stream, 2 tasks per transaction.
         let tl_used = {
             let runtime = TlstmRuntime::new(params.substrate_config());
-            let manager =
-                Manager::populate(&mut runtime.direct(), &params).expect("populate");
+            let manager = Manager::populate(&mut runtime.direct(), &params).expect("populate");
             let uthread = runtime.register_uthread(2);
             let mut rng = DetRng::new(123);
             for _ in 0..25 {

@@ -1,0 +1,273 @@
+//! Minimal `criterion` API shim.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! provides the subset of the criterion API the workspace's `harness = false`
+//! bench targets use: [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurements are wall-clock medians over `sample_size` samples,
+//! printed as plain text; there is no statistical analysis or HTML report.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records its median time per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run for the configured duration to stabilise caches/JIT-y
+        // effects, and to estimate how many iterations fit in one sample.
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_up_end {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let sample_budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = started.elapsed().as_nanos() as f64;
+            sample_ns.push(elapsed / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.result_ns = Some(sample_ns[sample_ns.len() / 2]);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut bencher = Bencher {
+            config: self.criterion,
+            result_ns: None,
+        };
+        f(&mut bencher);
+        match bencher.result_ns {
+            Some(ns) => println!("{}/{}: {}", self.name, id, format_ns(ns)),
+            None => println!("{}/{}: no measurement taken", self.name, id),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function outside of any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher<'_>)) -> &mut Self {
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        };
+        group.run_one("", f);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a configured
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(5e3).contains("µs"));
+        assert!(format_ns(5e6).contains("ms"));
+        assert!(format_ns(5e9).contains("s/iter"));
+    }
+}

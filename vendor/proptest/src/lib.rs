@@ -1,0 +1,791 @@
+//! Minimal `proptest` API shim.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! provides the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros, the
+//! [`Strategy`] trait with `prop_map` / `boxed`, integer range strategies,
+//! tuple strategies, [`collection::vec`], [`option::of`], [`any`], and
+//! [`ProptestConfig`].
+//!
+//! Test cases are generated from a deterministic seeded RNG (override the
+//! base seed with the `PROPTEST_SEED` environment variable to replay a run).
+//! On failure the runner greedily shrinks each argument — collection
+//! strategies shrink by dropping chunks and single elements, scalar
+//! strategies shrink toward their lower bound — and reports the minimal
+//! failing input it found.
+
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// --- deterministic RNG ------------------------------------------------------
+
+/// Deterministic RNG (splitmix64) driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// The base seed: `PROPTEST_SEED` env var, or a fixed default.
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D)
+}
+
+// --- config -----------------------------------------------------------------
+
+/// Runner configuration, selected with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Maximum number of shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+// --- Strategy ---------------------------------------------------------------
+
+/// A generator (and shrinker) of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value, best-first.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        W: Clone + fmt::Debug,
+        F: Fn(Self::Value) -> W,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Strategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V: Clone + fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.inner.shrink(value)
+    }
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, W, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    W: Clone + fmt::Debug,
+    F: Fn(S::Value) -> W,
+{
+    type Value = W;
+    fn generate(&self, rng: &mut TestRng) -> W {
+        (self.f)(self.inner.generate(rng))
+    }
+    // Mapped values cannot be un-mapped, so element-level shrinking stops
+    // here; containers above (vec/option/tuples) still shrink structurally.
+}
+
+/// Strategy that always yields a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies of the same value type
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + fmt::Debug> Union<V> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Clone + fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+// --- integer strategies -----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let lo = self.start;
+                let v = *value;
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+// --- Arbitrary / any --------------------------------------------------------
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Clone + fmt::Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Proposes simpler candidates for a failing value.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    if v - 1 != 0 && v - 1 != v / 2 {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- tuple strategies -------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+// --- collection strategies --------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::*;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { min: len, max: len }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let len = value.len();
+            let min = self.size.min;
+            // Structural shrinks first: halves, then single-element removals.
+            if len > min {
+                let half = (len / 2).max(min);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[len - half..].to_vec());
+                }
+                let removable = len.min(24);
+                for i in 0..removable {
+                    let mut shorter = Vec::with_capacity(len - 1);
+                    shorter.extend_from_slice(&value[..i]);
+                    shorter.extend_from_slice(&value[i + 1..]);
+                    out.push(shorter);
+                }
+            }
+            // Element-level shrinks on a bounded prefix.
+            for (i, elem) in value.iter().enumerate().take(16) {
+                for candidate in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use super::*;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(v).into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+}
+
+// --- runner -----------------------------------------------------------------
+
+/// A tuple of per-argument strategies, as assembled by the [`proptest!`]
+/// macro. Implemented for tuples of up to five strategies.
+pub trait ArgStrategies {
+    /// The tuple of generated argument values.
+    type Values: Clone + fmt::Debug;
+
+    /// Generates one value per argument.
+    fn generate(&self, rng: &mut TestRng) -> Self::Values;
+
+    /// Tries per-argument shrink candidates (holding the other arguments
+    /// fixed) and returns the first candidate `still_fails` accepts.
+    fn shrink_step(
+        &self,
+        values: &Self::Values,
+        still_fails: &mut dyn FnMut(&Self::Values) -> bool,
+    ) -> Option<Self::Values>;
+}
+
+macro_rules! arg_strategies {
+    ($(($($s:ident/$idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> ArgStrategies for ($($s,)+) {
+            type Values = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink_step(
+                &self,
+                values: &Self::Values,
+                still_fails: &mut dyn FnMut(&Self::Values) -> bool,
+            ) -> Option<Self::Values> {
+                $(
+                    for candidate in self.$idx.shrink(&values.$idx) {
+                        let mut next = values.clone();
+                        next.$idx = candidate;
+                        if still_fails(&next) {
+                            return Some(next);
+                        }
+                    }
+                )+
+                None
+            }
+        }
+    )+};
+}
+
+arg_strategies! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Drives one `proptest!`-declared test: generates `config.cases` inputs,
+/// and on failure shrinks greedily before panicking with the minimal input.
+pub fn run_proptest<A: ArgStrategies>(
+    config: &ProptestConfig,
+    name: &str,
+    strategies: A,
+    test: impl Fn(A::Values),
+) {
+    let seed = base_seed();
+    for case in 0..config.cases {
+        let mut rng = TestRng::from_seed(
+            seed.wrapping_add(u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407)),
+        );
+        let values = strategies.generate(&mut rng);
+        let failed = catch_unwind(AssertUnwindSafe(|| test(values.clone()))).is_err();
+        if !failed {
+            continue;
+        }
+        // Shrink: keep taking the first simpler input that still fails.
+        let mut current = values;
+        let mut attempts = 0u32;
+        let budget = config.max_shrink_iters;
+        loop {
+            let mut still_fails = |candidate: &A::Values| {
+                attempts += 1;
+                attempts <= budget
+                    && catch_unwind(AssertUnwindSafe(|| test(candidate.clone()))).is_err()
+            };
+            match strategies.shrink_step(&current, &mut still_fails) {
+                Some(simpler) if attempts <= budget => current = simpler,
+                _ => break,
+            }
+        }
+        // Re-run the minimal input so its panic message is the one reported.
+        let result = catch_unwind(AssertUnwindSafe(|| test(current.clone())));
+        panic!(
+            "proptest `{name}` failed (case {case}/{}, seed {seed}).\n\
+             Minimal failing input: {current:?}\n\
+             Failure: {}",
+            config.cases,
+            match &result {
+                Err(e) => e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>")
+                    .to_string(),
+                Ok(()) => "input no longer fails after shrinking (flaky test?)".to_string(),
+            }
+        );
+    }
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            $crate::run_proptest(&config, stringify!($name), strategies, |($($arg,)+)| {
+                $body
+            });
+        }
+    )*};
+}
+
+/// Uniform choice between strategies; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides equal `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{collection, ArgStrategies, Strategy, TestRng};
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (5..10u64).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let w = (0..3usize).generate(&mut rng);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = collection::vec((0..100u64, any::<u64>()), 1..20);
+        let a: Vec<_> = {
+            let mut rng = TestRng::from_seed(9);
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::from_seed(9);
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_shrinks_shorter() {
+        let strat = collection::vec(0..50u64, 3..10);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            for cand in strat.shrink(&v) {
+                assert!(cand.len() >= 3);
+                assert!(cand.len() <= v.len());
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_draws_from_every_arm() {
+        let strat = prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn shrink_step_finds_failing_candidate() {
+        // A "test" that fails whenever the value is >= 10: shrinking from 40
+        // must walk down but never below 10.
+        let strategies = (0..100u64,);
+        let failing = (40u64,);
+        let mut still_fails = |v: &(u64,)| v.0 >= 10;
+        let step = strategies.shrink_step(&failing, &mut still_fails);
+        assert!(step.is_some());
+        assert!(step.unwrap().0 < 40);
+    }
+
+    #[test]
+    fn option_of_generates_both_variants() {
+        let strat = crate::option::of(0..5u64);
+        let mut rng = TestRng::from_seed(4);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(xs in prop::collection::vec(0..100u64, 0..20), flag in any::<bool>()) {
+            let _ = flag;
+            let sum: u64 = xs.iter().sum();
+            prop_assert!(sum <= 100 * 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert_ne!(sum + 1, sum);
+        }
+    }
+}
