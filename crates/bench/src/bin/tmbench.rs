@@ -1,0 +1,352 @@
+//! `tmbench` — the unified benchmark runner of the TLSTM reproduction.
+//!
+//! One tool drives every workload (red-black tree, Vacation low/high,
+//! STMBench7 read/write mixes) on both runtimes (SwissTM, TLSTM) over a
+//! configurable thread matrix, prints a human-readable table, and emits the
+//! versioned JSON report the CI perf-smoke gate consumes.
+//!
+//! ```text
+//! tmbench --quick --out BENCH_results.json        # measure, write report
+//! tmbench --baseline BENCH_baseline.json --gate 10
+//!                                                 # diff current vs baseline
+//! tmbench --check-schema BENCH_results.json       # validate a report file
+//! ```
+//!
+//! Run `tmbench --help` for the full flag list. Exit codes: 0 on success,
+//! 1 on regression/validation failure, 2 on usage errors.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tlstm_bench::report::{diff_reports, BenchReport};
+use tlstm_bench::scenarios::{build_scenarios, run_matrix, MatrixSelection, RuntimeKind};
+use tlstm_bench::{cell, env_u32, env_u64, DEFAULT_BENCH_MS};
+use tlstm_workloads::WorkloadConfig;
+
+/// Duration per data point for `--quick` runs when nothing overrides it.
+const QUICK_BENCH_MS: u64 = 50;
+
+/// Default report path, shared with the CI workflow and `scripts/bench.sh`.
+const DEFAULT_REPORT_PATH: &str = "BENCH_results.json";
+
+const USAGE: &str = "\
+tmbench — unified TLSTM/SwissTM benchmark runner
+
+USAGE:
+    tmbench [OPTIONS]                      run the scenario matrix
+    tmbench --baseline OLD.json [--current NEW.json] --gate PCT
+                                           diff two reports, exit 1 on regression
+    tmbench --check-schema [FILE]          validate a report file
+    tmbench --list                         print the scenario matrix and exit
+
+MEASUREMENT OPTIONS:
+    --quick              short runs (50 ms/point) for smoke testing
+    --duration-ms N      measured duration per data point
+                         (default: TLSTM_BENCH_MS, else 300; 50 with --quick)
+    --reps N             repetitions to average (default: TLSTM_BENCH_REPS, else 1)
+    --seed N             workload RNG seed (default: 0xC0FFEE)
+    --threads A,B,...    thread counts to measure (default: 1)
+    --workloads LIST     comma-separated families: rbtree,vacation,stmbench7
+                         (default: all)
+    --runtimes LIST      comma-separated runtimes: swisstm,tlstm (default: both)
+    --out FILE           write the JSON report to FILE
+
+GATE OPTIONS:
+    --baseline FILE      baseline report to diff against
+    --current FILE       current report (default: BENCH_results.json)
+    --gate PCT           regression threshold in percent (default: 10)
+
+MISC:
+    --check-schema [FILE]  validate FILE (default: BENCH_results.json)
+    --list                 print scenario names without running anything
+    --help                 this text
+";
+
+#[derive(Debug, Default)]
+struct CliArgs {
+    quick: bool,
+    duration_ms: Option<u64>,
+    reps: Option<u32>,
+    seed: Option<u64>,
+    threads: Option<Vec<usize>>,
+    workloads: Vec<String>,
+    runtimes: Vec<RuntimeKind>,
+    out: Option<String>,
+    baseline: Option<String>,
+    current: Option<String>,
+    gate_pct: Option<f64>,
+    check_schema: Option<String>,
+    list: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs::default();
+    let mut i = 0;
+    let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => cli.quick = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => cli.help = true,
+            "--duration-ms" => {
+                let v = value_of(&mut i, arg)?;
+                cli.duration_ms = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --duration-ms '{v}': {e}"))?,
+                );
+            }
+            "--reps" => {
+                let v = value_of(&mut i, arg)?;
+                cli.reps = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --reps '{v}': {e}"))?,
+                );
+            }
+            "--seed" => {
+                let v = value_of(&mut i, arg)?;
+                cli.seed = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --seed '{v}': {e}"))?,
+                );
+            }
+            "--threads" => {
+                let v = value_of(&mut i, arg)?;
+                let mut threads = Vec::new();
+                for part in v.split(',') {
+                    let n: usize = part
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("invalid thread count '{part}': {e}"))?;
+                    if n == 0 {
+                        return Err("thread counts must be positive".to_string());
+                    }
+                    threads.push(n);
+                }
+                // Dedupe (keeping order): repeated counts would produce
+                // duplicate scenario names, which the report schema rejects.
+                let mut seen = std::collections::HashSet::new();
+                threads.retain(|n| seen.insert(*n));
+                if threads.is_empty() {
+                    return Err("--threads needs at least one count".to_string());
+                }
+                cli.threads = Some(threads);
+            }
+            "--workloads" => {
+                let v = value_of(&mut i, arg)?;
+                for part in v.split(',') {
+                    let family = part.trim().to_lowercase();
+                    if !["rbtree", "vacation", "stmbench7"].contains(&family.as_str()) {
+                        return Err(format!(
+                            "unknown workload family '{family}' (want rbtree, vacation or stmbench7)"
+                        ));
+                    }
+                    cli.workloads.push(family);
+                }
+            }
+            "--runtimes" => {
+                let v = value_of(&mut i, arg)?;
+                for part in v.split(',') {
+                    let runtime = match part.trim().to_lowercase().as_str() {
+                        "swisstm" => RuntimeKind::Swisstm,
+                        "tlstm" => RuntimeKind::Tlstm,
+                        other => {
+                            return Err(format!(
+                                "unknown runtime '{other}' (want swisstm or tlstm)"
+                            ))
+                        }
+                    };
+                    if !cli.runtimes.contains(&runtime) {
+                        cli.runtimes.push(runtime);
+                    }
+                }
+            }
+            "--out" => cli.out = Some(value_of(&mut i, arg)?),
+            "--baseline" => cli.baseline = Some(value_of(&mut i, arg)?),
+            "--current" => cli.current = Some(value_of(&mut i, arg)?),
+            "--gate" => {
+                let v = value_of(&mut i, arg)?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|e| format!("invalid --gate '{v}': {e}"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!("--gate must be in 0..=100, got {pct}"));
+                }
+                cli.gate_pct = Some(pct);
+            }
+            "--check-schema" => {
+                // Optional value: a following token that is not a flag.
+                let file = match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => DEFAULT_REPORT_PATH.to_string(),
+                };
+                cli.check_schema = Some(file);
+            }
+            other => return Err(format!("unknown flag '{other}' (see --help)")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text)
+        .map_err(|errors| format!("{path} is invalid:\n  {}", errors.join("\n  ")))
+}
+
+fn workload_config(cli: &CliArgs) -> WorkloadConfig {
+    let default_ms = if cli.quick {
+        QUICK_BENCH_MS
+    } else {
+        DEFAULT_BENCH_MS
+    };
+    let ms = cli
+        .duration_ms
+        .unwrap_or_else(|| env_u64("TLSTM_BENCH_MS", default_ms));
+    let reps = cli.reps.unwrap_or_else(|| env_u32("TLSTM_BENCH_REPS", 1));
+    let seed = cli
+        .seed
+        .unwrap_or_else(|| env_u64("TLSTM_BENCH_SEED", 0xC0FFEE));
+    WorkloadConfig {
+        duration: Duration::from_millis(ms.max(1)),
+        repetitions: reps.max(1),
+        seed,
+    }
+}
+
+fn print_report_table(report: &BenchReport) {
+    println!(
+        "# tmbench report (schema v{}, {} ms/point, {} rep{})",
+        report.schema_version,
+        report.duration_ms,
+        report.repetitions,
+        if report.repetitions == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:<34} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "scenario", "ops/s", "mean µs", "p99 µs", "commits", "aborts"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<34} {:>14} {:>12} {:>12} {:>10} {:>10}",
+            s.name,
+            cell(s.ops_per_sec),
+            cell(s.latency.mean_ns / 1e3),
+            cell(s.latency.p99_ns as f64 / 1e3),
+            s.stats.tx_commits,
+            s.stats.total_aborts(),
+        );
+    }
+}
+
+fn run_gate(cli: &CliArgs) -> ExitCode {
+    let baseline_path = cli
+        .baseline
+        .as_deref()
+        .expect("gate mode requires --baseline");
+    let current_path = cli.current.as_deref().unwrap_or(DEFAULT_REPORT_PATH);
+    let gate_pct = cli.gate_pct.unwrap_or(10.0);
+    let (baseline, current) = match (load_report(baseline_path), load_report(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = diff_reports(&baseline, &current, gate_pct);
+    println!("# gate: {current_path} vs baseline {baseline_path} (threshold {gate_pct}%)");
+    print!("{outcome}");
+    if outcome.has_regressions() {
+        let n = outcome.regressions().count() + outcome.missing_in_current.len();
+        eprintln!("gate FAILED: {n} regression(s) beyond {gate_pct}%");
+        ExitCode::from(1)
+    } else {
+        println!("gate passed: no scenario regressed beyond {gate_pct}%");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_check_schema(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = BenchReport::validate(&text);
+    if problems.is_empty() {
+        println!("{path}: schema OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{path}: schema INVALID");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &cli.check_schema {
+        return run_check_schema(path);
+    }
+    if cli.baseline.is_some() {
+        return run_gate(&cli);
+    }
+
+    let selection = MatrixSelection {
+        threads: cli.threads.clone().unwrap_or_else(|| vec![1]),
+        workload_families: cli.workloads.clone(),
+        runtimes: cli.runtimes.clone(),
+    };
+    let scenarios = build_scenarios(&selection);
+    if scenarios.is_empty() {
+        eprintln!("error: the selected matrix is empty");
+        return ExitCode::from(2);
+    }
+    if cli.list {
+        for spec in &scenarios {
+            println!("{}", spec.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = workload_config(&cli);
+    let report = run_matrix(&scenarios, &config, cli.quick, |i, total, spec| {
+        eprintln!("[{}/{}] {}", i + 1, total, spec.name());
+    });
+    print_report_table(&report);
+    if let Some(path) = &cli.out {
+        if let Err(e) = std::fs::write(path, report.to_json_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

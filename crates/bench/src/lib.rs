@@ -1,8 +1,16 @@
-//! Helpers shared by the figure-regeneration binaries of the TLSTM
-//! reproduction (`fig1a`, `fig1b`, `fig2a`, `fig2b`).
+//! Benchmark tooling for the TLSTM reproduction.
 //!
-//! Each binary prints the same series the corresponding figure of the paper
-//! plots, as a plain-text table that can be redirected into EXPERIMENTS.md.
+//! Three layers live here:
+//!
+//! * [`report`] — the versioned JSON benchmark report (`BENCH_results.json`),
+//!   its validation, and the baseline-diff regression gate;
+//! * [`scenarios`] — the workload × runtime × thread × task matrix driven by
+//!   the `tmbench` binary;
+//! * [`json`] — the dependency-free JSON layer the report is built on.
+//!
+//! plus the helpers shared by the figure-regeneration binaries (`fig1a`,
+//! `fig1b`, `fig2a`, `fig2b`), which print the same series the corresponding
+//! figures of the paper plot as plain-text tables.
 
 #![warn(missing_docs)]
 
@@ -10,20 +18,66 @@ use std::time::Duration;
 
 use tlstm_workloads::WorkloadConfig;
 
-/// Builds the workload configuration used by the figure binaries.
+pub mod json;
+pub mod report;
+pub mod scenarios;
+
+/// Default measured duration per data point, in milliseconds, when neither
+/// `TLSTM_BENCH_MS` nor a CLI flag overrides it.
+pub const DEFAULT_BENCH_MS: u64 = 300;
+
+/// Parses the raw value of the environment variable `name` as a `u64`,
+/// falling back to `default` — loudly, on stderr — when the value is present
+/// but malformed. Pass `raw = None` when the variable is unset (silent
+/// fallback).
 ///
-/// The measured duration per data point defaults to 300 ms and can be
-/// overridden with the `TLSTM_BENCH_MS` environment variable; the repetition
-/// count (the paper averages three runs) with `TLSTM_BENCH_REPS`.
+/// This is the single place the `TLSTM_BENCH_*` variables are interpreted;
+/// the raw value is a parameter so the parsing rules are testable without
+/// mutating the process environment.
+pub fn parse_env_u64(name: &str, raw: Option<&str>, default: u64) -> u64 {
+    match raw {
+        None => default,
+        Some(text) => match text.trim().parse::<u64>() {
+            Ok(value) => value,
+            Err(err) => {
+                eprintln!(
+                    "warning: ignoring malformed {name}={text:?} ({err}); using default {default}"
+                );
+                default
+            }
+        },
+    }
+}
+
+/// Reads the environment variable `name` as a `u64` via [`parse_env_u64`].
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    let raw = std::env::var(name).ok();
+    parse_env_u64(name, raw.as_deref(), default)
+}
+
+/// Reads the environment variable `name` as a `u32` via [`env_u64`], warning
+/// and falling back to `default` when the value exceeds `u32::MAX`.
+pub fn env_u32(name: &str, default: u32) -> u32 {
+    let value = env_u64(name, u64::from(default));
+    u32::try_from(value).unwrap_or_else(|_| {
+        eprintln!(
+            "warning: {name}={value} exceeds {}; using default {default}",
+            u32::MAX
+        );
+        default
+    })
+}
+
+/// Builds the workload configuration used by the figure binaries and
+/// `tmbench`.
+///
+/// The measured duration per data point defaults to [`DEFAULT_BENCH_MS`] and
+/// can be overridden with the `TLSTM_BENCH_MS` environment variable; the
+/// repetition count (the paper averages three runs) with `TLSTM_BENCH_REPS`.
+/// Malformed values fall back to the defaults with a warning on stderr.
 pub fn config_from_env() -> WorkloadConfig {
-    let ms = std::env::var("TLSTM_BENCH_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(300);
-    let reps = std::env::var("TLSTM_BENCH_REPS")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-        .unwrap_or(1);
+    let ms = env_u64("TLSTM_BENCH_MS", DEFAULT_BENCH_MS);
+    let reps = env_u32("TLSTM_BENCH_REPS", 1);
     WorkloadConfig {
         duration: Duration::from_millis(ms),
         repetitions: reps,
@@ -49,12 +103,54 @@ pub fn cell(value: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tlstm_testutil::EnvVarGuard;
 
     #[test]
     fn env_defaults_are_sane() {
+        let _lock = EnvVarGuard::lock_only();
         let cfg = config_from_env();
         assert!(cfg.duration >= Duration::from_millis(1));
         assert!(cfg.repetitions >= 1);
+    }
+
+    #[test]
+    fn parse_env_u64_accepts_valid_values() {
+        assert_eq!(parse_env_u64("X", Some("150"), 300), 150);
+        assert_eq!(
+            parse_env_u64("X", Some(" 42 "), 300),
+            42,
+            "whitespace tolerated"
+        );
+        assert_eq!(
+            parse_env_u64("X", None, 300),
+            300,
+            "unset falls back silently"
+        );
+    }
+
+    #[test]
+    fn parse_env_u64_warns_and_defaults_on_malformed_values() {
+        for bad in ["abc", "", "12ms", "-5", "1.5"] {
+            assert_eq!(parse_env_u64("TLSTM_BENCH_MS", Some(bad), 300), 300);
+        }
+    }
+
+    #[test]
+    fn config_from_env_survives_malformed_environment() {
+        let _ms = EnvVarGuard::set("TLSTM_BENCH_MS", "not-a-number");
+        let _reps = EnvVarGuard::set_unlocked("TLSTM_BENCH_REPS", "3");
+        let cfg = config_from_env();
+        assert_eq!(cfg.duration, Duration::from_millis(DEFAULT_BENCH_MS));
+        assert_eq!(cfg.repetitions, 3);
+    }
+
+    #[test]
+    fn env_u32_rejects_overflowing_values() {
+        let _reps = EnvVarGuard::set("TLSTM_BENCH_REPS", "4294967296");
+        assert_eq!(env_u32("TLSTM_BENCH_REPS", 1), 1, "overflow falls back");
+        drop(_reps);
+        let _reps = EnvVarGuard::set("TLSTM_BENCH_REPS", "7");
+        assert_eq!(env_u32("TLSTM_BENCH_REPS", 1), 7);
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! The versioned `tmbench` benchmark report: schema, (de)serialisation,
+//! validation, and the baseline-diff regression gate.
+//!
+//! A [`BenchReport`] is what one `tmbench` invocation produces: one
+//! [`ScenarioResult`] per (workload, runtime, threads, tasks) combination,
+//! each carrying throughput, a per-transaction latency summary and the full
+//! abort-cause breakdown from the runtime's sharded statistics counters.
+//! Reports serialise to deterministic pretty-printed JSON
+//! (`BENCH_results.json`), parse back losslessly, and can be diffed against a
+//! baseline report with a regression threshold — the CI perf-smoke gate.
+//!
+//! The schema is versioned via [`SCHEMA_VERSION`]; [`BenchReport::validate`]
+//! (exposed as `tmbench --check-schema`) rejects reports whose version or
+//! shape has drifted, so the format cannot change silently.
+
+use std::fmt;
+
+use txmem::StatsSnapshot;
+
+use crate::json::{Json, JsonError};
+
+/// Version of the `BENCH_results.json` schema produced by this build.
+///
+/// Bump on any incompatible change to the report shape, and teach
+/// [`BenchReport::parse`] about the old versions you still want to read.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Summary of a per-transaction latency distribution, in nanoseconds.
+///
+/// Quantiles come from a log₂-bucketed histogram, so they are upper bounds
+/// with one-power-of-two resolution (see
+/// `tlstm_workloads::harness::LatencyHistogram`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Median (p50) latency.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Largest observed latency.
+    pub max_ns: u64,
+    /// Number of samples the summary is built from.
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("p50_ns", Json::Num(self.p50_ns as f64)),
+            ("p99_ns", Json::Num(self.p99_ns as f64)),
+            ("max_ns", Json::Num(self.max_ns as f64)),
+            ("samples", Json::Num(self.samples as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json, errors: &mut Vec<String>, context: &str) -> LatencySummary {
+        let mut field = |name: &str| -> f64 {
+            match value.get(name).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => {
+                    errors.push(format!(
+                        "{context}: missing or invalid latency field '{name}'"
+                    ));
+                    0.0
+                }
+            }
+        };
+        LatencySummary {
+            mean_ns: field("mean_ns"),
+            p50_ns: field("p50_ns") as u64,
+            p99_ns: field("p99_ns") as u64,
+            max_ns: field("max_ns") as u64,
+            samples: field("samples") as u64,
+        }
+    }
+}
+
+/// The result of one benchmark scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Unique scenario identifier, e.g. `rbtree-n16/tlstm/t1/k2`.
+    pub name: String,
+    /// Workload family (`rbtree`, `vacation-low`, `vacation-high`,
+    /// `stmbench7-r90`, ...).
+    pub workload: String,
+    /// Runtime under test (`swisstm` or `tlstm`).
+    pub runtime: String,
+    /// Number of user-threads driving the workload.
+    pub threads: usize,
+    /// Tasks each user-transaction is split into (1 under SwissTM).
+    pub tasks_per_txn: usize,
+    /// Committed operations over the measured duration.
+    pub ops: u64,
+    /// Measured wall-clock duration in milliseconds.
+    pub elapsed_ms: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Per-user-transaction latency summary.
+    pub latency: LatencySummary,
+    /// Full runtime statistics for the run: commits, aborts by cause,
+    /// validations, contention-manager decisions.
+    pub stats: StatsSnapshot,
+}
+
+impl ScenarioResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("runtime", Json::Str(self.runtime.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("tasks_per_txn", Json::Num(self.tasks_per_txn as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("elapsed_ms", Json::Num(self.elapsed_ms)),
+            ("ops_per_sec", Json::Num(self.ops_per_sec)),
+            ("txn_latency", self.latency.to_json()),
+            (
+                "stats",
+                Json::Obj(
+                    self.stats
+                        .fields()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json, index: usize, errors: &mut Vec<String>) -> ScenarioResult {
+        let context = format!("scenarios[{index}]");
+        let str_field = |name: &str, errors: &mut Vec<String>| -> String {
+            match value.get(name).and_then(Json::as_str) {
+                Some(s) if !s.is_empty() => s.to_string(),
+                _ => {
+                    errors.push(format!("{context}: missing or empty string field '{name}'"));
+                    String::new()
+                }
+            }
+        };
+        let num_field = |name: &str, errors: &mut Vec<String>| -> f64 {
+            match value.get(name).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => {
+                    errors.push(format!(
+                        "{context}: missing or invalid number field '{name}'"
+                    ));
+                    0.0
+                }
+            }
+        };
+        let name = str_field("name", errors);
+        let workload = str_field("workload", errors);
+        let runtime = str_field("runtime", errors);
+        let threads = num_field("threads", errors) as usize;
+        let tasks_per_txn = num_field("tasks_per_txn", errors) as usize;
+        let ops = num_field("ops", errors) as u64;
+        let elapsed_ms = num_field("elapsed_ms", errors);
+        let ops_per_sec = num_field("ops_per_sec", errors);
+        let latency = match value.get("txn_latency") {
+            Some(obj) if obj.as_object().is_some() => {
+                LatencySummary::from_json(obj, errors, &context)
+            }
+            _ => {
+                errors.push(format!("{context}: missing object field 'txn_latency'"));
+                LatencySummary {
+                    mean_ns: 0.0,
+                    p50_ns: 0,
+                    p99_ns: 0,
+                    max_ns: 0,
+                    samples: 0,
+                }
+            }
+        };
+        let mut stats = StatsSnapshot::default();
+        match value.get("stats").and_then(Json::as_object) {
+            None => errors.push(format!("{context}: missing object field 'stats'")),
+            Some(pairs) => {
+                let mut seen = std::collections::HashSet::new();
+                for (key, v) in pairs {
+                    match v.as_u64() {
+                        None => errors.push(format!(
+                            "{context}: stats counter '{key}' is not a non-negative integer"
+                        )),
+                        Some(n) => {
+                            if stats.set_field(key, n) {
+                                seen.insert(key.as_str());
+                            } else {
+                                errors.push(format!("{context}: unknown stats counter '{key}'"));
+                            }
+                        }
+                    }
+                }
+                // Every known counter must be present: a build silently
+                // dropping one is exactly the drift --check-schema exists to
+                // catch.
+                for (name, _) in StatsSnapshot::default().fields() {
+                    if !seen.contains(name) {
+                        errors.push(format!("{context}: missing stats counter '{name}'"));
+                    }
+                }
+            }
+        }
+        ScenarioResult {
+            name,
+            workload,
+            runtime,
+            threads,
+            tasks_per_txn,
+            ops,
+            elapsed_ms,
+            ops_per_sec,
+            latency,
+            stats,
+        }
+    }
+}
+
+/// A full `tmbench` report: run-level metadata plus one result per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] for reports produced by this build).
+    pub schema_version: u64,
+    /// `true` when produced by a `--quick` run (short durations; numbers are
+    /// smoke-level, not publication-level).
+    pub quick: bool,
+    /// Measured duration per scenario data point, in milliseconds.
+    pub duration_ms: u64,
+    /// Repetitions averaged per scenario.
+    pub repetitions: u32,
+    /// The scenario results, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Serialises the report as deterministic pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("tool", Json::Str("tmbench".to_string())),
+            ("quick", Json::Bool(self.quick)),
+            ("duration_ms", Json::Num(self.duration_ms as f64)),
+            ("repetitions", Json::Num(f64::from(self.repetitions))),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioResult::to_json).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Parses and validates a serialised report.
+    ///
+    /// # Errors
+    ///
+    /// Returns every problem found (malformed JSON, wrong schema version,
+    /// missing or mistyped fields, unknown stats counters) as a list of
+    /// human-readable messages.
+    pub fn parse(text: &str) -> Result<BenchReport, Vec<String>> {
+        let value = Json::parse(text).map_err(|e: JsonError| vec![e.to_string()])?;
+        let mut errors = Vec::new();
+        let schema_version = match value.get("schema_version").and_then(Json::as_u64) {
+            Some(v) => {
+                if v != SCHEMA_VERSION {
+                    errors.push(format!(
+                        "unsupported schema_version {v} (this build reads {SCHEMA_VERSION})"
+                    ));
+                }
+                v
+            }
+            None => {
+                errors.push("missing numeric field 'schema_version'".to_string());
+                0
+            }
+        };
+        if value.get("tool").and_then(Json::as_str) != Some("tmbench") {
+            errors.push("missing or unexpected 'tool' field (want \"tmbench\")".to_string());
+        }
+        let quick = value
+            .get("quick")
+            .and_then(Json::as_bool)
+            .unwrap_or_else(|| {
+                errors.push("missing boolean field 'quick'".to_string());
+                false
+            });
+        let duration_ms = value
+            .get("duration_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| {
+                errors.push("missing numeric field 'duration_ms'".to_string());
+                0
+            });
+        let repetitions = value
+            .get("repetitions")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| {
+                errors.push("missing numeric field 'repetitions'".to_string());
+                0
+            }) as u32;
+        let scenarios = match value.get("scenarios").and_then(Json::as_array) {
+            None => {
+                errors.push("missing array field 'scenarios'".to_string());
+                Vec::new()
+            }
+            Some(items) => {
+                if items.is_empty() {
+                    errors.push("'scenarios' must not be empty".to_string());
+                }
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| ScenarioResult::from_json(item, i, &mut errors))
+                    .collect()
+            }
+        };
+        let mut names = std::collections::HashSet::new();
+        for s in &scenarios {
+            if !s.name.is_empty() && !names.insert(s.name.clone()) {
+                errors.push(format!("duplicate scenario name '{}'", s.name));
+            }
+        }
+        if errors.is_empty() {
+            Ok(BenchReport {
+                schema_version,
+                quick,
+                duration_ms,
+                repetitions,
+                scenarios,
+            })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Validates a serialised report, returning the problems found (empty
+    /// means valid). This is what `tmbench --check-schema` runs.
+    pub fn validate(text: &str) -> Vec<String> {
+        match Self::parse(text) {
+            Ok(_) => Vec::new(),
+            Err(errors) => errors,
+        }
+    }
+
+    /// Number of distinct workloads covered by the report.
+    pub fn distinct_workloads(&self) -> usize {
+        let set: std::collections::HashSet<&str> =
+            self.scenarios.iter().map(|s| s.workload.as_str()).collect();
+        set.len()
+    }
+
+    /// Number of distinct runtimes covered by the report.
+    pub fn distinct_runtimes(&self) -> usize {
+        let set: std::collections::HashSet<&str> =
+            self.scenarios.iter().map(|s| s.runtime.as_str()).collect();
+        set.len()
+    }
+}
+
+/// Comparison of one scenario between a baseline and a current report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDiff {
+    /// Scenario name (present in both reports).
+    pub name: String,
+    /// Baseline throughput, ops/s.
+    pub baseline_ops_per_sec: f64,
+    /// Current throughput, ops/s.
+    pub current_ops_per_sec: f64,
+    /// Relative throughput change in percent (negative = slower).
+    pub delta_pct: f64,
+    /// `true` if the slowdown exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of diffing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffOutcome {
+    /// Per-scenario comparisons for scenarios present in both reports.
+    pub diffs: Vec<ScenarioDiff>,
+    /// Scenario names present in the baseline but missing from the current
+    /// report (treated as regressions: coverage must not silently shrink).
+    pub missing_in_current: Vec<String>,
+    /// Scenario names only present in the current report (informational).
+    pub added_in_current: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// `true` if any scenario regressed beyond the gate, or baseline coverage
+    /// was lost.
+    pub fn has_regressions(&self) -> bool {
+        !self.missing_in_current.is_empty() || self.diffs.iter().any(|d| d.regressed)
+    }
+
+    /// The scenarios that regressed beyond the gate.
+    pub fn regressions(&self) -> impl Iterator<Item = &ScenarioDiff> {
+        self.diffs.iter().filter(|d| d.regressed)
+    }
+}
+
+impl fmt::Display for DiffOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diffs {
+            writeln!(
+                f,
+                "{} {:>12.0} -> {:>12.0} ops/s  {:+6.1}%{}",
+                pad_name(&d.name),
+                d.baseline_ops_per_sec,
+                d.current_ops_per_sec,
+                d.delta_pct,
+                if d.regressed { "  REGRESSED" } else { "" }
+            )?;
+        }
+        for name in &self.missing_in_current {
+            writeln!(f, "{} MISSING from current report", pad_name(name))?;
+        }
+        for name in &self.added_in_current {
+            writeln!(f, "{} new in current report", pad_name(name))?;
+        }
+        Ok(())
+    }
+}
+
+fn pad_name(name: &str) -> String {
+    format!("{name:<34}")
+}
+
+/// Diffs `current` against `baseline` with a regression gate of `gate_pct`
+/// percent: a scenario regresses when its throughput drops by strictly more
+/// than `gate_pct`% of the baseline. Scenarios are matched by name.
+pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, gate_pct: f64) -> DiffOutcome {
+    let mut outcome = DiffOutcome::default();
+    for base in &baseline.scenarios {
+        match current.scenarios.iter().find(|s| s.name == base.name) {
+            None => outcome.missing_in_current.push(base.name.clone()),
+            Some(cur) => {
+                let delta_pct = if base.ops_per_sec > 0.0 {
+                    (cur.ops_per_sec - base.ops_per_sec) / base.ops_per_sec * 100.0
+                } else {
+                    0.0
+                };
+                outcome.diffs.push(ScenarioDiff {
+                    name: base.name.clone(),
+                    baseline_ops_per_sec: base.ops_per_sec,
+                    current_ops_per_sec: cur.ops_per_sec,
+                    delta_pct,
+                    regressed: delta_pct < -gate_pct,
+                });
+            }
+        }
+    }
+    for cur in &current.scenarios {
+        if !baseline.scenarios.iter().any(|s| s.name == cur.name) {
+            outcome.added_in_current.push(cur.name.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_scenario(name: &str, ops_per_sec: f64) -> ScenarioResult {
+        let stats = StatsSnapshot {
+            tx_commits: 1000,
+            tx_aborts: 10,
+            aborts_read_validation: 6,
+            aborts_inter_ww: 4,
+            ..Default::default()
+        };
+        ScenarioResult {
+            name: name.to_string(),
+            workload: name.split('/').next().unwrap_or("w").to_string(),
+            runtime: "swisstm".to_string(),
+            threads: 2,
+            tasks_per_txn: 1,
+            ops: 50_000,
+            elapsed_ms: 300.5,
+            ops_per_sec,
+            latency: LatencySummary {
+                mean_ns: 1234.5,
+                p50_ns: 1023,
+                p99_ns: 8191,
+                max_ns: 123_456,
+                samples: 50_000,
+            },
+            stats,
+        }
+    }
+
+    pub(crate) fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            duration_ms: 50,
+            repetitions: 1,
+            scenarios: vec![
+                sample_scenario("rbtree-n16/swisstm/t1/k1", 100_000.0),
+                sample_scenario("rbtree-n16/tlstm/t1/k2", 120_000.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let parsed = BenchReport::parse(&text).expect("roundtrip parse failed");
+        assert_eq!(parsed, report);
+        // Serialisation is deterministic.
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn validate_accepts_own_output_and_rejects_drift() {
+        let report = sample_report();
+        let good = report.to_json_string();
+        assert!(BenchReport::validate(&good).is_empty());
+
+        // Wrong schema version.
+        let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(BenchReport::validate(&bad)
+            .iter()
+            .any(|e| e.contains("schema_version")));
+
+        // Unknown stats counter (and the known one it replaced is now also
+        // reported missing).
+        let bad = good.replace("\"tx_commits\"", "\"tx_commitz\"");
+        let problems = BenchReport::validate(&bad);
+        assert!(problems.iter().any(|e| e.contains("tx_commitz")));
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("missing stats counter 'tx_commits'")));
+
+        // Missing latency object.
+        let bad = good.replace("\"txn_latency\"", "\"latencyz\"");
+        assert!(BenchReport::validate(&bad)
+            .iter()
+            .any(|e| e.contains("txn_latency")));
+
+        // Not JSON at all.
+        assert!(!BenchReport::validate("not json").is_empty());
+
+        // Empty scenario list.
+        let empty = BenchReport {
+            scenarios: Vec::new(),
+            ..sample_report()
+        };
+        assert!(BenchReport::validate(&empty.to_json_string())
+            .iter()
+            .any(|e| e.contains("must not be empty")));
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let mut report = sample_report();
+        let dup = report.scenarios[0].clone();
+        report.scenarios.push(dup);
+        assert!(BenchReport::validate(&report.to_json_string())
+            .iter()
+            .any(|e| e.contains("duplicate")));
+    }
+
+    #[test]
+    fn gate_passes_against_itself() {
+        let report = sample_report();
+        let outcome = diff_reports(&report, &report, 10.0);
+        assert!(!outcome.has_regressions());
+        assert_eq!(outcome.diffs.len(), 2);
+        assert!(outcome.missing_in_current.is_empty());
+        for d in &outcome.diffs {
+            assert_eq!(d.delta_pct, 0.0);
+        }
+    }
+
+    #[test]
+    fn gate_detects_doctored_regression() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        // 50% slowdown on the first scenario: far beyond a 10% gate.
+        current.scenarios[0].ops_per_sec = 50_000.0;
+        let outcome = diff_reports(&baseline, &current, 10.0);
+        assert!(outcome.has_regressions());
+        let regressed: Vec<_> = outcome.regressions().collect();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].name, baseline.scenarios[0].name);
+        assert!((regressed[0].delta_pct - -50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_tolerates_slowdowns_within_threshold() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        // 5% slowdown is within a 10% gate.
+        current.scenarios[0].ops_per_sec = 95_000.0;
+        let outcome = diff_reports(&baseline, &current, 10.0);
+        assert!(!outcome.has_regressions());
+        // ...but beyond a 3% gate.
+        let outcome = diff_reports(&baseline, &current, 3.0);
+        assert!(outcome.has_regressions());
+    }
+
+    #[test]
+    fn missing_scenarios_count_as_regressions() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.scenarios.remove(1);
+        let outcome = diff_reports(&baseline, &current, 10.0);
+        assert!(outcome.has_regressions());
+        assert_eq!(
+            outcome.missing_in_current,
+            vec![baseline.scenarios[1].name.clone()]
+        );
+        // Extra scenarios in current are informational only.
+        let outcome = diff_reports(&current, &baseline, 10.0);
+        assert!(!outcome.has_regressions());
+        assert_eq!(outcome.added_in_current.len(), 1);
+    }
+
+    #[test]
+    fn coverage_helpers_count_distinct_axes() {
+        let report = sample_report();
+        assert_eq!(report.distinct_workloads(), 1);
+        assert_eq!(report.distinct_runtimes(), 1);
+    }
+}

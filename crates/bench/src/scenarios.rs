@@ -1,0 +1,343 @@
+//! The `tmbench` scenario matrix: which workload × runtime × thread × task
+//! combinations a run measures, and how each is driven.
+//!
+//! The default matrix covers every workload of the paper's evaluation —
+//! the red-black-tree micro-benchmark (Figure 1a), both Vacation contention
+//! levels (Figure 1b) and both STMBench7 traversal mixes (Figures 2a/2b) —
+//! on both runtimes, at the task splits the figures use. The thread list is
+//! configurable so later scaling PRs can benchmark wider matrices with the
+//! same tool.
+
+use tlstm_workloads::harness::RunMetrics;
+use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
+use tlstm_workloads::stmbench7::{self, Stmbench7Params};
+use tlstm_workloads::vacation::{self, VacationParams};
+use tlstm_workloads::WorkloadConfig;
+
+use crate::report::{BenchReport, LatencySummary, ScenarioResult, SCHEMA_VERSION};
+
+/// The runtime a scenario measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// The SwissTM baseline (plain word-based STM).
+    Swisstm,
+    /// The TLSTM unified STM+TLS runtime.
+    Tlstm,
+}
+
+impl RuntimeKind {
+    /// All runtimes, in report order.
+    pub const ALL: [RuntimeKind; 2] = [RuntimeKind::Swisstm, RuntimeKind::Tlstm];
+
+    /// The identifier used in scenario names, reports and CLI filters.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Swisstm => "swisstm",
+            RuntimeKind::Tlstm => "tlstm",
+        }
+    }
+}
+
+/// The workload families `tmbench` can drive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// Red-black-tree lookup transactions of `ops_per_txn` lookups
+    /// (Figure 1a).
+    RbTree {
+        /// Lookups per transaction.
+        ops_per_txn: u64,
+    },
+    /// STAMP Vacation, low-contention parameterisation (Figure 1b).
+    VacationLow,
+    /// STAMP Vacation, high-contention parameterisation (Figure 1b).
+    VacationHigh,
+    /// STMBench7 long traversals with the given read-only percentage
+    /// (Figures 2a/2b).
+    Stmbench7 {
+        /// Percentage of traversals that are read-only.
+        read_pct: u64,
+    },
+}
+
+impl WorkloadKind {
+    /// The identifier used in scenario names, reports and CLI filters.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadKind::RbTree { ops_per_txn } => format!("rbtree-n{ops_per_txn}"),
+            WorkloadKind::VacationLow => "vacation-low".to_string(),
+            WorkloadKind::VacationHigh => "vacation-high".to_string(),
+            WorkloadKind::Stmbench7 { read_pct } => format!("stmbench7-r{read_pct}"),
+        }
+    }
+
+    /// The CLI filter family this workload belongs to (`rbtree`, `vacation`,
+    /// `stmbench7`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            WorkloadKind::RbTree { .. } => "rbtree",
+            WorkloadKind::VacationLow | WorkloadKind::VacationHigh => "vacation",
+            WorkloadKind::Stmbench7 { .. } => "stmbench7",
+        }
+    }
+
+    /// The task splits the paper's figures use for this workload under TLSTM.
+    fn default_task_splits(&self) -> &'static [usize] {
+        match self {
+            WorkloadKind::RbTree { .. } => &[2, 4],
+            WorkloadKind::VacationLow | WorkloadKind::VacationHigh => &[2],
+            WorkloadKind::Stmbench7 { .. } => &[3],
+        }
+    }
+}
+
+/// One fully specified benchmark scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The workload to drive.
+    pub workload: WorkloadKind,
+    /// The runtime to measure.
+    pub runtime: RuntimeKind,
+    /// User-threads driving the workload.
+    pub threads: usize,
+    /// Tasks per user-transaction (always 1 under SwissTM).
+    pub tasks_per_txn: usize,
+}
+
+impl ScenarioSpec {
+    /// The scenario's unique, stable name: `workload/runtime/tN/kM`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/t{}/k{}",
+            self.workload.label(),
+            self.runtime.label(),
+            self.threads,
+            self.tasks_per_txn
+        )
+    }
+
+    /// Runs the scenario and converts the metrics into a report row.
+    pub fn run(&self, config: &WorkloadConfig) -> ScenarioResult {
+        let metrics = self.measure(config);
+        let latency = &metrics.latency;
+        ScenarioResult {
+            name: self.name(),
+            workload: self.workload.label(),
+            runtime: self.runtime.label().to_string(),
+            threads: self.threads,
+            tasks_per_txn: self.tasks_per_txn,
+            ops: metrics.throughput.ops,
+            elapsed_ms: metrics.throughput.elapsed.as_secs_f64() * 1e3,
+            ops_per_sec: metrics.throughput.ops_per_sec(),
+            latency: LatencySummary {
+                mean_ns: latency.mean_ns(),
+                p50_ns: latency.quantile_ns(0.50),
+                p99_ns: latency.quantile_ns(0.99),
+                max_ns: latency.max_ns(),
+                samples: latency.count(),
+            },
+            stats: metrics.stats,
+        }
+    }
+
+    fn measure(&self, config: &WorkloadConfig) -> RunMetrics {
+        match &self.workload {
+            WorkloadKind::RbTree { ops_per_txn } => {
+                let params = RbTreeBenchParams {
+                    ops_per_txn: *ops_per_txn,
+                    tasks_per_txn: self.tasks_per_txn,
+                    threads: self.threads,
+                    ..Default::default()
+                };
+                match self.runtime {
+                    RuntimeKind::Swisstm => rbtree_bench::measure_swisstm(&params, config),
+                    RuntimeKind::Tlstm => rbtree_bench::measure_tlstm(&params, config),
+                }
+            }
+            WorkloadKind::VacationLow | WorkloadKind::VacationHigh => {
+                let mut params = if matches!(self.workload, WorkloadKind::VacationLow) {
+                    VacationParams::low_contention()
+                } else {
+                    VacationParams::high_contention()
+                };
+                params.tasks_per_txn = self.tasks_per_txn;
+                params.clients = self.threads;
+                match self.runtime {
+                    RuntimeKind::Swisstm => vacation::measure_swisstm(&params, config),
+                    RuntimeKind::Tlstm => vacation::measure_tlstm(&params, config),
+                }
+            }
+            WorkloadKind::Stmbench7 { read_pct } => {
+                let params = Stmbench7Params {
+                    read_pct: *read_pct,
+                    tasks_per_txn: self.tasks_per_txn,
+                    threads: self.threads,
+                    ..Default::default()
+                };
+                match self.runtime {
+                    RuntimeKind::Swisstm => stmbench7::measure_swisstm(&params, config),
+                    RuntimeKind::Tlstm => stmbench7::measure_tlstm(&params, config),
+                }
+            }
+        }
+    }
+}
+
+/// Which parts of the full matrix a run covers.
+#[derive(Debug, Clone)]
+pub struct MatrixSelection {
+    /// Thread counts to measure (each scenario is run once per count).
+    pub threads: Vec<usize>,
+    /// Workload family filter (`rbtree`, `vacation`, `stmbench7`); empty
+    /// means all.
+    pub workload_families: Vec<String>,
+    /// Runtime filter; empty means both.
+    pub runtimes: Vec<RuntimeKind>,
+}
+
+impl Default for MatrixSelection {
+    fn default() -> Self {
+        MatrixSelection {
+            threads: vec![1],
+            workload_families: Vec::new(),
+            runtimes: Vec::new(),
+        }
+    }
+}
+
+/// The workloads of the default matrix (the paper's figure scenarios).
+pub fn default_workloads() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::RbTree { ops_per_txn: 16 },
+        WorkloadKind::VacationLow,
+        WorkloadKind::VacationHigh,
+        WorkloadKind::Stmbench7 { read_pct: 90 },
+        WorkloadKind::Stmbench7 { read_pct: 10 },
+    ]
+}
+
+/// Expands a matrix selection into the concrete scenario list.
+///
+/// SwissTM always runs with one task per transaction (it has no task
+/// decomposition); TLSTM runs once per figure-default task split.
+pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
+    let runtimes: &[RuntimeKind] = if selection.runtimes.is_empty() {
+        &RuntimeKind::ALL
+    } else {
+        &selection.runtimes
+    };
+    let mut scenarios = Vec::new();
+    for workload in default_workloads() {
+        if !selection.workload_families.is_empty()
+            && !selection
+                .workload_families
+                .iter()
+                .any(|f| f == workload.family())
+        {
+            continue;
+        }
+        for &threads in &selection.threads {
+            for &runtime in runtimes {
+                match runtime {
+                    RuntimeKind::Swisstm => scenarios.push(ScenarioSpec {
+                        workload: workload.clone(),
+                        runtime,
+                        threads,
+                        tasks_per_txn: 1,
+                    }),
+                    RuntimeKind::Tlstm => {
+                        for &tasks in workload.default_task_splits() {
+                            scenarios.push(ScenarioSpec {
+                                workload: workload.clone(),
+                                runtime,
+                                threads,
+                                tasks_per_txn: tasks,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    scenarios
+}
+
+/// Runs every scenario and assembles the versioned report. `progress` is
+/// called before each scenario starts (for CLI progress output).
+pub fn run_matrix(
+    scenarios: &[ScenarioSpec],
+    config: &WorkloadConfig,
+    quick: bool,
+    mut progress: impl FnMut(usize, usize, &ScenarioSpec),
+) -> BenchReport {
+    let total = scenarios.len();
+    let results = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            progress(i, total, spec);
+            spec.run(config)
+        })
+        .collect();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        quick,
+        duration_ms: config.duration.as_millis() as u64,
+        repetitions: config.repetitions,
+        scenarios: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_covers_both_runtimes_and_all_families() {
+        let scenarios = build_scenarios(&MatrixSelection::default());
+        // 5 workloads × (1 swisstm + figure task splits for tlstm).
+        assert!(scenarios.len() >= 10);
+        for runtime in RuntimeKind::ALL {
+            assert!(scenarios.iter().any(|s| s.runtime == runtime));
+        }
+        for family in ["rbtree", "vacation", "stmbench7"] {
+            assert!(scenarios.iter().any(|s| s.workload.family() == family));
+        }
+        // Names are unique — the report schema requires it.
+        let names: std::collections::HashSet<String> =
+            scenarios.iter().map(ScenarioSpec::name).collect();
+        assert_eq!(names.len(), scenarios.len());
+        // SwissTM never claims a task split.
+        assert!(scenarios
+            .iter()
+            .filter(|s| s.runtime == RuntimeKind::Swisstm)
+            .all(|s| s.tasks_per_txn == 1));
+    }
+
+    #[test]
+    fn filters_restrict_the_matrix() {
+        let selection = MatrixSelection {
+            threads: vec![1, 2],
+            workload_families: vec!["rbtree".to_string()],
+            runtimes: vec![RuntimeKind::Swisstm],
+        };
+        let scenarios = build_scenarios(&selection);
+        assert_eq!(
+            scenarios.len(),
+            2,
+            "one rbtree swisstm scenario per thread count"
+        );
+        assert!(scenarios.iter().all(|s| s.workload.family() == "rbtree"));
+        assert!(scenarios.iter().all(|s| s.runtime == RuntimeKind::Swisstm));
+    }
+
+    #[test]
+    fn scenario_names_encode_the_axes() {
+        let spec = ScenarioSpec {
+            workload: WorkloadKind::Stmbench7 { read_pct: 90 },
+            runtime: RuntimeKind::Tlstm,
+            threads: 2,
+            tasks_per_txn: 3,
+        };
+        assert_eq!(spec.name(), "stmbench7-r90/tlstm/t2/k3");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end test of the `tmbench` measurement pipeline: a (tiny) real run
+//! of the full default matrix must produce a schema-valid report covering
+//! both runtimes and at least three workloads, round-trip through JSON, and
+//! pass the regression gate against itself.
+
+use std::time::Duration;
+
+use tlstm_bench::report::{diff_reports, BenchReport};
+use tlstm_bench::scenarios::{build_scenarios, run_matrix, MatrixSelection};
+use tlstm_testutil::with_default_watchdog;
+use tlstm_workloads::WorkloadConfig;
+
+#[test]
+fn quick_matrix_produces_a_valid_gateable_report() {
+    let report = with_default_watchdog(|| {
+        let config = WorkloadConfig {
+            duration: Duration::from_millis(10),
+            repetitions: 1,
+            seed: 0xC0FFEE,
+        };
+        let scenarios = build_scenarios(&MatrixSelection::default());
+        run_matrix(&scenarios, &config, true, |_, _, _| {})
+    });
+
+    // Coverage: both runtimes, at least three workload families.
+    assert!(report.distinct_runtimes() >= 2, "must cover both runtimes");
+    assert!(
+        report.distinct_workloads() >= 3,
+        "must cover at least three workloads, got {}",
+        report.distinct_workloads()
+    );
+
+    // Every scenario made progress and accounted for its transactions.
+    for s in &report.scenarios {
+        assert!(s.ops > 0, "{} made no progress", s.name);
+        assert!(s.ops_per_sec > 0.0, "{} reports zero throughput", s.name);
+        assert!(s.latency.samples > 0, "{} recorded no latencies", s.name);
+        assert!(
+            s.latency.p99_ns >= s.latency.p50_ns,
+            "{} quantiles inverted",
+            s.name
+        );
+        assert!(s.stats.tx_commits > 0, "{} committed nothing", s.name);
+    }
+
+    // The serialised report is schema-valid and round-trips losslessly.
+    let text = report.to_json_string();
+    assert!(
+        BenchReport::validate(&text).is_empty(),
+        "self-produced report fails --check-schema: {:?}",
+        BenchReport::validate(&text)
+    );
+    let parsed = BenchReport::parse(&text).unwrap();
+    assert_eq!(parsed, report);
+
+    // The gate passes against itself and catches a doctored regression.
+    assert!(!diff_reports(&report, &parsed, 10.0).has_regressions());
+    let mut doctored = report.clone();
+    doctored.scenarios[0].ops_per_sec *= 0.5;
+    assert!(diff_reports(&report, &doctored, 10.0).has_regressions());
+}

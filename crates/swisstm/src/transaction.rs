@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use txmem::{
-    Abort, AbortReason, CmDecision, GlobalClock, LockIndex, LockTable, OwnerToken, StatsCollector,
+    Abort, AbortReason, CmDecision, GlobalClock, LockIndex, LockTable, OwnerToken, StatsShard,
     TxHeap, TxMem, WordAddr, LOCKED,
 };
 
@@ -35,7 +35,8 @@ pub struct Transaction<'rt> {
     heap: &'rt TxHeap,
     locks: &'rt LockTable,
     clock: &'rt GlobalClock,
-    stats: &'rt StatsCollector,
+    /// This thread's statistics shard (never shared with other threads).
+    stats: &'rt StatsShard,
     cm: GreedyCm,
     descriptor: Arc<TxDescriptor>,
     owner_handle: txmem::owner::OwnerHandle,
@@ -62,7 +63,7 @@ impl<'rt> Transaction<'rt> {
             heap: &substrate.heap,
             locks: &substrate.locks,
             clock: &substrate.clock,
-            stats: &substrate.stats,
+            stats: substrate.stats.shard(thread_id),
             cm: runtime.cm(),
             descriptor,
             owner_handle,
@@ -239,19 +240,15 @@ impl<'rt> Transaction<'rt> {
         self.stats.record_abort_reason(reason);
     }
 
-    /// Flushes the per-transaction operation counters into the global stats.
+    /// Flushes the per-transaction operation counters into this thread's
+    /// statistics shard.
     pub(crate) fn flush_op_counters(&mut self) {
-        use std::sync::atomic::Ordering;
         if self.local_reads > 0 {
-            self.stats
-                .reads
-                .fetch_add(self.local_reads, Ordering::Relaxed);
+            self.stats.add(&self.stats.reads, self.local_reads);
             self.local_reads = 0;
         }
         if self.local_writes > 0 {
-            self.stats
-                .writes
-                .fetch_add(self.local_writes, Ordering::Relaxed);
+            self.stats.add(&self.stats.writes, self.local_writes);
             self.local_writes = 0;
         }
     }

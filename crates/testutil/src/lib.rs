@@ -10,11 +10,15 @@
 //!   into multi-minute crawls;
 //! * [`with_watchdog`] — runs a test body on a helper thread and panics if it
 //!   exceeds its deadline, turning a livelocked or deadlocked STM run into a
-//!   loud failure instead of a CI job that hangs forever.
+//!   loud failure instead of a CI job that hangs forever;
+//! * [`EnvVarGuard`] — scoped, mutex-serialised environment-variable
+//!   overrides, so tests of env-driven configuration (`TLSTM_BENCH_*`) can't
+//!   race each other inside one test process.
 
 #![warn(missing_docs)]
 
 use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Default deadline applied by [`with_default_watchdog`]. Generous enough for
@@ -127,6 +131,75 @@ pub fn with_default_watchdog<T: Send + 'static>(body: impl FnOnce() -> T + Send 
     with_watchdog(DEFAULT_TEST_DEADLINE, body)
 }
 
+/// Serialises every environment-variable access that goes through
+/// [`EnvVarGuard`]. Rust's test harness runs tests of one binary on multiple
+/// threads, and `std::env::set_var` racing a concurrent `getenv` is undefined
+/// behaviour on most platforms — so all env-touching tests must go through
+/// this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// A scoped environment-variable override.
+///
+/// [`EnvVarGuard::set`] acquires the process-wide env lock, remembers the
+/// variable's previous state and sets the new value; dropping the guard
+/// restores the variable and releases the lock. Tests that only *read* the
+/// environment should hold [`EnvVarGuard::lock_only`] for their duration so
+/// they cannot observe another test's half-applied overrides.
+#[derive(Debug)]
+#[must_use = "the override is reverted when the guard drops"]
+pub struct EnvVarGuard {
+    var: Option<(String, Option<String>)>,
+    _lock: Option<MutexGuard<'static, ()>>,
+}
+
+impl EnvVarGuard {
+    fn lock() -> MutexGuard<'static, ()> {
+        // A previous test panicking while holding the lock poisons it; the
+        // environment is still in a defined state (its Drop ran), so continue.
+        ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the env lock and sets `name` to `value`.
+    pub fn set(name: &str, value: &str) -> EnvVarGuard {
+        let lock = Self::lock();
+        let mut guard = Self::set_unlocked(name, value);
+        guard._lock = Some(lock);
+        guard
+    }
+
+    /// Sets `name` to `value` *without* acquiring the env lock — only valid
+    /// while another [`EnvVarGuard`] in the same scope already holds it
+    /// (e.g. to override a second variable).
+    pub fn set_unlocked(name: &str, value: &str) -> EnvVarGuard {
+        let previous = std::env::var(name).ok();
+        std::env::set_var(name, value);
+        EnvVarGuard {
+            var: Some((name.to_string(), previous)),
+            _lock: None,
+        }
+    }
+
+    /// Acquires the env lock without overriding anything (for tests that read
+    /// the environment and must not race concurrent overrides).
+    pub fn lock_only() -> EnvVarGuard {
+        EnvVarGuard {
+            var: None,
+            _lock: Some(Self::lock()),
+        }
+    }
+}
+
+impl Drop for EnvVarGuard {
+    fn drop(&mut self) {
+        if let Some((name, previous)) = self.var.take() {
+            match previous {
+                Some(value) => std::env::set_var(&name, value),
+                None => std::env::remove_var(&name),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +237,21 @@ mod tests {
             with_watchdog(Duration::from_secs(5), || panic!("inner failure"));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_guard_sets_and_restores() {
+        let name = "TLSTM_TESTUTIL_ENV_GUARD_PROBE";
+        {
+            let _outer = EnvVarGuard::set(name, "outer");
+            assert_eq!(std::env::var(name).as_deref(), Ok("outer"));
+            {
+                let _inner = EnvVarGuard::set_unlocked(name, "inner");
+                assert_eq!(std::env::var(name).as_deref(), Ok("inner"));
+            }
+            assert_eq!(std::env::var(name).as_deref(), Ok("outer"));
+        }
+        assert!(std::env::var(name).is_err(), "guard must remove the var");
     }
 
     #[test]

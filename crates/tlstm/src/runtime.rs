@@ -134,6 +134,13 @@ impl TlstmRuntime {
         self.substrate.stats.snapshot()
     }
 
+    /// Per-shard statistics snapshots: entry `i` aggregates the activity of
+    /// the user-threads whose `ptid` is `i` modulo the shard count (worker
+    /// threads attribute their task activity to the owning user-thread).
+    pub fn stats_per_shard(&self) -> Vec<StatsSnapshot> {
+        self.substrate.stats.shard_snapshots()
+    }
+
     /// Resets the global statistics counters.
     pub fn reset_stats(&self) {
         self.substrate.stats.reset();
@@ -231,7 +238,7 @@ impl UThread {
     /// Panics if any transaction has more tasks than the speculative depth
     /// (such a transaction could never commit).
     pub fn execute(&self, txns: Vec<TxnSpec>) -> Vec<TxnOutcome> {
-        let stats = &self.runtime.substrate.stats;
+        let stats = self.runtime.substrate.stats.shard(self.shared.ptid());
         let mut pending: Vec<Arc<TxnShared>> = Vec::with_capacity(txns.len());
         let mut total_tasks = 0usize;
         for spec in txns {

@@ -4,7 +4,7 @@
 //! memory. It implements the read/write rules of Algorithms 1 and 2 of the
 //! paper and the per-task half of the commit/abort protocol of Algorithm 3
 //! (the whole-transaction commit performed by the commit-task lives in
-//! [`TaskCtx::task_commit`]).
+//! `TaskCtx::task_commit`).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,11 +30,13 @@ fn contention_pause(iteration: u32) {
 /// Execution context of one speculative task attempt.
 ///
 /// The same context is reused across re-executions of the task (after
-/// intra-thread or inter-thread conflicts); [`TaskCtx::reset_for_attempt`]
+/// intra-thread or inter-thread conflicts); `TaskCtx::reset_for_attempt`
 /// clears the speculative state between attempts.
 #[derive(Debug)]
 pub struct TaskCtx<'rt> {
     substrate: &'rt TxSubstrate,
+    /// The owning user-thread's statistics shard.
+    stats: &'rt txmem::StatsShard,
     cm: TaskAwareCm,
     uthread: Arc<UThreadShared>,
     txn: Arc<TxnShared>,
@@ -75,8 +77,10 @@ impl<'rt> TaskCtx<'rt> {
         let txn_owner: OwnerHandle = Arc::clone(&txn) as _;
         let valid_ts = substrate.clock.now();
         let last_writer_events = uthread.writer_events();
+        let stats = substrate.stats.shard(uthread.ptid());
         TaskCtx {
             substrate,
+            stats,
             cm,
             uthread,
             txn,
@@ -180,16 +184,15 @@ impl<'rt> TaskCtx<'rt> {
         self.acquired.clear();
     }
 
-    /// Flushes the local read/write counters into the global statistics.
+    /// Flushes the local read/write counters into the user-thread's
+    /// statistics shard.
     pub(crate) fn flush_op_counters(&mut self) {
-        use std::sync::atomic::Ordering;
-        let stats = &self.substrate.stats;
         if self.local_reads > 0 {
-            stats.reads.fetch_add(self.local_reads, Ordering::Relaxed);
+            self.stats.add(&self.stats.reads, self.local_reads);
             self.local_reads = 0;
         }
         if self.local_writes > 0 {
-            stats.writes.fetch_add(self.local_writes, Ordering::Relaxed);
+            self.stats.add(&self.stats.writes, self.local_writes);
             self.local_writes = 0;
         }
     }
@@ -228,7 +231,7 @@ impl<'rt> TaskCtx<'rt> {
     /// no past task has speculatively written to a location this task read
     /// from committed state.
     pub(crate) fn validate_task(&self) -> bool {
-        self.substrate.stats.bump(&self.substrate.stats.validations);
+        self.stats.bump(&self.stats.validations);
         // Part 1: reads from past tasks' speculative values.
         for rec in &self.task_read_log {
             let entry = self.substrate.locks.entry(rec.lock);
@@ -295,10 +298,10 @@ impl<'rt> TaskCtx<'rt> {
     /// Tries to extend `valid-ts` to the current commit timestamp.
     fn extend(&mut self) -> Result<(), Abort> {
         let target = self.substrate.clock.now();
-        self.substrate.stats.bump(&self.substrate.stats.validations);
+        self.stats.bump(&self.stats.validations);
         if self.validate_reads(None) {
             self.valid_ts = target;
-            self.substrate.stats.bump(&self.substrate.stats.extensions);
+            self.stats.bump(&self.stats.extensions);
             Ok(())
         } else {
             Err(Abort::new(AbortReason::ReadValidation))
@@ -401,9 +404,7 @@ impl<'rt> TaskCtx<'rt> {
                 SpecProbe::WaitForWriter => {
                     // The most recent past writer is still running: wait for
                     // it to complete (Algorithm 1, line 11).
-                    self.substrate
-                        .stats
-                        .bump(&self.substrate.stats.reader_waits);
+                    self.stats.bump(&self.stats.reader_waits);
                     self.check_signals()?;
                     self.uthread.wait_slice();
                     continue;
@@ -551,15 +552,11 @@ impl<'rt> TaskCtx<'rt> {
                     };
                     match decision {
                         CmDecision::AbortSelf => {
-                            self.substrate
-                                .stats
-                                .bump(&self.substrate.stats.cm_self_aborts);
+                            self.stats.bump(&self.stats.cm_self_aborts);
                             return Err(Abort::new(AbortReason::InterThreadWriteConflict));
                         }
                         CmDecision::AbortOwner => {
-                            self.substrate
-                                .stats
-                                .bump(&self.substrate.stats.cm_owner_aborts);
+                            self.stats.bump(&self.stats.cm_owner_aborts);
                             contention_pause(spin);
                             spin = spin.wrapping_add(1);
                             continue;
@@ -670,7 +667,7 @@ impl<'rt> TaskCtx<'rt> {
             // completed at different snapshots (§3.2 "Transaction Commit").
             let same_ts = all.windows(2).all(|w| w[0].1.valid_ts == w[1].1.valid_ts);
             if !same_ts {
-                self.substrate.stats.bump(&self.substrate.stats.validations);
+                self.stats.bump(&self.stats.validations);
                 for (_, logs) in &all {
                     if !Self::validate_read_entries(self.substrate, &logs.read_log, None) {
                         self.txn.request_abort();
@@ -695,7 +692,7 @@ impl<'rt> TaskCtx<'rt> {
             old_versions.insert(idx, self.substrate.locks.entry(idx).lock_version());
         }
         let ts = self.substrate.clock.tick();
-        self.substrate.stats.bump(&self.substrate.stats.validations);
+        self.stats.bump(&self.stats.validations);
         let mut valid = true;
         for (_, logs) in &all {
             if !Self::validate_read_entries(self.substrate, &logs.read_log, Some(&old_versions)) {
@@ -737,8 +734,7 @@ impl<'rt> TaskCtx<'rt> {
     }
 
     fn finish_transaction_commit(&mut self, wrote: bool) {
-        let stats = &self.substrate.stats;
-        stats.bump(&stats.tx_commits);
+        self.stats.bump(&self.stats.tx_commits);
         self.txn.mark_committed();
         self.uthread.mark_completed(self.serial, wrote);
         // The transaction's chain entries are gone; nothing left to dismantle.

@@ -137,7 +137,10 @@ impl Worker {
 
     /// Executes one task until it retires (its user-transaction commits).
     fn run_task(&self, item: &WorkItem) {
-        let stats = &self.substrate.stats;
+        // Task activity is attributed to the owning *user*-thread's shard, not
+        // to the worker's OS thread, so per-shard snapshots read as
+        // per-user-thread breakdowns.
+        let stats = self.substrate.stats.shard(self.uthread.ptid());
         stats.bump(&stats.task_starts);
         let mut ctx = TaskCtx::new(
             &self.substrate,
@@ -231,7 +234,7 @@ impl Worker {
             let needed = (txn.n_tasks() - 1) as u32;
             uthread.wait_until(|| txn.acks() >= needed);
             uthread.reset_after_rollback(txn.start_serial());
-            let stats = &self.substrate.stats;
+            let stats = self.substrate.stats.shard(self.uthread.ptid());
             stats.bump(&stats.tx_aborts);
             if txn.rollbacks() + 1 >= GREEDY_AFTER_ROLLBACKS
                 && txn.priority() == crate::txn_state::TIMID_PRIORITY

@@ -2,7 +2,7 @@
 
 /// Configuration for the transactional memory substrate.
 ///
-/// A [`TxConfig`](crate::TxConfig) fixes the sizes of the global structures
+/// A [`TxConfig`] fixes the sizes of the global structures
 /// (heap capacity and lock-table size) and the default speculation parameters
 /// picked up by the runtimes built on top.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -23,7 +23,8 @@
 //!   (`txcollections`) and benchmarks (`tlstm-workloads`) are written once and
 //!   run unchanged on either runtime.
 //! * [`StatsCollector`] — cheap atomic counters for commits, aborts and
-//!   conflict classes, used by the evaluation harness and by tests.
+//!   conflict classes, sharded per user-thread into cache-line-aligned
+//!   [`StatsShard`]s and used by the evaluation harness and by tests.
 //!
 //! ## Example
 //!
@@ -68,7 +69,7 @@ pub use heap::TxHeap;
 pub use lock_table::{LockEntry, LockIndex, LockTable, LOCKED};
 pub use owner::OwnerHandle;
 pub use owner::{CmDecision, LockOwner, OwnerToken};
-pub use stats::{StatsCollector, StatsSnapshot};
+pub use stats::{StatsCollector, StatsShard, StatsSnapshot};
 pub use traits::{DirectMem, TxMem};
 
 /// Shared, immutable bundle of the global structures a runtime needs.

@@ -1,14 +1,23 @@
-//! Throughput measurement harness.
+//! Throughput and latency measurement harness.
 //!
 //! The paper reports throughput (operations per second / per millisecond) of
 //! fixed-duration multi-threaded runs, averaged over repetitions. The harness
 //! here does the same: it runs one driver closure per user-thread until a stop
 //! flag is raised, counts committed operations, and aggregates.
+//!
+//! On top of the paper's plain throughput numbers, the harness records
+//! per-transaction latencies into per-thread [`LatencyHistogram`]s (each
+//! driver thread owns its histogram, so recording is contention-free and
+//! attribution is per user-thread) and bundles throughput, latency and the
+//! runtime's [`StatsSnapshot`] into a [`RunMetrics`] consumed by the `tmbench`
+//! reporter.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use txmem::StatsSnapshot;
 
 /// Default measured duration of one data point.
 pub const DEFAULT_DURATION: Duration = Duration::from_millis(300);
@@ -83,6 +92,142 @@ impl fmt::Display for Throughput {
     }
 }
 
+/// Number of power-of-two buckets in a [`LatencyHistogram`] (covers the full
+/// `u64` nanosecond range).
+const LATENCY_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of latencies in nanoseconds.
+///
+/// Bucket `i` counts samples whose latency `ns` satisfies
+/// `floor(log2(ns)) == i` (with `ns == 0` landing in bucket 0), so the full
+/// nanosecond-to-centuries range fits in 64 counters. Each measurement thread
+/// owns its histogram (no shared cache lines on the record path); histograms
+/// are [`merged`](Self::merge) when the run ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency sample given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean latency in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The latency below which `quantile` (in `[0, 1]`) of the samples fall,
+    /// in nanoseconds. Resolution is one power-of-two bucket: the reported
+    /// value is the bucket's upper bound, clamped to the observed maximum.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile_ns(&self, quantile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((quantile.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket `i` is 2^(i+1) - 1.
+                let upper = if bucket >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bucket + 1)) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Everything one measured workload run produces: throughput, per-transaction
+/// latency, and the runtime's statistics counters (commit/abort/conflict
+/// breakdown) accumulated over the run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Committed operations over wall-clock time.
+    pub throughput: Throughput,
+    /// Per-user-transaction latency histogram, merged across threads.
+    pub latency: LatencyHistogram,
+    /// Runtime statistics accumulated over the run (summed across
+    /// repetitions).
+    pub stats: StatsSnapshot,
+}
+
+impl RunMetrics {
+    /// Convenience constructor for a single run.
+    pub fn new(throughput: Throughput, latency: LatencyHistogram, stats: StatsSnapshot) -> Self {
+        RunMetrics {
+            throughput,
+            latency,
+            stats,
+        }
+    }
+}
+
 /// Runs `driver` on `n_threads` OS threads for `duration` and returns the
 /// aggregated throughput.
 ///
@@ -92,25 +237,54 @@ pub fn run_threads<F>(n_threads: usize, duration: Duration, driver: F) -> Throug
 where
     F: Fn(usize, &AtomicBool, &AtomicU64) + Send + Sync,
 {
+    let (throughput, _latency) =
+        run_threads_metrics(n_threads, duration, |idx, stop, ops, _hist| {
+            driver(idx, stop, ops)
+        });
+    throughput
+}
+
+/// Like [`run_threads`], but each driver thread additionally owns a
+/// [`LatencyHistogram`] to record per-transaction latencies into; the
+/// per-thread histograms are merged and returned alongside the throughput.
+pub fn run_threads_metrics<F>(
+    n_threads: usize,
+    duration: Duration,
+    driver: F,
+) -> (Throughput, LatencyHistogram)
+where
+    F: Fn(usize, &AtomicBool, &AtomicU64, &mut LatencyHistogram) + Send + Sync,
+{
     let stop = Arc::new(AtomicBool::new(false));
     let ops = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
+    let mut merged = LatencyHistogram::new();
     std::thread::scope(|scope| {
         let driver = &driver;
-        for thread_index in 0..n_threads {
-            let stop = Arc::clone(&stop);
-            let ops = Arc::clone(&ops);
-            scope.spawn(move || {
-                driver(thread_index, &stop, &ops);
-            });
-        }
+        let handles: Vec<_> = (0..n_threads)
+            .map(|thread_index| {
+                let stop = Arc::clone(&stop);
+                let ops = Arc::clone(&ops);
+                scope.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    driver(thread_index, &stop, &ops, &mut histogram);
+                    histogram
+                })
+            })
+            .collect();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            merged.merge(&handle.join().expect("benchmark driver thread panicked"));
+        }
     });
-    Throughput {
-        ops: ops.load(Ordering::Relaxed),
-        elapsed: started.elapsed(),
-    }
+    (
+        Throughput {
+            ops: ops.load(Ordering::Relaxed),
+            elapsed: started.elapsed(),
+        },
+        merged,
+    )
 }
 
 /// Averages the throughput of `repetitions` runs produced by `make_run`.
@@ -126,6 +300,34 @@ pub fn average_runs(repetitions: u32, mut make_run: impl FnMut(u32) -> Throughpu
     Throughput {
         ops: total_ops / u64::from(repetitions),
         elapsed: total_time / repetitions,
+    }
+}
+
+/// Averages the throughput of `repetitions` runs produced by `make_run`,
+/// merging the latency histograms and summing the statistics counters.
+pub fn average_metrics(
+    repetitions: u32,
+    mut make_run: impl FnMut(u32) -> RunMetrics,
+) -> RunMetrics {
+    let repetitions = repetitions.max(1);
+    let mut total_ops = 0u64;
+    let mut total_time = Duration::ZERO;
+    let mut latency = LatencyHistogram::new();
+    let mut stats = StatsSnapshot::default();
+    for rep in 0..repetitions {
+        let run = make_run(rep);
+        total_ops += run.throughput.ops;
+        total_time += run.throughput.elapsed;
+        latency.merge(&run.latency);
+        stats = stats.merged(&run.stats);
+    }
+    RunMetrics {
+        throughput: Throughput {
+            ops: total_ops / u64::from(repetitions),
+            elapsed: total_time / repetitions,
+        },
+        latency,
+        stats,
     }
 }
 
@@ -222,6 +424,88 @@ mod tests {
         assert_eq!(calls, 3);
         assert_eq!(avg.ops, 300);
         assert_eq!(avg.elapsed, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn latency_histogram_records_and_summarises() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        for ns in [0u64, 1, 100, 1000, 1000, 1000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_ns(), 1_000_000);
+        let expected_mean = (1.0 + 100.0 + 3000.0 + 1_000_000.0) / 7.0;
+        assert!((h.mean_ns() - expected_mean).abs() < 1e-9);
+        // The median sample is 1000 ns, which lands in bucket [512, 1023];
+        // the reported quantile is that bucket's upper bound.
+        assert_eq!(h.quantile_ns(0.5), 1023);
+        // p100 is the max sample exactly.
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert!(h.quantile_ns(0.99) <= 1_000_000);
+    }
+
+    #[test]
+    fn latency_histogram_merge_is_a_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for ns in [10u64, 20, 30] {
+            a.record_ns(ns);
+        }
+        for ns in [40u64, 50] {
+            b.record_ns(ns);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = LatencyHistogram::new();
+        for ns in [10u64, 20, 30, 40, 50] {
+            direct.record_ns(ns);
+        }
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count(), 5);
+    }
+
+    #[test]
+    fn run_threads_metrics_collects_per_thread_histograms() {
+        let (t, hist) = run_threads_metrics(3, Duration::from_millis(40), |_idx, stop, ops, h| {
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                std::thread::yield_now();
+                h.record(t0.elapsed());
+                ops.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(t.ops > 0);
+        assert_eq!(hist.count(), t.ops, "one latency sample per operation");
+        assert!(hist.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn average_metrics_merges_reps() {
+        let mut calls = 0u32;
+        let m = average_metrics(2, |_| {
+            calls += 1;
+            let mut latency = LatencyHistogram::new();
+            latency.record_ns(100);
+            let stats = StatsSnapshot {
+                tx_commits: 5,
+                ..Default::default()
+            };
+            RunMetrics::new(
+                Throughput {
+                    ops: 10,
+                    elapsed: Duration::from_millis(20),
+                },
+                latency,
+                stats,
+            )
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(m.throughput.ops, 10);
+        assert_eq!(m.throughput.elapsed, Duration::from_millis(20));
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(m.stats.tx_commits, 10);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod rbtree_bench;
 pub mod stmbench7;
 pub mod vacation;
 
-pub use harness::{Throughput, WorkloadConfig};
+pub use harness::{LatencyHistogram, RunMetrics, Throughput, WorkloadConfig};

@@ -14,7 +14,9 @@ use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
 use txcollections::TxRbTree;
 use txmem::{Abort, TxConfig, TxMem};
 
-use crate::harness::{average_runs, run_threads, DetRng, Throughput, WorkloadConfig};
+use crate::harness::{
+    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+};
 
 /// Parameters of the red-black-tree micro-benchmark.
 #[derive(Debug, Clone)]
@@ -79,49 +81,67 @@ fn txn_keys(rng: &mut DetRng, params: &RbTreeBenchParams) -> Vec<u64> {
         .collect()
 }
 
-/// Measures the benchmark on the SwissTM baseline.
-pub fn run_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
-    average_runs(config.repetitions, |rep| {
+/// Measures the benchmark on the SwissTM baseline, with per-transaction
+/// latencies and the runtime's statistics breakdown.
+pub fn measure_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> RunMetrics {
+    average_metrics(config.repetitions, |rep| {
         let runtime = SwisstmRuntime::new(params.substrate_config());
         let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(
+        let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
-            |thread_index, stop, ops| {
+            |thread_index, stop, ops, hist| {
                 let mut thread = runtime.register_thread();
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let keys = txn_keys(&mut rng, params);
+                    let t0 = std::time::Instant::now();
                     thread.atomic(|tx| lookup_batch(tx, tree, &keys));
+                    hist.record(t0.elapsed());
                     ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
                 }
             },
-        )
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
     })
 }
 
-/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction.
-pub fn run_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
-    average_runs(config.repetitions, |rep| {
+/// Measures the benchmark on the SwissTM baseline.
+pub fn run_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
+    measure_swisstm(params, config).throughput
+}
+
+/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction,
+/// with per-transaction latencies and the runtime's statistics breakdown.
+pub fn measure_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> RunMetrics {
+    average_metrics(config.repetitions, |rep| {
         let runtime = TlstmRuntime::new(params.substrate_config());
         let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(
+        let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
-            |thread_index, stop, ops| {
+            |thread_index, stop, ops, hist| {
                 let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let keys = Arc::new(txn_keys(&mut rng, params));
                     let spec = split_into_tasks(tree, &keys, params.tasks_per_txn);
+                    let t0 = std::time::Instant::now();
                     uthread.execute(vec![spec]);
+                    hist.record(t0.elapsed());
                     ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
                 }
             },
-        )
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
     })
+}
+
+/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction.
+pub fn run_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
+    measure_tlstm(params, config).throughput
 }
 
 /// Splits the transaction's lookups into `tasks` equally sized tasks.

@@ -23,7 +23,9 @@ use swisstm::SwisstmRuntime;
 use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
 use txmem::{Abort, TxConfig, TxMem, WordAddr};
 
-use crate::harness::{average_runs, run_threads, DetRng, Throughput, WorkloadConfig};
+use crate::harness::{
+    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+};
 
 // Complex assembly node: [kind=0, child0, child1, child2]
 // Base assembly node:    [kind=1, n_composites, comp_0, ...]
@@ -272,34 +274,44 @@ fn split_traversal(
     TxnSpec::new(bodies)
 }
 
-/// Measures the long-traversal workload on SwissTM.
-pub fn run_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
-    average_runs(config.repetitions, |rep| {
+/// Measures the long-traversal workload on SwissTM, with per-transaction
+/// latencies and the runtime's statistics breakdown.
+pub fn measure_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMetrics {
+    average_metrics(config.repetitions, |rep| {
         let runtime = SwisstmRuntime::new(params.substrate_config());
         let bench =
             Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(
+        let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
-            |thread_index, stop, ops| {
+            |thread_index, stop, ops, hist| {
                 let mut thread = runtime.register_thread();
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let write = !rng.percent(params.read_pct);
+                    let t0 = std::time::Instant::now();
                     thread.atomic(|tx| traverse(tx, params, bench.root, write).map(|_| ()));
+                    hist.record(t0.elapsed());
                     ops.fetch_add(1, Ordering::Relaxed);
                 }
             },
-        )
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
     })
 }
 
+/// Measures the long-traversal workload on SwissTM.
+pub fn run_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
+    measure_swisstm(params, config).throughput
+}
+
 /// Measures the long-traversal workload on TLSTM with `params.tasks_per_txn`
-/// tasks per traversal.
-pub fn run_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
+/// tasks per traversal, with per-transaction latencies and the runtime's
+/// statistics breakdown.
+pub fn measure_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMetrics {
     let split_depth = if params.tasks_per_txn > 3 { 2 } else { 1 };
-    average_runs(config.repetitions, |rep| {
+    average_metrics(config.repetitions, |rep| {
         let runtime = TlstmRuntime::new(params.substrate_config());
         let bench =
             Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
@@ -308,22 +320,31 @@ pub fn run_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughpu
                 .subtree_roots(&mut runtime.direct(), params, split_depth)
                 .expect("subtree discovery cannot abort"),
         );
-        run_threads(
+        let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
-            |thread_index, stop, ops| {
+            |thread_index, stop, ops, hist| {
                 let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let write = !rng.percent(params.read_pct);
                     let spec = split_traversal(bench, params, &subtrees, write);
+                    let t0 = std::time::Instant::now();
                     uthread.execute(vec![spec]);
+                    hist.record(t0.elapsed());
                     ops.fetch_add(1, Ordering::Relaxed);
                 }
             },
-        )
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
     })
+}
+
+/// Measures the long-traversal workload on TLSTM with `params.tasks_per_txn`
+/// tasks per traversal.
+pub fn run_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
+    measure_tlstm(params, config).throughput
 }
 
 /// One Figure 2a data point: throughput at a given read-only percentage.

@@ -20,7 +20,9 @@ use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
 use txcollections::{TxRbTree, TxSortedList};
 use txmem::{Abort, TxConfig, TxMem, WordAddr};
 
-use crate::harness::{average_runs, run_threads, DetRng, Throughput, WorkloadConfig};
+use crate::harness::{
+    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+};
 
 /// The three reservable resource kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -374,44 +376,74 @@ fn split_txn(manager: Manager, ops: Arc<Vec<VacationOp>>, tasks: usize) -> TxnSp
     TxnSpec::new(bodies)
 }
 
-/// Measures Vacation on SwissTM with `params.clients` client threads.
+/// Measures Vacation on SwissTM with `params.clients` client threads, with
+/// per-transaction latencies and the runtime's statistics breakdown.
 /// Throughput is reported in client *operations* (not transactions).
-pub fn run_swisstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
-    average_runs(config.repetitions, |rep| {
+pub fn measure_swisstm(params: &VacationParams, config: &WorkloadConfig) -> RunMetrics {
+    average_metrics(config.repetitions, |rep| {
         let runtime = SwisstmRuntime::new(params.substrate_config());
         let manager =
             Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(params.clients, config.duration, |client, stop, ops| {
-            let mut thread = runtime.register_thread();
-            let mut rng = DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
-            while !stop.load(Ordering::Relaxed) {
-                let txn = generate_txn(&mut rng, params);
-                thread.atomic(|tx| execute_ops(tx, &manager, &txn));
-                ops.fetch_add(txn.len() as u64, Ordering::Relaxed);
-            }
-        })
+        let (throughput, latency) = run_threads_metrics(
+            params.clients,
+            config.duration,
+            |client, stop, ops, hist| {
+                let mut thread = runtime.register_thread();
+                let mut rng =
+                    DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = generate_txn(&mut rng, params);
+                    let t0 = std::time::Instant::now();
+                    thread.atomic(|tx| execute_ops(tx, &manager, &txn));
+                    hist.record(t0.elapsed());
+                    ops.fetch_add(txn.len() as u64, Ordering::Relaxed);
+                }
+            },
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
+    })
+}
+
+/// Measures Vacation on SwissTM with `params.clients` client threads.
+/// Throughput is reported in client *operations* (not transactions).
+pub fn run_swisstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
+    measure_swisstm(params, config).throughput
+}
+
+/// Measures Vacation on TLSTM with `params.clients` user-threads and
+/// `params.tasks_per_txn` tasks per client transaction, with per-transaction
+/// latencies and the runtime's statistics breakdown.
+pub fn measure_tlstm(params: &VacationParams, config: &WorkloadConfig) -> RunMetrics {
+    average_metrics(config.repetitions, |rep| {
+        let runtime = TlstmRuntime::new(params.substrate_config());
+        let manager =
+            Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
+        let (throughput, latency) = run_threads_metrics(
+            params.clients,
+            config.duration,
+            |client, stop, ops, hist| {
+                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+                let mut rng =
+                    DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = Arc::new(generate_txn(&mut rng, params));
+                    let n = txn.len() as u64;
+                    let spec = split_txn(manager, txn, params.tasks_per_txn);
+                    let t0 = std::time::Instant::now();
+                    uthread.execute(vec![spec]);
+                    hist.record(t0.elapsed());
+                    ops.fetch_add(n, Ordering::Relaxed);
+                }
+            },
+        );
+        RunMetrics::new(throughput, latency, runtime.stats())
     })
 }
 
 /// Measures Vacation on TLSTM with `params.clients` user-threads and
 /// `params.tasks_per_txn` tasks per client transaction.
 pub fn run_tlstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
-    average_runs(config.repetitions, |rep| {
-        let runtime = TlstmRuntime::new(params.substrate_config());
-        let manager =
-            Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        run_threads(params.clients, config.duration, |client, stop, ops| {
-            let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-            let mut rng = DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
-            while !stop.load(Ordering::Relaxed) {
-                let txn = Arc::new(generate_txn(&mut rng, params));
-                let n = txn.len() as u64;
-                let spec = split_txn(manager, txn, params.tasks_per_txn);
-                uthread.execute(vec![spec]);
-                ops.fetch_add(n, Ordering::Relaxed);
-            }
-        })
-    })
+    measure_tlstm(params, config).throughput
 }
 
 /// One Figure 1b data point.

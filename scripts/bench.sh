@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the tmbench unified benchmark runner, so local
+# runs and the CI bench-smoke job invoke identical command lines.
+#
+# Usage:
+#   scripts/bench.sh quick [extra tmbench flags...]
+#       Short smoke run (25 ms per data point) writing BENCH_results.json.
+#       This is exactly what the CI bench-smoke job runs.
+#   scripts/bench.sh full [extra tmbench flags...]
+#       Publication-style run (1 s per data point, 3 repetitions) writing
+#       BENCH_results.json.
+#   scripts/bench.sh gate [BASELINE] [GATE_PCT]
+#       Diff BENCH_results.json against BASELINE (default BENCH_baseline.json)
+#       with a GATE_PCT% regression threshold (default 10); exits non-zero on
+#       regression.
+#   scripts/bench.sh check [FILE]
+#       Validate a report file (default BENCH_results.json) against the
+#       schema.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+profile="${1:-quick}"
+shift || true
+
+tmbench() {
+    cargo run --release --quiet -p tlstm-bench --bin tmbench -- "$@"
+}
+
+case "$profile" in
+  quick)
+    TLSTM_BENCH_MS="${TLSTM_BENCH_MS:-25}" \
+      tmbench --quick --out BENCH_results.json "$@"
+    ;;
+  full)
+    TLSTM_BENCH_MS="${TLSTM_BENCH_MS:-1000}" TLSTM_BENCH_REPS="${TLSTM_BENCH_REPS:-3}" \
+      tmbench --out BENCH_results.json "$@"
+    ;;
+  gate)
+    baseline="${1:-BENCH_baseline.json}"
+    gate_pct="${2:-10}"
+    tmbench --baseline "$baseline" --current BENCH_results.json --gate "$gate_pct"
+    ;;
+  check)
+    tmbench --check-schema "${1:-BENCH_results.json}"
+    ;;
+  *)
+    echo "usage: $0 {quick|full|gate [baseline] [pct]|check [file]} [tmbench flags...]" >&2
+    exit 2
+    ;;
+esac

@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so this in-tree crate
 //! provides the subset of `crossbeam::channel` the workspace uses: unbounded
 //! MPSC channels with `send` / `recv` / `try_recv` / `recv_timeout` and the
-//! matching error types. Unlike the real crossbeam channel the [`Receiver`]
+//! matching error types. Unlike the real crossbeam channel the [`Receiver`](channel::Receiver)
 //! here is not `Clone`/`Sync`; the workspace only ever moves each receiver
 //! into a single consumer thread.
 
