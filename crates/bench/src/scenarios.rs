@@ -9,6 +9,7 @@
 //! same tool.
 
 use tlstm_workloads::harness::RunMetrics;
+use tlstm_workloads::overhead::{self, OverheadParams};
 use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
 use tlstm_workloads::stmbench7::{self, Stmbench7Params};
 use tlstm_workloads::vacation::{self, VacationParams};
@@ -57,6 +58,18 @@ pub enum WorkloadKind {
         /// Percentage of traversals that are read-only.
         read_pct: u64,
     },
+    /// Uncontended fast-path overhead microworkload: `ops_per_txn` random
+    /// reads per transaction over a private region.
+    OverheadRead {
+        /// Reads per transaction.
+        ops_per_txn: u64,
+    },
+    /// Uncontended fast-path overhead microworkload: `ops_per_txn` random
+    /// read-modify-writes per transaction over a private region.
+    OverheadWrite {
+        /// Read-modify-writes per transaction.
+        ops_per_txn: u64,
+    },
 }
 
 impl WorkloadKind {
@@ -67,6 +80,10 @@ impl WorkloadKind {
             WorkloadKind::VacationLow => "vacation-low".to_string(),
             WorkloadKind::VacationHigh => "vacation-high".to_string(),
             WorkloadKind::Stmbench7 { read_pct } => format!("stmbench7-r{read_pct}"),
+            WorkloadKind::OverheadRead { ops_per_txn } => format!("overhead-read-n{ops_per_txn}"),
+            WorkloadKind::OverheadWrite { ops_per_txn } => {
+                format!("overhead-write-n{ops_per_txn}")
+            }
         }
     }
 
@@ -77,6 +94,7 @@ impl WorkloadKind {
             WorkloadKind::RbTree { .. } => "rbtree",
             WorkloadKind::VacationLow | WorkloadKind::VacationHigh => "vacation",
             WorkloadKind::Stmbench7 { .. } => "stmbench7",
+            WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => "overhead",
         }
     }
 
@@ -86,6 +104,7 @@ impl WorkloadKind {
             WorkloadKind::RbTree { .. } => &[2, 4],
             WorkloadKind::VacationLow | WorkloadKind::VacationHigh => &[2],
             WorkloadKind::Stmbench7 { .. } => &[3],
+            WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => &[2],
         }
     }
 }
@@ -178,6 +197,20 @@ impl ScenarioSpec {
                     RuntimeKind::Tlstm => stmbench7::measure_tlstm(&params, config),
                 }
             }
+            WorkloadKind::OverheadRead { ops_per_txn }
+            | WorkloadKind::OverheadWrite { ops_per_txn } => {
+                let params = OverheadParams {
+                    ops_per_txn: *ops_per_txn,
+                    write_heavy: matches!(self.workload, WorkloadKind::OverheadWrite { .. }),
+                    tasks_per_txn: self.tasks_per_txn,
+                    threads: self.threads,
+                    ..Default::default()
+                };
+                match self.runtime {
+                    RuntimeKind::Swisstm => overhead::measure_swisstm(&params, config),
+                    RuntimeKind::Tlstm => overhead::measure_tlstm(&params, config),
+                }
+            }
         }
     }
 }
@@ -212,6 +245,8 @@ pub fn default_workloads() -> Vec<WorkloadKind> {
         WorkloadKind::VacationHigh,
         WorkloadKind::Stmbench7 { read_pct: 90 },
         WorkloadKind::Stmbench7 { read_pct: 10 },
+        WorkloadKind::OverheadRead { ops_per_txn: 64 },
+        WorkloadKind::OverheadWrite { ops_per_txn: 64 },
     ]
 }
 
@@ -299,7 +334,7 @@ mod tests {
         for runtime in RuntimeKind::ALL {
             assert!(scenarios.iter().any(|s| s.runtime == runtime));
         }
-        for family in ["rbtree", "vacation", "stmbench7"] {
+        for family in ["rbtree", "vacation", "stmbench7", "overhead"] {
             assert!(scenarios.iter().any(|s| s.workload.family() == family));
         }
         // Names are unique — the report schema requires it.

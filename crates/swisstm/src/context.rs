@@ -1,0 +1,112 @@
+//! The reusable per-thread transaction context.
+//!
+//! A [`TxContext`] owns every piece of speculative state a SwissTM
+//! transaction needs — the read log, the log-structured write set, the
+//! acquired-locks log and the shared [`TxDescriptor`] — and is **recycled
+//! across attempts and transactions** of its thread. [`SwisstmThread`]
+//! (see [`crate::runtime`]) creates one context at registration time and
+//! threads a `&mut` borrow of it through every [`Transaction`] it runs, so
+//! steady-state transactions build their state entirely inside retained
+//! capacity and perform **zero heap allocations** on the read, write, commit
+//! and rollback paths.
+//!
+//! [`SwisstmThread`]: crate::runtime::SwisstmThread
+//! [`Transaction`]: crate::transaction::Transaction
+//! [`TxDescriptor`]: crate::descriptor::TxDescriptor
+
+use std::sync::Arc;
+
+use txmem::{LockIndex, OwnerHandle, WriteSet};
+
+use crate::descriptor::TxDescriptor;
+
+/// Recyclable speculative state of one thread's transactions.
+///
+/// All vectors and the write set retain their capacity across
+/// `reset_for_attempt`; the descriptor is a single long-lived allocation
+/// shared with contending threads through the runtime's owner registry.
+#[derive(Debug)]
+pub struct TxContext {
+    /// The thread's long-lived descriptor (re-armed per attempt, never
+    /// reallocated).
+    pub(crate) descriptor: Arc<TxDescriptor>,
+    /// The same descriptor, type-erased for the owner registry.
+    pub(crate) owner_handle: OwnerHandle,
+    /// Read log: (lock index, observed version).
+    pub(crate) read_log: Vec<(LockIndex, u64)>,
+    /// Log-structured buffered writes.
+    pub(crate) write_set: WriteSet,
+    /// Write locks acquired by the current transaction, paired with the
+    /// r-lock version observed when commit locked them (filled at commit
+    /// time; replaces the former `old_versions` hash map).
+    pub(crate) acquired: Vec<(LockIndex, u64)>,
+}
+
+impl TxContext {
+    /// Creates the context for a newly registered thread.
+    pub(crate) fn new(thread_id: u32) -> Self {
+        let descriptor = Arc::new(TxDescriptor::timid(thread_id));
+        let owner_handle: OwnerHandle = Arc::clone(&descriptor) as _;
+        TxContext {
+            descriptor,
+            owner_handle,
+            read_log: Vec::new(),
+            write_set: WriteSet::new(),
+            acquired: Vec::new(),
+        }
+    }
+
+    /// Empties all speculative state (keeping capacity) and re-arms the
+    /// descriptor for an attempt running at `priority`.
+    pub(crate) fn reset_for_attempt(&mut self, priority: u64) {
+        self.read_log.clear();
+        self.write_set.clear();
+        self.acquired.clear();
+        self.descriptor.reset_for_attempt(priority);
+    }
+
+    /// `true` if the context carries no speculative state — what a freshly
+    /// created context looks like, and what a recycled context must look like
+    /// after a commit plus reset or a rollback plus reset (used by the
+    /// context-reuse tests).
+    pub fn is_clean(&self) -> bool {
+        self.read_log.is_empty()
+            && self.write_set.is_empty()
+            && self.acquired.is_empty()
+            && !self.descriptor.abort_requested()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmem::{LockOwner, WordAddr};
+
+    #[test]
+    fn reset_scrubs_all_speculative_state() {
+        let mut ctx = TxContext::new(3);
+        assert!(ctx.is_clean());
+        ctx.read_log.push((LockIndex(1), 7));
+        ctx.write_set.insert_new(WordAddr::new(9), 1, LockIndex(1));
+        ctx.acquired.push((LockIndex(1), 0));
+        ctx.descriptor.signal_abort();
+        assert!(!ctx.is_clean());
+        ctx.reset_for_attempt(42);
+        assert!(ctx.is_clean());
+        assert_eq!(ctx.descriptor.priority(), 42);
+    }
+
+    #[test]
+    fn reset_retains_capacity() {
+        let mut ctx = TxContext::new(0);
+        for i in 0..64 {
+            ctx.read_log.push((LockIndex(i), 0));
+            ctx.acquired.push((LockIndex(i), 0));
+        }
+        let read_cap = ctx.read_log.capacity();
+        let acq_cap = ctx.acquired.capacity();
+        ctx.reset_for_attempt(0);
+        assert_eq!(ctx.read_log.capacity(), read_cap);
+        assert_eq!(ctx.acquired.capacity(), acq_cap);
+    }
+}

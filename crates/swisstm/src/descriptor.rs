@@ -2,8 +2,17 @@
 //!
 //! A [`TxDescriptor`] is the shared handle other threads see when they hit one
 //! of this transaction's write locks. It carries the abort-request flag and
-//! the contention-manager priority. The lock table stores it (type-erased as a
-//! [`txmem::LockOwner`]) inside the lock's write chain.
+//! the contention-manager priority. Contenders reach it (type-erased as a
+//! [`txmem::LockOwner`]) through the runtime's owner registry, keyed by the
+//! thread id encoded in the write lock's owner token.
+//!
+//! Descriptors are **allocated once per thread and recycled** across every
+//! attempt and every transaction of that thread (SwissTM's reused-descriptor
+//! design): [`TxDescriptor::reset_for_attempt`] re-arms the flags instead of
+//! allocating a fresh descriptor. A contender that races with the reset can at
+//! worst deliver one stale abort signal to the thread's *next* attempt, which
+//! then retries — the same spurious-abort tolerance the original SwissTM
+//! accepts in exchange for an allocation-free hot path.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -42,6 +51,15 @@ impl TxDescriptor {
     /// Creates a descriptor still in the timid phase.
     pub fn timid(thread_id: u32) -> Self {
         Self::new(thread_id, TIMID)
+    }
+
+    /// Re-arms this (recycled) descriptor for a new transaction attempt:
+    /// clears the abort-request and finishing flags and installs the
+    /// attempt's contention-manager priority.
+    pub fn reset_for_attempt(&self, priority: u64) {
+        self.priority.store(priority, Ordering::Relaxed);
+        self.finishing.store(false, Ordering::Release);
+        self.abort_requested.store(false, Ordering::Release);
     }
 
     /// `true` if another thread asked this transaction to abort.
@@ -112,6 +130,18 @@ mod tests {
         d.set_finishing();
         assert!(d.is_finishing());
         assert!(!d.abort_requested());
+    }
+
+    #[test]
+    fn reset_rearms_a_recycled_descriptor() {
+        let d = TxDescriptor::timid(5);
+        d.signal_abort();
+        d.set_finishing();
+        d.reset_for_attempt(17);
+        assert!(!d.abort_requested());
+        assert!(!d.is_finishing());
+        assert_eq!(d.priority(), 17);
+        assert_eq!(d.thread_id(), 5, "identity survives the reset");
     }
 
     #[test]

@@ -43,11 +43,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cm;
+pub mod context;
 pub mod descriptor;
 pub mod runtime;
 pub mod transaction;
 
 pub use cm::{GreedyCm, GreedyTicket};
+pub use context::TxContext;
 pub use descriptor::TxDescriptor;
 pub use runtime::{SwisstmRuntime, SwisstmThread};
 pub use transaction::Transaction;

@@ -2,10 +2,51 @@
 
 use std::sync::Arc;
 
-use txmem::{Abort, DirectMem, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap, TxSubstrate};
+use parking_lot::RwLock;
+use txmem::{
+    Abort, DirectMem, OwnerHandle, OwnerToken, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap,
+    TxSubstrate,
+};
 
 use crate::cm::{GreedyCm, GreedyTicket, TIMID};
+use crate::context::TxContext;
 use crate::transaction::{contention_pause, Transaction};
+
+/// Registry of the long-lived per-thread descriptors, indexed by thread id.
+///
+/// A transaction that loses a `try_acquire_writer` race recovers the owner's
+/// thread id from the observed [`OwnerToken`] and resolves the descriptor
+/// here, instead of dereferencing state stored in the lock table. This is
+/// what lets SwissTM leave the lock entries' write chains untouched (and
+/// unallocated): the only per-lock state it uses are the two atomic words.
+///
+/// Lookups happen exclusively on the conflict path, so an `RwLock` around the
+/// slot vector is plenty; registration happens once per thread.
+#[derive(Debug, Default)]
+struct OwnerRegistry {
+    slots: RwLock<Vec<Option<OwnerHandle>>>,
+}
+
+impl OwnerRegistry {
+    fn register(&self, id: u32, handle: OwnerHandle) {
+        let mut slots = self.slots.write();
+        if slots.len() <= id as usize {
+            slots.resize(id as usize + 1, None);
+        }
+        slots[id as usize] = Some(handle);
+    }
+
+    fn unregister(&self, id: u32) {
+        let mut slots = self.slots.write();
+        if let Some(slot) = slots.get_mut(id as usize) {
+            *slot = None;
+        }
+    }
+
+    fn get(&self, id: u32) -> Option<OwnerHandle> {
+        self.slots.read().get(id as usize).cloned().flatten()
+    }
+}
 
 /// The SwissTM runtime: owns (a reference to) the shared substrate and hands
 /// out per-thread handles.
@@ -15,6 +56,7 @@ pub struct SwisstmRuntime {
     thread_ids: ThreadIdAllocator,
     tickets: GreedyTicket,
     cm: GreedyCm,
+    owners: OwnerRegistry,
 }
 
 impl SwisstmRuntime {
@@ -31,6 +73,7 @@ impl SwisstmRuntime {
             thread_ids: ThreadIdAllocator::new(),
             tickets: GreedyTicket::new(),
             cm: GreedyCm::default(),
+            owners: OwnerRegistry::default(),
         })
     }
 
@@ -75,18 +118,37 @@ impl SwisstmRuntime {
         self.tickets.draw()
     }
 
+    /// Resolves the descriptor of the thread owning `token`, if it is a
+    /// registered thread of this runtime.
+    pub(crate) fn owner_for(&self, token: OwnerToken) -> Option<OwnerHandle> {
+        self.owners.get(token.id()?)
+    }
+
     /// Registers a new application thread and returns its handle.
+    ///
+    /// The handle owns the thread's recycled [`TxContext`] (descriptor, read
+    /// log, write set, acquired-locks log); its descriptor is published in
+    /// the runtime's owner registry so contenders can reach it.
     pub fn register_thread(self: &Arc<Self>) -> SwisstmThread {
+        let id = self.thread_ids.allocate();
+        let ctx = TxContext::new(id);
+        self.owners.register(id, ctx.owner_handle.clone());
         SwisstmThread {
             runtime: Arc::clone(self),
-            id: self.thread_ids.allocate(),
+            id,
             consecutive_aborts: 0,
             greedy_priority: None,
+            ctx,
         }
     }
 }
 
 /// Per-application-thread handle used to run transactions.
+///
+/// Owns the thread's recycled [`TxContext`]: every transaction (and every
+/// retry) this handle runs borrows the same read log, write set,
+/// acquired-locks log and descriptor, so steady-state transactions allocate
+/// nothing.
 ///
 /// Not `Sync`: each OS thread registers its own handle.
 #[derive(Debug)]
@@ -95,6 +157,7 @@ pub struct SwisstmThread {
     id: u32,
     consecutive_aborts: u32,
     greedy_priority: Option<u64>,
+    ctx: TxContext,
 }
 
 impl SwisstmThread {
@@ -121,7 +184,7 @@ impl SwisstmThread {
         stats.bump(&stats.tx_starts);
         loop {
             let priority = self.greedy_priority.unwrap_or(TIMID);
-            let mut tx = Transaction::new(&self.runtime, self.id, priority);
+            let mut tx = Transaction::new(&self.runtime, &mut self.ctx, self.id, priority);
             let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
             match outcome {
                 Ok(value) => {
@@ -153,6 +216,19 @@ impl SwisstmThread {
                 }
             }
         }
+    }
+
+    /// The thread's recycled transaction context (tests and diagnostics).
+    pub fn context(&self) -> &TxContext {
+        &self.ctx
+    }
+}
+
+impl Drop for SwisstmThread {
+    fn drop(&mut self) {
+        // Retire this thread's descriptor from the owner registry; late
+        // contenders then simply wait for (already released) locks.
+        self.runtime.owners.unregister(self.id);
     }
 }
 
@@ -436,6 +512,46 @@ mod tests {
             );
         }
         assert_eq!(rt.stats().tx_commits, 30, "aggregate is the shard sum");
+    }
+
+    #[test]
+    fn commit_write_back_is_deterministic_last_write_wins() {
+        // Regression for the former HashMap-ordered write-back: writes must
+        // be applied from the log in program order, so the committed value of
+        // every word is its last write — including when several words share
+        // one lock entry (w, w+1 with words_per_lock = 4) and when distinct
+        // regions collide on the same entry through table wrap-around
+        // (TxConfig::small: 256 entries x 4 words = 1024 words apart).
+        let rt = runtime();
+        let block = rt.heap().alloc(2048).unwrap();
+        // Align the base to a lock-entry boundary (4 words) so word 0 and
+        // word 1 provably share an entry.
+        let region = block.offset((4 - block.index() % 4) % 4);
+        let mut thread = rt.register_thread();
+        for round in 0..50u64 {
+            thread.atomic(|tx| {
+                tx.write(region, round)?; // word 0
+                tx.write(region.offset(1), round + 1)?; // same lock as word 0
+                tx.write(region.offset(1024), round + 2)?; // collides with word 0
+                tx.write(region, round + 3)?; // overwrite word 0
+                tx.write(region.offset(1025), round + 4)?; // collides with word 1
+                tx.write(region.offset(1), round + 5)?; // overwrite word 1
+                tx.write(region.offset(1024), round + 6)?; // overwrite collider
+                Ok(())
+            });
+            assert_eq!(rt.heap().load_committed(region), round + 3);
+            assert_eq!(rt.heap().load_committed(region.offset(1)), round + 5);
+            assert_eq!(rt.heap().load_committed(region.offset(1024)), round + 6);
+            assert_eq!(rt.heap().load_committed(region.offset(1025)), round + 4);
+        }
+        // The colliding words share a single lock entry, so this really
+        // exercised multi-word write-back under one lock.
+        let locks = &rt.substrate().locks;
+        assert_eq!(
+            locks.index_for(region),
+            locks.index_for(region.offset(1024))
+        );
+        assert_eq!(locks.index_for(region), locks.index_for(region.offset(1)));
     }
 
     #[test]

@@ -4,16 +4,41 @@
 //! locking through the global lock table, invisible reads with lazy
 //! counter-based validation (`valid-ts` + read-log extension), buffered writes
 //! applied at commit under the written locations' r-locks.
-
-use std::collections::HashMap;
-use std::sync::Arc;
+//!
+//! ## Zero-allocation hot path
+//!
+//! Mirroring the original SwissTM implementation (whose descriptors and
+//! read/write logs are reused across transactions precisely so the fast path
+//! stays allocation-free), a [`Transaction`] owns **no** speculative state of
+//! its own: it borrows its thread's recycled
+//! [`TxContext`], which provides
+//!
+//! * the **read log** — an append-only `(lock, version)` vector whose
+//!   capacity survives resets;
+//! * the **log-structured write set** ([`txmem::WriteSet`]) — an append-only
+//!   write log in program order plus a 64-bit bloom summary, so the dominant
+//!   read-path question "did I write this address?" is answered by two bit
+//!   tests instead of a hash-map probe, and commit write-back applies each
+//!   word exactly once (final value, deterministic order);
+//! * the **acquired-locks log** — `(lock, previous r-lock version)` pairs
+//!   that double as the commit-time undo list, replacing the per-commit
+//!   `old_versions` hash map;
+//! * the thread's **reused descriptor**, re-armed per attempt and published
+//!   to contenders through the runtime's owner registry (the lock table's
+//!   write chains are no longer touched by SwissTM at all — chains are a
+//!   TLSTM-only structure, allocated lazily).
+//!
+//! After a thread's context has warmed up to the workload's footprint, the
+//! read, write, commit and rollback paths perform zero heap allocations;
+//! `crates/swisstm/tests/zero_alloc.rs` pins this with a counting allocator.
 
 use txmem::{
-    Abort, AbortReason, CmDecision, GlobalClock, LockIndex, LockTable, OwnerToken, StatsShard,
-    TxHeap, TxMem, WordAddr, LOCKED,
+    Abort, AbortReason, CmDecision, GlobalClock, LockEntry, LockIndex, LockTable, OwnerToken,
+    StatsShard, TxHeap, TxMem, WordAddr, LOCKED,
 };
 
 use crate::cm::GreedyCm;
+use crate::context::TxContext;
 use crate::descriptor::TxDescriptor;
 use crate::runtime::SwisstmRuntime;
 
@@ -28,50 +53,49 @@ pub(crate) fn contention_pause(iteration: u32) {
 
 /// A single SwissTM transaction attempt.
 ///
-/// Created by [`SwisstmThread::atomic`](crate::SwisstmThread::atomic); user
-/// code interacts with it through the [`TxMem`] trait.
+/// Created by [`SwisstmThread::atomic`](crate::SwisstmThread::atomic) over the
+/// thread's recycled context; user code interacts with it through the
+/// [`TxMem`] trait.
 #[derive(Debug)]
-pub struct Transaction<'rt> {
-    heap: &'rt TxHeap,
-    locks: &'rt LockTable,
-    clock: &'rt GlobalClock,
+pub struct Transaction<'a> {
+    heap: &'a TxHeap,
+    locks: &'a LockTable,
+    clock: &'a GlobalClock,
     /// This thread's statistics shard (never shared with other threads).
-    stats: &'rt StatsShard,
+    stats: &'a StatsShard,
+    /// Owner registry used to resolve write-lock conflicts.
+    runtime: &'a SwisstmRuntime,
     cm: GreedyCm,
-    descriptor: Arc<TxDescriptor>,
-    owner_handle: txmem::owner::OwnerHandle,
     token: OwnerToken,
     valid_ts: u64,
-    /// Read log: (lock index, observed version).
-    read_log: Vec<(LockIndex, u64)>,
-    /// Buffered writes keyed by word address.
-    write_map: HashMap<u64, u64>,
-    /// Write locks acquired by this transaction (unique).
-    acquired: Vec<LockIndex>,
+    /// The thread's recycled speculative state.
+    ctx: &'a mut TxContext,
     /// Local operation counters, flushed into the shared stats at the end.
     local_reads: u64,
     local_writes: u64,
 }
 
-impl<'rt> Transaction<'rt> {
-    /// Starts a new transaction attempt on behalf of `thread_id`.
-    pub(crate) fn new(runtime: &'rt SwisstmRuntime, thread_id: u32, priority: u64) -> Self {
+impl<'a> Transaction<'a> {
+    /// Starts a new transaction attempt on behalf of `thread_id`, recycling
+    /// the thread's context (which is reset here).
+    pub(crate) fn new(
+        runtime: &'a SwisstmRuntime,
+        ctx: &'a mut TxContext,
+        thread_id: u32,
+        priority: u64,
+    ) -> Self {
         let substrate = runtime.substrate();
-        let descriptor = Arc::new(TxDescriptor::new(thread_id, priority));
-        let owner_handle: txmem::owner::OwnerHandle = Arc::clone(&descriptor) as _;
+        ctx.reset_for_attempt(priority);
         Transaction {
             heap: &substrate.heap,
             locks: &substrate.locks,
             clock: &substrate.clock,
             stats: substrate.stats.shard(thread_id),
+            runtime,
             cm: runtime.cm(),
-            descriptor,
-            owner_handle,
             token: OwnerToken::from_id(thread_id),
             valid_ts: substrate.clock.now(),
-            read_log: Vec::new(),
-            write_map: HashMap::new(),
-            acquired: Vec::new(),
+            ctx,
             local_reads: 0,
             local_writes: 0,
         }
@@ -84,21 +108,21 @@ impl<'rt> Transaction<'rt> {
 
     /// `true` if this transaction has not written anything (read-only so far).
     pub fn is_read_only(&self) -> bool {
-        self.write_map.is_empty()
+        self.ctx.write_set.is_empty()
     }
 
     /// Number of distinct write locks held.
     pub fn locks_held(&self) -> usize {
-        self.acquired.len()
+        self.ctx.acquired.len()
     }
 
     /// The descriptor other threads use to signal this transaction.
-    pub fn descriptor(&self) -> &Arc<TxDescriptor> {
-        &self.descriptor
+    pub fn descriptor(&self) -> &std::sync::Arc<TxDescriptor> {
+        &self.ctx.descriptor
     }
 
     fn check_abort_signal(&self) -> Result<(), Abort> {
-        if self.descriptor.abort_requested() {
+        if self.ctx.descriptor.abort_requested() {
             Err(Abort::new(AbortReason::TransactionAbortSignal))
         } else {
             Ok(())
@@ -107,27 +131,13 @@ impl<'rt> Transaction<'rt> {
 
     /// Validates every read-log entry against the current lock-table state.
     ///
-    /// `locked_by_me` supplies the pre-lock versions of r-locks this
-    /// transaction itself locked during commit, so that its own commit-time
-    /// locking does not invalidate its reads.
-    fn validate(&self, locked_by_me: Option<&HashMap<LockIndex, u64>>) -> bool {
-        for &(idx, observed) in &self.read_log {
-            let entry = self.locks.entry(idx);
-            let current = entry.version();
-            if current == observed {
-                continue;
-            }
-            if current == LOCKED {
-                if let Some(mine) = locked_by_me {
-                    if mine.get(&idx) == Some(&observed) {
-                        continue;
-                    }
-                }
-                return false;
-            }
-            return false;
-        }
-        true
+    /// `locked_by_me` supplies the `(lock, pre-lock version)` pairs of r-locks
+    /// this transaction itself locked during commit — **sorted by lock
+    /// index** — so that its own commit-time locking does not invalidate its
+    /// reads.
+    fn validate(&self, locked_by_me: Option<&[(LockIndex, u64)]>) -> bool {
+        self.locks
+            .validate_read_log(&self.ctx.read_log, locked_by_me)
     }
 
     /// Attempts to extend `valid-ts` to the current commit timestamp by
@@ -147,12 +157,19 @@ impl<'rt> Transaction<'rt> {
     /// Reads the committed value of `addr` consistently with respect to the
     /// location's r-lock, extending `valid-ts` if the version is too new.
     ///
+    /// The caller has already resolved `(idx, entry)` for `addr`, so the
+    /// lock-table mapping is computed exactly once per read.
+    ///
     /// The extension happens *before* the value is used: a version newer than
     /// `valid-ts` first forces a successful read-log extension and then the
     /// read is retried under the new timestamp, which is what preserves
     /// opacity (a stale value must never be returned alongside newer ones).
-    fn read_committed(&mut self, addr: WordAddr) -> Result<u64, Abort> {
-        let (idx, entry) = self.locks.lookup(addr);
+    fn read_committed(
+        &mut self,
+        idx: LockIndex,
+        entry: &LockEntry,
+        addr: WordAddr,
+    ) -> Result<u64, Abort> {
         let mut spin = 0u32;
         loop {
             let v1 = entry.version();
@@ -177,7 +194,7 @@ impl<'rt> Transaction<'rt> {
                 spin = spin.wrapping_add(1);
                 continue;
             }
-            self.read_log.push((idx, v1));
+            self.ctx.read_log.push((idx, v1));
             return Ok(value);
         }
     }
@@ -186,40 +203,45 @@ impl<'rt> Transaction<'rt> {
     /// commit timestamp, validates the read log and writes the buffered
     /// values back.
     ///
+    /// Write-back iterates the log-structured write set, so every written
+    /// word is stored exactly once with its final value, in first-write
+    /// program order — deterministic regardless of how addresses collide in
+    /// the lock table.
+    ///
     /// # Errors
     ///
     /// Returns [`Abort`] if validation fails or an abort was signalled; the
     /// caller must then roll the transaction back and retry.
     pub(crate) fn commit(&mut self) -> Result<(), Abort> {
         self.check_abort_signal()?;
-        self.descriptor.set_finishing();
-        if self.write_map.is_empty() {
+        self.ctx.descriptor.set_finishing();
+        if self.ctx.write_set.is_empty() {
             // Read-only transactions are already consistent at `valid-ts`.
             return Ok(());
         }
         // Lock the r-locks of every written location, remembering the
-        // previous versions so they can be restored if validation fails.
-        let mut old_versions: HashMap<LockIndex, u64> = HashMap::with_capacity(self.acquired.len());
-        for &idx in &self.acquired {
-            let entry = self.locks.entry(idx);
-            let prev = entry.lock_version();
-            old_versions.insert(idx, prev);
+        // previous versions in the acquired-locks log so they can be restored
+        // if validation fails. Sorting first makes the log binary-searchable
+        // during validation (locking order is irrelevant: `lock_version` is a
+        // plain swap that only the w-lock holder may perform).
+        self.ctx.acquired.sort_unstable_by_key(|&(idx, _)| idx.0);
+        for slot in self.ctx.acquired.iter_mut() {
+            slot.1 = self.locks.entry(slot.0).lock_version();
         }
         let ts = self.clock.tick();
         self.stats.bump(&self.stats.validations);
-        if !self.validate(Some(&old_versions)) {
-            for (&idx, &prev) in &old_versions {
+        if !self.validate(Some(&self.ctx.acquired)) {
+            for &(idx, prev) in &self.ctx.acquired {
                 self.locks.entry(idx).set_version(prev);
             }
             return Err(Abort::new(AbortReason::ReadValidation));
         }
         // Write back and release.
-        for (&addr, &value) in &self.write_map {
-            self.heap.store_committed(WordAddr::new(addr), value);
+        for e in self.ctx.write_set.iter() {
+            self.heap.store_committed(e.addr, e.value);
         }
-        for &idx in &self.acquired {
+        for &(idx, _) in &self.ctx.acquired {
             let entry = self.locks.entry(idx);
-            entry.chain().clear();
             entry.set_version(ts);
             entry.release_writer();
         }
@@ -227,16 +249,14 @@ impl<'rt> Transaction<'rt> {
     }
 
     /// Rolls the transaction back: releases all acquired write locks and
-    /// clears the speculative state.
+    /// clears the speculative state (retaining its capacity for the retry).
     pub(crate) fn rollback(&mut self, reason: AbortReason) {
-        for &idx in &self.acquired {
-            let entry = self.locks.entry(idx);
-            entry.chain().clear();
-            entry.release_writer_if(self.token);
+        for &(idx, _) in &self.ctx.acquired {
+            self.locks.entry(idx).release_writer_if(self.token);
         }
-        self.acquired.clear();
-        self.write_map.clear();
-        self.read_log.clear();
+        self.ctx.acquired.clear();
+        self.ctx.write_set.clear();
+        self.ctx.read_log.clear();
         self.stats.record_abort_reason(reason);
     }
 
@@ -257,23 +277,32 @@ impl<'rt> Transaction<'rt> {
 impl TxMem for Transaction<'_> {
     fn read(&mut self, addr: WordAddr) -> Result<u64, Abort> {
         self.local_reads += 1;
-        let entry = self.locks.entry_for(addr);
+        let locks = self.locks;
+        let (idx, entry) = locks.lookup(addr);
+        // Read-after-write is only possible under a lock this transaction
+        // already owns, so the owner-token check (on a cache line the read
+        // touches anyway) keeps unrelated reads out of the write set even
+        // when a large write set has saturated the bloom summary; the bloom
+        // then settles the common same-lock-different-word miss cheaply.
         if entry.writer_token() == self.token {
-            // Locked by this transaction: serve the read from the write log
-            // if this exact address was written, otherwise fall through to
-            // the committed value (same lock, different word).
-            if let Some(&value) = self.write_map.get(&addr.index()) {
+            if let Some(value) = self.ctx.write_set.lookup(addr) {
                 return Ok(value);
             }
         }
-        self.read_committed(addr)
+        self.read_committed(idx, entry, addr)
     }
 
     fn write(&mut self, addr: WordAddr, value: u64) -> Result<(), Abort> {
         self.local_writes += 1;
-        let (idx, entry) = self.locks.lookup(addr);
+        // Repeated write to an address already in the set: update in place.
+        if self.ctx.write_set.update(addr, value) {
+            return Ok(());
+        }
+        let locks = self.locks;
+        let (idx, entry) = locks.lookup(addr);
         if entry.writer_token() == self.token {
-            self.write_map.insert(addr.index(), value);
+            // Same lock already held (a neighbouring word was written first).
+            self.ctx.write_set.insert_new(addr, value, idx);
             return Ok(());
         }
         let mut spin = 0u32;
@@ -281,37 +310,27 @@ impl TxMem for Transaction<'_> {
             self.check_abort_signal()?;
             match entry.try_acquire_writer(self.token) {
                 Ok(()) => {
-                    // Record this transaction as the owner in the lock's
-                    // chain so contenders can reach the descriptor.
-                    entry.chain().record_write(
-                        self.descriptor.thread_id(),
-                        0,
-                        0,
-                        &self.owner_handle,
-                        addr,
-                        value,
-                    );
-                    self.acquired.push(idx);
-                    self.write_map.insert(addr.index(), value);
+                    self.ctx.acquired.push((idx, 0));
+                    self.ctx.write_set.insert_new(addr, value, idx);
                     break;
                 }
-                Err(_other) => {
-                    let decision = {
-                        let chain = entry.chain();
-                        match chain.newest() {
-                            // Owner released between the failed CAS and the
-                            // chain inspection: just try again.
-                            None => CmDecision::Wait,
-                            Some(spec) => {
-                                let decision = self
-                                    .cm
-                                    .resolve(self.descriptor.priority(), spec.owner.as_ref());
-                                if decision == CmDecision::AbortOwner {
-                                    spec.owner.signal_abort();
-                                    self.stats.bump(&self.stats.cm_owner_aborts);
-                                }
-                                decision
+                Err(owner_token) => {
+                    // Reach the owner's descriptor through the runtime's
+                    // registry (the token encodes the owning thread id); the
+                    // lock's write chain is never touched by SwissTM.
+                    let decision = match self.runtime.owner_for(owner_token) {
+                        // Owner released (or is not a SwissTM thread of this
+                        // runtime): just wait for the lock and retry.
+                        None => CmDecision::Wait,
+                        Some(owner) => {
+                            let decision = self
+                                .cm
+                                .resolve(self.ctx.descriptor.priority(), owner.as_ref());
+                            if decision == CmDecision::AbortOwner {
+                                owner.signal_abort();
+                                self.stats.bump(&self.stats.cm_owner_aborts);
                             }
+                            decision
                         }
                     };
                     match decision {

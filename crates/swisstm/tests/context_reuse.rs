@@ -1,0 +1,119 @@
+//! Property: a recycled [`swisstm::TxContext`] that has been through commits
+//! *and* a populated rollback is observationally indistinguishable from a
+//! fresh one — no stale read-log, write-set or descriptor state may leak into
+//! the next transaction.
+//!
+//! For arbitrary operation sequences the test runs, on runtime A, one thread
+//! through: a committing *warm* transaction, an *aborted* transaction (whose
+//! first attempt applies writes and then rolls back), and a final
+//! transaction. On runtime B it replays only the warm transaction and then
+//! runs the final transaction on a **brand-new thread** (fresh context). The
+//! final transaction's observed reads and the entire committed region must be
+//! identical — and the aborted writes must be visible in neither.
+
+use proptest::prelude::*;
+use swisstm::{SwisstmRuntime, SwisstmThread};
+use txmem::{Abort, TxConfig, TxMem, WordAddr};
+
+const WORDS: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64, u64),
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..WORDS).prop_map(Op::Read),
+            // Writes draw from a narrow value domain so leaked stale values
+            // would be plausible-looking, not obviously corrupt.
+            (0..WORDS, 0..1000u64).prop_map(|(w, v)| Op::Write(w, v)),
+        ],
+        0..max_len,
+    )
+}
+
+/// Applies `ops` inside a transaction, returning every read's result.
+fn apply(
+    tx: &mut swisstm::Transaction<'_>,
+    region: WordAddr,
+    ops: &[Op],
+) -> Result<Vec<u64>, Abort> {
+    let mut observed = Vec::with_capacity(ops.len());
+    for &op in ops {
+        match op {
+            Op::Read(w) => observed.push(tx.read(region.offset(w))?),
+            Op::Write(w, v) => tx.write(region.offset(w), v)?,
+        }
+    }
+    Ok(observed)
+}
+
+fn committed_region(rt: &SwisstmRuntime, region: WordAddr) -> Vec<u64> {
+    (0..WORDS)
+        .map(|w| rt.heap().load_committed(region.offset(w)))
+        .collect()
+}
+
+fn run_committing_txn(thread: &mut SwisstmThread, region: WordAddr, ops: &[Op]) -> Vec<u64> {
+    thread.atomic(|tx| apply(tx, region, ops))
+}
+
+/// Runs a transaction whose first attempt applies `ops` and then aborts; the
+/// retry commits empty. Net effect on committed state: none.
+fn run_aborted_txn(thread: &mut SwisstmThread, region: WordAddr, ops: &[Op]) {
+    let mut first_attempt = true;
+    thread.atomic(|tx| {
+        if first_attempt {
+            first_attempt = false;
+            apply(tx, region, ops)?;
+            return Err(Abort::user_retry());
+        }
+        Ok(())
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reused_context_after_rollback_matches_fresh_context(
+        warm_ops in ops_strategy(40),
+        aborted_ops in ops_strategy(40),
+        final_ops in ops_strategy(40),
+    ) {
+        // Runtime A: one thread, one recycled context, through all phases.
+        let rt_a = SwisstmRuntime::new(TxConfig::small());
+        let region_a = rt_a.heap().alloc(WORDS).unwrap();
+        let mut thread_a = rt_a.register_thread();
+        run_committing_txn(&mut thread_a, region_a, &warm_ops);
+        run_aborted_txn(&mut thread_a, region_a, &aborted_ops);
+        let observed_reused = run_committing_txn(&mut thread_a, region_a, &final_ops);
+
+        // Runtime B: warm state replayed, final transaction on a fresh
+        // thread whose context has no history at all.
+        let rt_b = SwisstmRuntime::new(TxConfig::small());
+        let region_b = rt_b.heap().alloc(WORDS).unwrap();
+        let mut warm_thread = rt_b.register_thread();
+        run_committing_txn(&mut warm_thread, region_b, &warm_ops);
+        drop(warm_thread);
+        let mut fresh_thread = rt_b.register_thread();
+        let observed_fresh = run_committing_txn(&mut fresh_thread, region_b, &final_ops);
+
+        prop_assert_eq!(
+            observed_reused,
+            observed_fresh,
+            "a recycled context returned different reads than a fresh one"
+        );
+        prop_assert_eq!(
+            committed_region(&rt_a, region_a),
+            committed_region(&rt_b, region_b),
+            "recycled-context execution left different committed state"
+        );
+        // Aborted transactions committed nothing and retried exactly once.
+        prop_assert_eq!(rt_a.stats().aborts_user_retry, 1);
+        prop_assert_eq!(rt_a.stats().tx_commits, 3);
+    }
+}

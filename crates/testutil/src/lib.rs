@@ -13,13 +13,63 @@
 //!   loud failure instead of a CI job that hangs forever;
 //! * [`EnvVarGuard`] — scoped, mutex-serialised environment-variable
 //!   overrides, so tests of env-driven configuration (`TLSTM_BENCH_*`) can't
-//!   race each other inside one test process.
+//!   race each other inside one test process;
+//! * [`CountingAlloc`] — an allocation-counting global allocator for the
+//!   zero-allocation hot-path tests.
 
 #![warn(missing_docs)]
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Process-wide counter behind [`CountingAlloc`].
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// An allocation-counting wrapper around the system allocator.
+///
+/// Install it in a test binary with
+/// `#[global_allocator] static GLOBAL: CountingAlloc = CountingAlloc;` and
+/// read the running count with [`allocation_count`]. Every `alloc`,
+/// `alloc_zeroed` and `realloc` increments the counter; `dealloc` does not.
+/// Keep one measuring `#[test]` per binary — tests in a binary run
+/// concurrently and would pollute each other's counts.
+pub struct CountingAlloc;
+
+impl std::fmt::Debug for CountingAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CountingAlloc")
+    }
+}
+
+/// Number of heap allocations performed by this process so far (only counted
+/// while [`CountingAlloc`] is installed as the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
 
 /// Default deadline applied by [`with_default_watchdog`]. Generous enough for
 /// debug builds on slow CI, far below any CI-level job timeout.

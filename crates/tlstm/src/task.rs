@@ -5,14 +5,25 @@
 //! paper and the per-task half of the commit/abort protocol of Algorithm 3
 //! (the whole-transaction commit performed by the commit-task lives in
 //! `TaskCtx::task_commit`).
+//!
+//! ## Recycled task state
+//!
+//! All per-task speculative state lives in a `TaskBufs` owned by the
+//! *worker thread* and lent to each [`TaskCtx`] it runs: the read logs, the
+//! log-structured write set ([`txmem::WriteSet`]) and the acquired-locks and
+//! commit scratch vectors are recycled across attempts **and across tasks**.
+//! Published [`TaskLogs`] are drawn from (and returned to) a per-user-thread
+//! pool, so in steady state the task read/write/commit/rollback paths stop
+//! allocating; only the per-transaction orchestration (the `TxnShared`
+//! handle, work items and task closures) still allocates, independent of how
+//! many transactional operations a task performs.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use txmem::chain::ChainRead;
 use txmem::{
     Abort, AbortReason, CmDecision, LockIndex, OwnerHandle, OwnerToken, TxMem, TxSubstrate,
-    WordAddr, LOCKED,
+    WordAddr, WriteSet, LOCKED,
 };
 
 use crate::cm::TaskAwareCm;
@@ -27,11 +38,33 @@ fn contention_pause(iteration: u32) {
     txmem::pause::contention_pause(iteration, SPIN_BEFORE_YIELD);
 }
 
+/// Recyclable speculative buffers of one worker thread.
+///
+/// A worker creates one `TaskBufs` for its lifetime and lends it to every
+/// [`TaskCtx`] it runs; all vectors and the write set retain their capacity
+/// across attempts and tasks.
+#[derive(Debug, Default)]
+pub(crate) struct TaskBufs {
+    /// Reads from committed state: (lock, observed version).
+    read_log: Vec<(LockIndex, u64)>,
+    /// Reads from past tasks' speculative values.
+    task_read_log: Vec<TaskReadEntry>,
+    /// Log-structured buffered writes.
+    write_set: WriteSet,
+    /// Locks under which this task created chain entries.
+    acquired: Vec<LockIndex>,
+    /// Commit-task scratch: the whole transaction's `(lock, pre-lock
+    /// version)` pairs, sorted by lock index (replaces the former
+    /// `old_versions` hash map).
+    commit_locks: Vec<(LockIndex, u64)>,
+}
+
 /// Execution context of one speculative task attempt.
 ///
 /// The same context is reused across re-executions of the task (after
 /// intra-thread or inter-thread conflicts); `TaskCtx::reset_for_attempt`
-/// clears the speculative state between attempts.
+/// clears the speculative state between attempts. The backing buffers come
+/// from the worker's recycled `TaskBufs`.
 #[derive(Debug)]
 pub struct TaskCtx<'rt> {
     substrate: &'rt TxSubstrate,
@@ -46,10 +79,7 @@ pub struct TaskCtx<'rt> {
     token: OwnerToken,
     valid_ts: u64,
     last_writer_events: u64,
-    read_log: Vec<(LockIndex, u64)>,
-    task_read_log: Vec<TaskReadEntry>,
-    write_map: HashMap<u64, u64>,
-    acquired: Vec<LockIndex>,
+    bufs: &'rt mut TaskBufs,
     local_reads: u64,
     local_writes: u64,
 }
@@ -72,12 +102,17 @@ impl<'rt> TaskCtx<'rt> {
         txn: Arc<TxnShared>,
         serial: u64,
         try_commit: bool,
+        bufs: &'rt mut TaskBufs,
     ) -> Self {
         let token = OwnerToken::from_id(uthread.ptid());
         let txn_owner: OwnerHandle = Arc::clone(&txn) as _;
         let valid_ts = substrate.clock.now();
         let last_writer_events = uthread.writer_events();
         let stats = substrate.stats.shard(uthread.ptid());
+        debug_assert!(
+            bufs.acquired.is_empty(),
+            "recycled buffers must be handed over with no chain entries"
+        );
         TaskCtx {
             substrate,
             stats,
@@ -90,10 +125,7 @@ impl<'rt> TaskCtx<'rt> {
             token,
             valid_ts,
             last_writer_events,
-            read_log: Vec::new(),
-            task_read_log: Vec::new(),
-            write_map: HashMap::new(),
-            acquired: Vec::new(),
+            bufs,
             local_reads: 0,
             local_writes: 0,
         }
@@ -135,7 +167,7 @@ impl<'rt> TaskCtx<'rt> {
 
     /// `true` if the task has not written anything so far.
     pub fn is_read_only(&self) -> bool {
-        self.write_map.is_empty()
+        self.bufs.write_set.is_empty()
     }
 
     /// Requests an explicit user-level retry of the task (and hence of its
@@ -155,15 +187,16 @@ impl<'rt> TaskCtx<'rt> {
     }
 
     /// Prepares the context for a (re-)execution attempt of the task body.
+    /// Clearing retains the recycled buffers' capacity.
     pub(crate) fn reset_for_attempt(&mut self) {
-        self.read_log.clear();
-        self.task_read_log.clear();
-        self.write_map.clear();
+        self.bufs.read_log.clear();
+        self.bufs.task_read_log.clear();
+        self.bufs.write_set.clear();
         debug_assert!(
-            self.acquired.is_empty(),
+            self.bufs.acquired.is_empty(),
             "chain entries must be removed before reset"
         );
-        self.acquired.clear();
+        self.bufs.acquired.clear();
         self.valid_ts = self.substrate.clock.now();
         self.last_writer_events = self.uthread.writer_events();
         let slot = self.uthread.slot(self.serial);
@@ -173,7 +206,7 @@ impl<'rt> TaskCtx<'rt> {
     /// Removes every speculative chain entry this task installed and releases
     /// write locks whose chains become empty. Called on every rollback.
     pub(crate) fn remove_chain_entries(&mut self) {
-        for &idx in &self.acquired {
+        for &idx in &self.bufs.acquired {
             let entry = self.substrate.locks.entry(idx);
             let mut chain = entry.chain();
             chain.remove_serial(self.serial);
@@ -181,7 +214,7 @@ impl<'rt> TaskCtx<'rt> {
                 entry.release_writer_if(self.token);
             }
         }
-        self.acquired.clear();
+        self.bufs.acquired.clear();
     }
 
     /// Flushes the local read/write counters into the user-thread's
@@ -233,9 +266,12 @@ impl<'rt> TaskCtx<'rt> {
     pub(crate) fn validate_task(&self) -> bool {
         self.stats.bump(&self.stats.validations);
         // Part 1: reads from past tasks' speculative values.
-        for rec in &self.task_read_log {
+        for rec in &self.bufs.task_read_log {
             let entry = self.substrate.locks.entry(rec.lock);
-            let chain = entry.chain();
+            // A never-allocated chain means the writer's entry is gone.
+            let Some(chain) = entry.try_chain() else {
+                return false;
+            };
             if chain.owner_ptid() != Some(self.uthread.ptid()) {
                 // The writer's transaction committed or aborted and released
                 // the lock: the speculative read is no longer backed.
@@ -253,9 +289,12 @@ impl<'rt> TaskCtx<'rt> {
         }
         // Part 2: reads from committed state must not have been overwritten
         // speculatively by a past task of this user-thread.
-        for &(idx, _version) in &self.read_log {
+        for &(idx, _version) in &self.bufs.read_log {
             let entry = self.substrate.locks.entry(idx);
-            let chain = entry.chain();
+            // No chain allocated: nobody ever wrote speculatively here.
+            let Some(chain) = entry.try_chain() else {
+                continue;
+            };
             if chain.owner_ptid() == Some(self.uthread.ptid())
                 && chain.iter().any(|e| e.serial < self.serial)
             {
@@ -268,31 +307,18 @@ impl<'rt> TaskCtx<'rt> {
     // --- inter-thread validation (inherited from SwissTM) ---------------------
 
     /// Validates the committed-read log against the lock table.
-    fn validate_reads(&self, locked_by_me: Option<&HashMap<LockIndex, u64>>) -> bool {
-        Self::validate_read_entries(self.substrate, &self.read_log, locked_by_me)
+    fn validate_reads(&self, locked_by_me: Option<&[(LockIndex, u64)]>) -> bool {
+        Self::validate_read_entries(self.substrate, &self.bufs.read_log, locked_by_me)
     }
 
+    /// `locked_by_me` is the commit-task's `(lock, pre-lock version)` list,
+    /// sorted by lock index (binary-searchable).
     fn validate_read_entries(
         substrate: &TxSubstrate,
         entries: &[(LockIndex, u64)],
-        locked_by_me: Option<&HashMap<LockIndex, u64>>,
+        locked_by_me: Option<&[(LockIndex, u64)]>,
     ) -> bool {
-        for &(idx, observed) in entries {
-            let entry = substrate.locks.entry(idx);
-            let current = entry.version();
-            if current == observed {
-                continue;
-            }
-            if current == LOCKED {
-                if let Some(mine) = locked_by_me {
-                    if mine.get(&idx) == Some(&observed) {
-                        continue;
-                    }
-                }
-            }
-            return false;
-        }
-        true
+        substrate.locks.validate_read_log(entries, locked_by_me)
     }
 
     /// Tries to extend `valid-ts` to the current commit timestamp.
@@ -309,9 +335,14 @@ impl<'rt> TaskCtx<'rt> {
     }
 
     /// Reads the committed value of `addr` with the SwissTM consistency rule
-    /// (extend-before-use, re-checked version).
-    fn read_committed(&mut self, addr: WordAddr) -> Result<u64, Abort> {
-        let (idx, entry) = self.substrate.locks.lookup(addr);
+    /// (extend-before-use, re-checked version). The caller has already
+    /// resolved `(idx, entry)`, so the lock mapping is computed once per read.
+    fn read_committed(
+        &mut self,
+        idx: LockIndex,
+        entry: &txmem::LockEntry,
+        addr: WordAddr,
+    ) -> Result<u64, Abort> {
         let mut spin = 0u32;
         loop {
             let v1 = entry.version();
@@ -334,7 +365,7 @@ impl<'rt> TaskCtx<'rt> {
                 spin = spin.wrapping_add(1);
                 continue;
             }
-            self.read_log.push((idx, v1));
+            self.bufs.read_log.push((idx, v1));
             return Ok(value);
         }
     }
@@ -343,28 +374,33 @@ impl<'rt> TaskCtx<'rt> {
 
     fn read_word(&mut self, addr: WordAddr) -> Result<u64, Abort> {
         self.check_signals()?;
-        // Reads from the task's own writes need no validation. The emptiness
-        // guard keeps read-only tasks off the hash-lookup path entirely.
-        if !self.write_map.is_empty() {
-            if let Some(&value) = self.write_map.get(&addr.index()) {
-                return Ok(value);
-            }
+        // Reads from the task's own writes need no validation; the write
+        // set's bloom summary answers the dominant "not written by me" case
+        // with two bit tests, keeping read-only tasks off any lookup path.
+        if let Some(value) = self.bufs.write_set.lookup(addr) {
+            return Ok(value);
         }
         let (idx, entry) = self.substrate.locks.lookup(addr);
         loop {
             if entry.writer_token() != self.token {
                 // Not locked by this user-thread (or just released): read the
                 // committed value exactly as SwissTM would.
-                return self.read_committed(addr);
+                return self.read_committed(idx, entry, addr);
             }
             let probe = {
-                let chain = entry.chain();
+                // `try_chain` never allocates: a missing chain behaves like
+                // an empty one (the writer has not recorded its entry yet).
+                let chain = entry.try_chain();
                 // Re-check ownership under the chain mutex: the lock may have
                 // been released and re-acquired by another user-thread between
                 // the token check above and taking the mutex.
-                if chain.is_empty() || chain.owner_ptid() != Some(self.uthread.ptid()) {
+                if chain
+                    .as_deref()
+                    .is_none_or(|c| c.is_empty() || c.owner_ptid() != Some(self.uthread.ptid()))
+                {
                     SpecProbe::Released
                 } else {
+                    let chain = chain.as_deref().expect("checked non-empty above");
                     match chain.read_visible(addr, self.serial) {
                         ChainRead::Own(value) => SpecProbe::Own(value),
                         ChainRead::Past {
@@ -394,7 +430,7 @@ impl<'rt> TaskCtx<'rt> {
                     // the speculative value (Algorithm 1, line 13), then log
                     // the read for later re-validation.
                     self.maybe_validate_task()?;
-                    self.task_read_log.push(TaskReadEntry {
+                    self.bufs.task_read_log.push(TaskReadEntry {
                         lock: idx,
                         addr,
                         writer_serial,
@@ -410,7 +446,7 @@ impl<'rt> TaskCtx<'rt> {
                     continue;
                 }
                 SpecProbe::Fallback => {
-                    return self.read_committed(addr);
+                    return self.read_committed(idx, entry, addr);
                 }
                 SpecProbe::Released => {
                     // Ownership changed under us: re-evaluate from the top
@@ -434,17 +470,26 @@ impl<'rt> TaskCtx<'rt> {
             addr,
             value,
         );
-        if !self.acquired.contains(&idx) {
-            self.acquired.push(idx);
+        self.note_own_write(idx, addr, value);
+    }
+
+    /// Local bookkeeping after a write has been recorded in the lock's
+    /// chain: remember the acquired lock and buffer the value in the write
+    /// set. Shared by every write-recording path.
+    fn note_own_write(&mut self, idx: LockIndex, addr: WordAddr, value: u64) {
+        if !self.bufs.acquired.contains(&idx) {
+            self.bufs.acquired.push(idx);
         }
-        self.write_map.insert(addr.index(), value);
+        if !self.bufs.write_set.update(addr, value) {
+            self.bufs.write_set.insert_new(addr, value, idx);
+        }
     }
 
     fn write_word(&mut self, addr: WordAddr, value: u64) -> Result<(), Abort> {
         self.check_signals()?;
         let (idx, entry) = self.substrate.locks.lookup(addr);
         // Fast path: this task already has a chain entry under this lock.
-        if self.acquired.contains(&idx) {
+        if self.bufs.acquired.contains(&idx) {
             self.record_own_write(idx, addr, value);
             return Ok(());
         }
@@ -492,10 +537,7 @@ impl<'rt> TaskCtx<'rt> {
                                     value,
                                 );
                                 drop(chain);
-                                if !self.acquired.contains(&idx) {
-                                    self.acquired.push(idx);
-                                }
-                                self.write_map.insert(addr.index(), value);
+                                self.note_own_write(idx, addr, value);
                                 WwAction::Acquired
                             }
                         }
@@ -539,9 +581,10 @@ impl<'rt> TaskCtx<'rt> {
                 WwAction::InterThread => {
                     // Write lock held by another user-thread: task-aware
                     // contention management (Alg. 2 lines 41-43, 54-64).
+                    // `try_chain` keeps this inspection allocation-free: a
+                    // missing chain reads as "no entry yet", i.e. Wait.
                     let decision = {
-                        let chain = entry.chain();
-                        match chain.newest() {
+                        match entry.try_chain().as_deref().and_then(|c| c.newest()) {
                             None => CmDecision::Wait,
                             // Ownership switched to our own user-thread since
                             // the token read: retry and take the intra-thread
@@ -588,22 +631,21 @@ impl<'rt> TaskCtx<'rt> {
 
     /// Builds the publishable snapshot of this task's logs.
     ///
-    /// The read logs are *moved* out rather than cloned — once a task has
-    /// completed it never validates itself again, and a transaction rollback
-    /// clears and rebuilds them anyway. The `acquired` list is cloned because
-    /// the task still needs it to dismantle its chain entries on rollback.
+    /// The backing storage comes from the user-thread's `TaskLogs` pool: the
+    /// read logs are *swapped* with the pooled (empty, capacity-bearing)
+    /// vectors — once a task has completed it never validates itself again,
+    /// and a transaction rollback clears and rebuilds them anyway — while the
+    /// write log is copied in program order (the task still needs `acquired`
+    /// to dismantle its chain entries on rollback). In steady state the pool
+    /// round-trips the same buffers, so publishing allocates nothing.
     fn make_logs(&mut self) -> TaskLogs {
-        TaskLogs {
-            valid_ts: self.valid_ts,
-            read_log: std::mem::take(&mut self.read_log),
-            task_read_log: std::mem::take(&mut self.task_read_log),
-            writes: self
-                .write_map
-                .iter()
-                .map(|(&addr, &value)| (WordAddr::new(addr), value))
-                .collect(),
-            acquired: self.acquired.clone(),
-        }
+        let mut logs = self.uthread.take_pooled_logs();
+        logs.valid_ts = self.valid_ts;
+        std::mem::swap(&mut logs.read_log, &mut self.bufs.read_log);
+        std::mem::swap(&mut logs.task_read_log, &mut self.bufs.task_read_log);
+        self.bufs.write_set.append_values_to(&mut logs.writes);
+        logs.acquired.extend_from_slice(&self.bufs.acquired);
+        logs
     }
 
     /// Commits the task: waits for every past task of the user-thread to
@@ -630,12 +672,16 @@ impl<'rt> TaskCtx<'rt> {
         if !self.try_commit {
             // Intermediate task (lines 71-77): publish logs, mark completion,
             // then wait for the outcome of the whole user-transaction.
-            let wrote = !self.write_map.is_empty();
+            let wrote = !self.bufs.write_set.is_empty();
             let logs = self.make_logs();
             self.txn.publish_logs(self.serial, logs);
             self.uthread.mark_completed(self.serial, wrote);
             loop {
                 if self.txn.is_committed() {
+                    // The commit-task dismantled the transaction's chain
+                    // entries; hand the recycled buffers to the next task
+                    // with a clean acquired list.
+                    self.bufs.acquired.clear();
                     return Ok(());
                 }
                 if self.txn.rollback_started() {
@@ -668,47 +714,61 @@ impl<'rt> TaskCtx<'rt> {
             let same_ts = all.windows(2).all(|w| w[0].1.valid_ts == w[1].1.valid_ts);
             if !same_ts {
                 self.stats.bump(&self.stats.validations);
-                for (_, logs) in &all {
-                    if !Self::validate_read_entries(self.substrate, &logs.read_log, None) {
-                        self.txn.request_abort();
-                        return Err(Abort::new(AbortReason::ReadValidation));
-                    }
+                let valid = all.iter().all(|(_, logs)| {
+                    Self::validate_read_entries(self.substrate, &logs.read_log, None)
+                });
+                if !valid {
+                    self.txn.request_abort();
+                    self.recycle_collected_logs(all);
+                    return Err(Abort::new(AbortReason::ReadValidation));
                 }
             }
-            self.finish_transaction_commit(false);
+            self.finish_transaction_commit(false, all);
             return Ok(());
         }
 
         // Write transaction: acquire the r-locks of every written location.
+        // The lock set and the pre-lock versions live together in the
+        // recycled `commit_locks` scratch (sorted by lock index), which also
+        // serves as the undo list if validation fails.
         self.txn.set_finishing();
-        let mut lock_set: Vec<LockIndex> = all
-            .iter()
-            .flat_map(|(_, logs)| logs.acquired.iter().copied())
-            .collect();
-        lock_set.sort_unstable_by_key(|idx| idx.0);
-        lock_set.dedup();
-        let mut old_versions: HashMap<LockIndex, u64> = HashMap::with_capacity(lock_set.len());
-        for &idx in &lock_set {
-            old_versions.insert(idx, self.substrate.locks.entry(idx).lock_version());
+        self.bufs.commit_locks.clear();
+        self.bufs.commit_locks.extend(
+            all.iter()
+                .flat_map(|(_, logs)| logs.acquired.iter().map(|&idx| (idx, 0u64))),
+        );
+        self.bufs
+            .commit_locks
+            .sort_unstable_by_key(|&(idx, _)| idx.0);
+        self.bufs.commit_locks.dedup_by_key(|&mut (idx, _)| idx);
+        for slot in self.bufs.commit_locks.iter_mut() {
+            slot.1 = self.substrate.locks.entry(slot.0).lock_version();
         }
         let ts = self.substrate.clock.tick();
         self.stats.bump(&self.stats.validations);
         let mut valid = true;
         for (_, logs) in &all {
-            if !Self::validate_read_entries(self.substrate, &logs.read_log, Some(&old_versions)) {
+            if !Self::validate_read_entries(
+                self.substrate,
+                &logs.read_log,
+                Some(&self.bufs.commit_locks),
+            ) {
                 valid = false;
                 break;
             }
         }
         if !valid {
-            for (&idx, &prev) in &old_versions {
+            for &(idx, prev) in &self.bufs.commit_locks {
                 self.substrate.locks.entry(idx).set_version(prev);
             }
             self.txn.request_abort();
+            self.recycle_collected_logs(all);
             return Err(Abort::new(AbortReason::ReadValidation));
         }
-        // Write back every task's buffered writes in program order, so later
-        // tasks' values win for locations written by several tasks.
+        // Write back every task's buffered writes in program order — across
+        // tasks by ascending serial, within a task in write-log order — so
+        // later tasks' values win for locations written by several tasks and
+        // the applied order is deterministic.
         for (_, logs) in &all {
             for &(addr, value) in &logs.writes {
                 self.substrate.heap.store_committed(addr, value);
@@ -720,7 +780,8 @@ impl<'rt> TaskCtx<'rt> {
         // contender that grabbed a prematurely-released w-lock could run
         // `lock_version` on the still-LOCKED r-lock, recording LOCKED as the
         // version to restore and racing its swap against our store.
-        for &idx in &lock_set {
+        for i in 0..self.bufs.commit_locks.len() {
+            let idx = self.bufs.commit_locks[i].0;
             let entry = self.substrate.locks.entry(idx);
             entry.set_version(ts);
             let mut chain = entry.chain();
@@ -729,16 +790,26 @@ impl<'rt> TaskCtx<'rt> {
                 entry.release_writer_if(self.token);
             }
         }
-        self.finish_transaction_commit(true);
+        self.finish_transaction_commit(true, all);
         Ok(())
     }
 
-    fn finish_transaction_commit(&mut self, wrote: bool) {
+    fn finish_transaction_commit(&mut self, wrote: bool, consumed_logs: Vec<(u64, TaskLogs)>) {
         self.stats.bump(&self.stats.tx_commits);
         self.txn.mark_committed();
         self.uthread.mark_completed(self.serial, wrote);
         // The transaction's chain entries are gone; nothing left to dismantle.
-        self.acquired.clear();
+        self.bufs.acquired.clear();
+        self.recycle_collected_logs(consumed_logs);
+    }
+
+    /// Returns a batch of consumed per-task logs (collected for a commit
+    /// attempt, successful or not) to the user-thread's pool, so the next
+    /// publications — including the rollback retry's — reuse their storage.
+    fn recycle_collected_logs(&self, consumed_logs: Vec<(u64, TaskLogs)>) {
+        for (_, logs) in consumed_logs {
+            self.uthread.recycle_logs(logs);
+        }
     }
 }
 

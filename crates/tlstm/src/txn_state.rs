@@ -58,6 +58,15 @@ impl TaskLogs {
     pub fn is_read_only(&self) -> bool {
         self.writes.is_empty()
     }
+
+    /// Empties the logs, retaining the vectors' capacity (pool recycling).
+    pub fn clear(&mut self) {
+        self.valid_ts = 0;
+        self.read_log.clear();
+        self.task_read_log.clear();
+        self.writes.clear();
+        self.acquired.clear();
+    }
 }
 
 /// State shared by all tasks of one user-transaction.
@@ -239,7 +248,10 @@ impl TxnShared {
     /// has acknowledged. Resets the coordination state, bumps the epoch and
     /// wakes everyone so they re-execute.
     pub fn finish_rollback(&self) {
-        self.logs.lock().clear();
+        // Recycle the discarded log buffers instead of dropping them.
+        for (_, logs) in std::mem::take(&mut *self.logs.lock()) {
+            self.uthread.recycle_logs(logs);
+        }
         self.rollbacks.fetch_add(1, Ordering::Relaxed);
         self.acks.store(0, Ordering::Release);
         self.finishing.store(false, Ordering::Release);

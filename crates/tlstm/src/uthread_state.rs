@@ -10,6 +10,8 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::txn_state::TaskLogs;
+
 /// How long a waiter sleeps on the progress condition variable before
 /// re-checking its predicate. A timeout bounds the damage of any missed
 /// notification.
@@ -81,6 +83,10 @@ pub struct UThreadShared {
     /// counters above change or a transaction commits / aborts.
     progress_lock: Mutex<()>,
     progress_cv: Condvar,
+    /// Pool of recycled [`TaskLogs`] buffers: tasks publish their logs into
+    /// pooled storage and the commit-task (or rollback) returns the consumed
+    /// buffers, so steady-state log publication allocates nothing.
+    log_pool: Mutex<Vec<TaskLogs>>,
 }
 
 impl UThreadShared {
@@ -103,6 +109,7 @@ impl UThreadShared {
             owners: owners.into_boxed_slice(),
             progress_lock: Mutex::new(()),
             progress_cv: Condvar::new(),
+            log_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -197,6 +204,22 @@ impl UThreadShared {
                 return;
             }
             self.progress_cv.wait_for(&mut guard, WAIT_SLICE);
+        }
+    }
+
+    /// Takes a recycled [`TaskLogs`] (empty, capacity retained) from the
+    /// pool, or a fresh one if the pool is dry.
+    pub(crate) fn take_pooled_logs(&self) -> TaskLogs {
+        self.log_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a consumed [`TaskLogs`] to the pool (bounded by a small
+    /// multiple of the speculative depth).
+    pub(crate) fn recycle_logs(&self, mut logs: TaskLogs) {
+        let mut pool = self.log_pool.lock();
+        if pool.len() < self.spec_depth * 4 {
+            logs.clear();
+            pool.push(logs);
         }
     }
 

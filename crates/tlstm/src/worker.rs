@@ -23,7 +23,7 @@ use swisstm::cm::GreedyTicket;
 use txmem::{AbortReason, TxSubstrate};
 
 use crate::cm::TaskAwareCm;
-use crate::task::TaskCtx;
+use crate::task::{TaskBufs, TaskCtx};
 use crate::txn_state::TxnShared;
 use crate::uthread_state::UThreadShared;
 use crate::TaskFn;
@@ -103,6 +103,9 @@ impl Worker {
         } else {
             0
         };
+        // One set of speculative buffers for the worker's lifetime, recycled
+        // across every task and attempt it runs.
+        let mut bufs = TaskBufs::default();
         'outer: loop {
             let mut item = None;
             for i in 0..spin_budget {
@@ -128,15 +131,16 @@ impl Worker {
                     Err(_) => break,
                 },
             };
-            self.run_task(&item);
+            self.run_task(&item, &mut bufs);
             // The receiver of `done` may already be gone if the caller timed
             // out; that is not an error for the worker.
             let _ = item.done.send(item.serial);
         }
     }
 
-    /// Executes one task until it retires (its user-transaction commits).
-    fn run_task(&self, item: &WorkItem) {
+    /// Executes one task until it retires (its user-transaction commits),
+    /// building its speculative state inside the worker's recycled `bufs`.
+    fn run_task(&self, item: &WorkItem, bufs: &mut TaskBufs) {
         // Task activity is attributed to the owning *user*-thread's shard, not
         // to the worker's OS thread, so per-shard snapshots read as
         // per-user-thread breakdowns.
@@ -149,6 +153,7 @@ impl Worker {
             Arc::clone(&item.txn),
             item.serial,
             item.try_commit,
+            bufs,
         );
         let mut attempt = 0u32;
         loop {

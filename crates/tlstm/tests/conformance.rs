@@ -160,6 +160,66 @@ fn run_on_tlstm(txns: &[Vec<Op>], depth: usize, split: usize) -> Snapshot {
     world.snapshot(&mut rt.direct()).unwrap()
 }
 
+/// Like [`run_on_swisstm`], but every transaction's first attempt applies its
+/// operations and then forces an abort, so each transaction exercises the
+/// thread's *recycled* context through a populated rollback before committing.
+fn run_on_swisstm_with_aborts(txns: &[Vec<Op>]) -> Snapshot {
+    let rt = SwisstmRuntime::new(config(1));
+    let world = World::create(&mut rt.direct()).unwrap();
+    let mut thread = rt.register_thread();
+    for txn in txns {
+        let txn = txn.clone();
+        let mut first_attempt = true;
+        thread.atomic(|tx| {
+            for &op in &txn {
+                world.apply(tx, op)?;
+            }
+            if first_attempt {
+                first_attempt = false;
+                return Err(Abort::user_retry());
+            }
+            Ok(())
+        });
+    }
+    world.snapshot(&mut rt.direct()).unwrap()
+}
+
+/// Like [`run_on_tlstm`], but the first attempt of every transaction's
+/// commit-task forces an abort, driving task rollback and re-execution
+/// through the workers' recycled buffers on every transaction.
+fn run_on_tlstm_with_aborts(txns: &[Vec<Op>], depth: usize, split: usize) -> Snapshot {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    assert!(split >= 1 && split <= depth);
+    let rt = TlstmRuntime::new(config(depth));
+    let world = World::create(&mut rt.direct()).unwrap();
+    let u = rt.register_uthread(depth);
+    for txn in txns {
+        let ops = Arc::new(txn.clone());
+        let per_task = ops.len().div_ceil(split);
+        let aborted_once = Arc::new(AtomicBool::new(false));
+        let bodies: Vec<_> = (0..split)
+            .map(|t| {
+                let ops = Arc::clone(&ops);
+                let aborted_once = Arc::clone(&aborted_once);
+                let lo = (t * per_task).min(ops.len());
+                let hi = ((t + 1) * per_task).min(ops.len());
+                let is_commit_task = t == split - 1;
+                task(move |ctx: &mut TaskCtx<'_>| {
+                    for &op in &ops[lo..hi] {
+                        world.apply(ctx, op)?;
+                    }
+                    if is_commit_task && !aborted_once.swap(true, Ordering::Relaxed) {
+                        return ctx.retry();
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        u.execute(vec![TxnSpec::new(bodies)]);
+    }
+    world.snapshot(&mut rt.direct()).unwrap()
+}
+
 /// Sequential reference execution through `DirectMem` (no concurrency
 /// control; valid because the stream is applied in program order).
 fn run_on_reference(txns: &[Vec<Op>]) -> Snapshot {
@@ -191,6 +251,33 @@ fn swisstm_and_tlstm_commit_identical_state() {
                     tlstm, reference,
                     "TLSTM (depth {depth}, split {split}) diverged from the \
                      sequential reference (seed {seed})"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn conformance_survives_forced_aborts_through_recycled_contexts() {
+    // Context-reuse conformance: the recycled per-thread/per-worker buffers
+    // must carry no state across the abort into the retry or into later
+    // transactions — committed state must match the sequential reference
+    // exactly even when every single transaction rolls back once first.
+    with_default_watchdog(|| {
+        for seed in [7u64, 0xAB0B7] {
+            let txns = generate_transactions(seed, 150);
+            let reference = run_on_reference(&txns);
+            let swisstm = run_on_swisstm_with_aborts(&txns);
+            assert_eq!(
+                swisstm, reference,
+                "SwissTM with recycled contexts + forced aborts diverged (seed {seed})"
+            );
+            for (depth, split) in [(2, 2), (3, 3)] {
+                let tlstm = run_on_tlstm_with_aborts(&txns, depth, split);
+                assert_eq!(
+                    tlstm, reference,
+                    "TLSTM (depth {depth}, split {split}) with forced aborts \
+                     diverged (seed {seed})"
                 );
             }
         }

@@ -76,14 +76,24 @@ pub enum ChainRead {
     Committed,
 }
 
+/// Maximum number of recycled per-entry write buffers a chain retains.
+/// Bounded so an idle chain pins at most a few small vectors.
+const MAX_SPARE_BUFFERS: usize = 8;
+
 /// The speculative write chain attached to one lock-table entry.
 ///
-/// Entries are kept sorted by ascending task serial. For SwissTM there is at
-/// most one entry; for TLSTM there is at most one entry per active task of the
-/// owning user-thread (so at most `SPECDEPTH`).
+/// Entries are kept sorted by ascending task serial. There is at most one
+/// entry per active task of the owning user-thread (so at most `SPECDEPTH`).
+///
+/// Chains live as long as the lock table, so they recycle the write buffers
+/// of removed entries (`spare`): in steady state, installing a new entry pops
+/// a previously used buffer instead of allocating. Only the buffer storage is
+/// retained — the removed entry's owner handle is dropped immediately, so a
+/// pooled chain never pins a finished transaction's state.
 #[derive(Debug, Default)]
 pub struct WriteChain {
     entries: Vec<SpecEntry>,
+    spare: Vec<Vec<(WordAddr, u64)>>,
 }
 
 impl WriteChain {
@@ -91,6 +101,15 @@ impl WriteChain {
     pub fn new() -> Self {
         WriteChain {
             entries: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Retains a removed entry's write buffer for reuse (bounded).
+    fn recycle(&mut self, mut writes: Vec<(WordAddr, u64)>) {
+        if self.spare.len() < MAX_SPARE_BUFFERS && writes.capacity() > 0 {
+            writes.clear();
+            self.spare.push(writes);
         }
     }
 
@@ -180,12 +199,14 @@ impl WriteChain {
             entry.record_write(addr, value);
             return false;
         }
+        let mut writes = self.spare.pop().unwrap_or_default();
+        writes.push((addr, value));
         let entry = SpecEntry {
             ptid,
             serial,
             tx_start_serial,
             owner: OwnerHandle::clone(owner),
-            writes: vec![(addr, value)],
+            writes,
         };
         let pos = self
             .entries
@@ -199,9 +220,14 @@ impl WriteChain {
     /// Removes the entry belonging to task `serial` (single-task rollback).
     /// Returns `true` if an entry was removed.
     pub fn remove_serial(&mut self, serial: u64) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.serial != serial);
-        before != self.entries.len()
+        match self.entries.iter().position(|e| e.serial == serial) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                self.recycle(entry.writes);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes every entry whose serial falls in `[start_serial, commit_serial]`
@@ -209,15 +235,24 @@ impl WriteChain {
     /// entries removed.
     pub fn remove_transaction(&mut self, start_serial: u64, commit_serial: u64) -> usize {
         let before = self.entries.len();
-        self.entries
-            .retain(|e| e.serial < start_serial || e.serial > commit_serial);
+        let mut i = 0;
+        while i < self.entries.len() {
+            let serial = self.entries[i].serial;
+            if serial >= start_serial && serial <= commit_serial {
+                let entry = self.entries.remove(i);
+                self.recycle(entry.writes);
+            } else {
+                i += 1;
+            }
+        }
         before - self.entries.len()
     }
 
-    /// Removes all entries (used by SwissTM, which has a single entry, and by
-    /// defensive cleanup paths).
+    /// Removes all entries (defensive cleanup paths and tests).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        while let Some(entry) = self.entries.pop() {
+            self.recycle(entry.writes);
+        }
     }
 }
 
@@ -344,6 +379,32 @@ mod tests {
         chain.clear();
         assert!(chain.is_empty());
         assert_eq!(chain.owner_ptid(), None);
+    }
+
+    #[test]
+    fn removed_entries_recycle_their_write_buffers() {
+        let mut chain = WriteChain::new();
+        let o = owner(0);
+        // Grow an entry's write buffer, remove it, and re-install: the new
+        // entry must reuse the retained buffer capacity.
+        for i in 0..16 {
+            chain.record_write(0, 1, 1, &o, addr(i), i);
+        }
+        assert!(chain.remove_serial(1));
+        assert_eq!(chain.spare.len(), 1);
+        let spare_cap = chain.spare[0].capacity();
+        assert!(spare_cap >= 16);
+        assert!(chain.record_write(0, 2, 2, &o, addr(0), 1));
+        assert!(
+            chain.spare.is_empty(),
+            "new entry must pop the spare buffer"
+        );
+        assert_eq!(chain.newest().unwrap().writes.capacity(), spare_cap);
+        // Recycling never changes observable behaviour.
+        assert_eq!(chain.read_visible(addr(0), 2), ChainRead::Own(1));
+        chain.clear();
+        assert!(chain.is_empty());
+        assert_eq!(chain.spare.len(), 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   commit timestamp or a `LOCKED` sentinel; the w-lock holds the owner of
 //!   the location plus a chain of speculative write entries
 //!   ([`WriteChain`]) used by TLSTM tasks of the owning user-thread.
+//! * [`WriteSet`] — the log-structured transactional write set shared by both
+//!   runtimes: an append-only write log in program order with a bloom summary
+//!   and a generation-stamped index, recyclable so steady-state transactions
+//!   allocate nothing.
 //! * [`GlobalClock`] — the global commit counter (`commit-ts` in the paper).
 //! * [`TxMem`] — the uniform access trait implemented by both runtimes'
 //!   transaction/task handles, so that transactional data structures
@@ -59,6 +63,7 @@ pub mod owner;
 pub mod pause;
 pub mod stats;
 pub mod traits;
+pub mod write_set;
 
 pub use addr::{WordAddr, NULL_ADDR};
 pub use chain::{SpecEntry, WriteChain};
@@ -71,6 +76,7 @@ pub use owner::OwnerHandle;
 pub use owner::{CmDecision, LockOwner, OwnerToken};
 pub use stats::{StatsCollector, StatsShard, StatsSnapshot};
 pub use traits::{DirectMem, TxMem};
+pub use write_set::{WriteEntry, WriteSet};
 
 /// Shared, immutable bundle of the global structures a runtime needs.
 ///

@@ -14,8 +14,24 @@
 //! `words_per_lock`), and the table has a fixed power-of-two size, so distinct
 //! addresses can collide on the same entry. Collisions produce false conflicts
 //! exactly as they do in SwissTM.
+//!
+//! ## Hot-path layout
+//!
+//! [`LockEntry`] is the most frequently touched shared structure in the
+//! system, so its layout is pinned (and asserted by a test):
+//!
+//! * `#[repr(align(64))]` and exactly 64 bytes — one entry per cache line, so
+//!   two threads hitting *different* entries never false-share, and one
+//!   entry's r-lock/w-lock pair is always fetched together;
+//! * the TLSTM write chain is **boxed and lazily allocated** behind a
+//!   [`OnceLock`]: the common entries — everything SwissTM touches, and every
+//!   TLSTM location that is only ever read — never pay for a chain, neither
+//!   in memory nor in an allocation on first contact. Only the first
+//!   *speculative write* under an entry allocates its chain, once, for the
+//!   table's lifetime.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use parking_lot::{Mutex, MutexGuard};
 
@@ -33,7 +49,11 @@ pub const LOCKED: u64 = u64::MAX;
 pub struct LockIndex(pub u32);
 
 /// One (r-lock, w-lock) pair of the global table.
+///
+/// Cache-line sized and aligned (see the [module docs](self)); the write
+/// chain is boxed and allocated lazily on the first speculative write.
 #[derive(Debug)]
+#[repr(align(64))]
 pub struct LockEntry {
     /// Version number of the last commit that wrote a location covered by
     /// this entry, or [`LOCKED`].
@@ -41,8 +61,9 @@ pub struct LockEntry {
     /// Raw [`OwnerToken`]: 0 when unlocked, `ptid + 1` when a user-thread
     /// (TLSTM) or transaction (SwissTM) holds the write lock.
     writer: AtomicU64,
-    /// Speculative redo-log chain of the owning user-thread.
-    chain: Mutex<WriteChain>,
+    /// Speculative redo-log chain of the owning user-thread (TLSTM only),
+    /// boxed out of line and allocated on first use.
+    chain: OnceLock<Box<Mutex<WriteChain>>>,
 }
 
 impl Default for LockEntry {
@@ -50,7 +71,7 @@ impl Default for LockEntry {
         LockEntry {
             rlock: AtomicU64::new(0),
             writer: AtomicU64::new(OwnerToken::UNLOCKED.raw()),
-            chain: Mutex::new(WriteChain::new()),
+            chain: OnceLock::new(),
         }
     }
 }
@@ -125,10 +146,34 @@ impl LockEntry {
             .is_ok()
     }
 
-    /// Locks and returns the speculative write chain of this entry.
+    /// Locks and returns the speculative write chain of this entry,
+    /// allocating the chain on first use.
+    ///
+    /// Writers (which are about to install a chain entry anyway) call this;
+    /// pure inspection paths should prefer [`Self::try_chain`], which never
+    /// allocates.
     #[inline]
     pub fn chain(&self) -> MutexGuard<'_, WriteChain> {
-        self.chain.lock()
+        self.chain
+            .get_or_init(|| Box::new(Mutex::new(WriteChain::new())))
+            .lock()
+    }
+
+    /// Locks and returns the chain **iff it has ever been allocated**.
+    ///
+    /// `None` means no task has ever written speculatively under this entry,
+    /// which callers treat exactly like an empty chain. Read-side and
+    /// contention-manager inspection use this so that read-only locations
+    /// never cause a chain allocation.
+    #[inline]
+    pub fn try_chain(&self) -> Option<MutexGuard<'_, WriteChain>> {
+        self.chain.get().map(|m| m.lock())
+    }
+
+    /// `true` if the chain has been allocated (diagnostics / tests).
+    #[inline]
+    pub fn chain_allocated(&self) -> bool {
+        self.chain.get().is_some()
     }
 }
 
@@ -194,6 +239,40 @@ impl LockTable {
         let idx = self.index_for(addr);
         (idx, self.entry(idx))
     }
+
+    /// Validates a read log against the table: every `(lock, observed
+    /// version)` entry must still hold its observed version.
+    ///
+    /// `locked_by_me` lists the `(lock, pre-lock version)` pairs of r-locks
+    /// the calling transaction itself [`LOCKED`] during commit, **sorted by
+    /// lock index**; an entry reading [`LOCKED`] is still valid if the
+    /// caller locked it and the pre-lock version matches the observation.
+    /// Shared by the SwissTM and TLSTM commit/extension paths.
+    pub fn validate_read_log(
+        &self,
+        read_log: &[(LockIndex, u64)],
+        locked_by_me: Option<&[(LockIndex, u64)]>,
+    ) -> bool {
+        for &(idx, observed) in read_log {
+            let current = self.entry(idx).version();
+            if current == observed {
+                continue;
+            }
+            if current == LOCKED {
+                if let Some(mine) = locked_by_me {
+                    if mine
+                        .binary_search_by_key(&idx, |&(i, _)| i)
+                        .map(|pos| mine[pos].1 == observed)
+                        .unwrap_or(false)
+                    {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +336,58 @@ mod tests {
         let t = table();
         let e = t.entry_for(WordAddr::new(16));
         assert!(e.chain().is_empty());
+    }
+
+    #[test]
+    fn lock_entry_is_exactly_one_cache_line() {
+        // Pinned layout: any accidental field growth or padding regression
+        // reintroduces false sharing between neighbouring entries and fails
+        // here rather than silently costing throughput.
+        assert_eq!(std::mem::size_of::<LockEntry>(), 64);
+        assert_eq!(std::mem::align_of::<LockEntry>(), 64);
+    }
+
+    #[test]
+    fn chains_are_lazily_allocated() {
+        let t = table();
+        let e = t.entry_for(WordAddr::new(32));
+        assert!(!e.chain_allocated(), "fresh entries must carry no chain");
+        assert!(e.try_chain().is_none(), "try_chain must not allocate");
+        assert!(!e.chain_allocated());
+        // First real chain access allocates, once.
+        assert!(e.chain().is_empty());
+        assert!(e.chain_allocated());
+        assert!(e.try_chain().is_some());
+        // The version/writer protocol never needs the chain.
+        let f = t.entry_for(WordAddr::new(64));
+        let me = OwnerToken::from_id(9);
+        assert!(f.try_acquire_writer(me).is_ok());
+        let _ = f.lock_version();
+        f.set_version(3);
+        f.release_writer();
+        assert!(!f.chain_allocated());
+    }
+
+    #[test]
+    fn validate_read_log_honours_own_commit_locks() {
+        let t = table();
+        let (i0, e0) = t.lookup(WordAddr::new(0));
+        let (i1, e1) = t.lookup(WordAddr::new(4));
+        e0.set_version(5);
+        e1.set_version(7);
+        let log = vec![(i0, 5u64), (i1, 7u64)];
+        assert!(t.validate_read_log(&log, None));
+        // A foreign commit lock invalidates the entry...
+        e0.lock_version();
+        assert!(!t.validate_read_log(&log, None));
+        // ...unless it is our own and the pre-lock version matches.
+        let mut mine = vec![(i0, 5u64)];
+        mine.sort_unstable_by_key(|&(i, _)| i.0);
+        assert!(t.validate_read_log(&log, Some(&mine)));
+        assert!(!t.validate_read_log(&log, Some(&[(i0, 4u64)])));
+        // A genuinely newer version always fails.
+        e0.set_version(9);
+        assert!(!t.validate_read_log(&log, Some(&mine)));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   graph whose "long traversals" are split into 3 or 9 tasks
 //!   (Figures 2a and 2b);
 //! * [`harness`] — duration-based throughput measurement utilities shared by
-//!   the figure-regeneration binaries in the `tlstm-bench` crate.
+//!   the figure-regeneration binaries in the `tlstm-bench` crate;
+//! * [`overhead`] — single-thread uncontended microworkloads (read-only and
+//!   write-heavy) that isolate the raw per-operation fast-path overhead of
+//!   each runtime, used to track the zero-allocation hot-path work.
 //!
 //! All workload *operations* are written once against [`txmem::TxMem`], so the
 //! exact same operation code runs on SwissTM transactions and on TLSTM tasks —
@@ -26,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod overhead;
 pub mod rbtree_bench;
 pub mod stmbench7;
 pub mod vacation;
