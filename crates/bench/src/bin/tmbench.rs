@@ -19,7 +19,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use tlstm_bench::report::{diff_reports, BenchReport};
-use tlstm_bench::scenarios::{build_scenarios, run_matrix, MatrixSelection, RuntimeKind};
+use tlstm_bench::scenarios::{
+    build_scenarios, run_matrix, workload_selectors, MatrixSelection, RuntimeKind,
+};
 use tlstm_bench::{cell, env_u32, env_u64, DEFAULT_BENCH_MS};
 use tlstm_workloads::WorkloadConfig;
 
@@ -44,10 +46,11 @@ MEASUREMENT OPTIONS:
     --duration-ms N      measured duration per data point
                          (default: TLSTM_BENCH_MS, else 300; 50 with --quick)
     --reps N             repetitions to average (default: TLSTM_BENCH_REPS, else 1)
-    --seed N             workload RNG seed (default: 0xC0FFEE)
+    --seed N             workload RNG seed (default: TLSTM_BENCH_SEED, else 0xC0FFEE)
     --threads A,B,...    thread counts to measure (default: 1)
-    --workloads LIST     comma-separated families: rbtree,vacation,stmbench7
-                         (default: all)
+    --workloads LIST     comma-separated families (rbtree,vacation,stmbench7,
+                         overhead,kv) or concrete labels (kv-a,kv-b,kv-scan,
+                         rbtree-n16,...); default: all
     --runtimes LIST      comma-separated runtimes: swisstm,tlstm (default: both)
     --out FILE           write the JSON report to FILE
 
@@ -140,14 +143,16 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--workloads" => {
                 let v = value_of(&mut i, arg)?;
+                let selectors = workload_selectors();
                 for part in v.split(',') {
-                    let family = part.trim().to_lowercase();
-                    if !["rbtree", "vacation", "stmbench7"].contains(&family.as_str()) {
+                    let token = part.trim().to_lowercase();
+                    if !selectors.contains(&token) {
                         return Err(format!(
-                            "unknown workload family '{family}' (want rbtree, vacation or stmbench7)"
+                            "unknown workload '{token}' (want one of: {})",
+                            selectors.join(", ")
                         ));
                     }
-                    cli.workloads.push(family);
+                    cli.workloads.push(token);
                 }
             }
             "--runtimes" => {

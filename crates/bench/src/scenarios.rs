@@ -9,6 +9,7 @@
 //! same tool.
 
 use tlstm_workloads::harness::RunMetrics;
+use tlstm_workloads::kv::{self, KvMix, KvParams};
 use tlstm_workloads::overhead::{self, OverheadParams};
 use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
 use tlstm_workloads::stmbench7::{self, Stmbench7Params};
@@ -70,6 +71,13 @@ pub enum WorkloadKind {
         /// Read-modify-writes per transaction.
         ops_per_txn: u64,
     },
+    /// YCSB-style serving workload over the `txkv` sharded transactional
+    /// key-value store (zipfian key choice; batches split into speculative
+    /// tasks under TLSTM).
+    Kv {
+        /// The operation mix (A, B, C or scan-heavy).
+        mix: KvMix,
+    },
 }
 
 impl WorkloadKind {
@@ -84,17 +92,19 @@ impl WorkloadKind {
             WorkloadKind::OverheadWrite { ops_per_txn } => {
                 format!("overhead-write-n{ops_per_txn}")
             }
+            WorkloadKind::Kv { mix } => format!("kv-{}", mix.label()),
         }
     }
 
     /// The CLI filter family this workload belongs to (`rbtree`, `vacation`,
-    /// `stmbench7`).
+    /// `stmbench7`, `overhead`, `kv`).
     pub fn family(&self) -> &'static str {
         match self {
             WorkloadKind::RbTree { .. } => "rbtree",
             WorkloadKind::VacationLow | WorkloadKind::VacationHigh => "vacation",
             WorkloadKind::Stmbench7 { .. } => "stmbench7",
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => "overhead",
+            WorkloadKind::Kv { .. } => "kv",
         }
     }
 
@@ -105,9 +115,17 @@ impl WorkloadKind {
             WorkloadKind::VacationLow | WorkloadKind::VacationHigh => &[2],
             WorkloadKind::Stmbench7 { .. } => &[3],
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => &[2],
+            // A 16-op batch splits into KV_BATCH_GROUPS shard-group tasks.
+            WorkloadKind::Kv { .. } => &[KV_BATCH_GROUPS],
         }
     }
 }
+
+/// Shard-groups every kv batch is planned into, on *both* runtimes: the plan
+/// order is part of the batch semantics, so SwissTM (which executes the plan
+/// sequentially inside one transaction) and TLSTM (which runs one speculative
+/// task per group) must group identically to execute identical op streams.
+pub const KV_BATCH_GROUPS: usize = 4;
 
 /// One fully specified benchmark scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -211,6 +229,34 @@ impl ScenarioSpec {
                     RuntimeKind::Tlstm => overhead::measure_tlstm(&params, config),
                 }
             }
+            WorkloadKind::Kv { mix } => {
+                // `tasks_per_txn` is the batch's shard-group count. SwissTM
+                // scenarios carry k1 ("one task") in the matrix, but must
+                // plan with the same grouping as TLSTM so both runtimes
+                // execute identical op streams — derived from the workload's
+                // task-split list, which therefore must stay single-valued
+                // for kv (one SwissTM row cannot match two groupings).
+                let params = KvParams {
+                    tasks_per_txn: match self.runtime {
+                        RuntimeKind::Swisstm => {
+                            let splits = self.workload.default_task_splits();
+                            assert_eq!(
+                                splits,
+                                [KV_BATCH_GROUPS],
+                                "kv comparability requires a single task split"
+                            );
+                            splits[0]
+                        }
+                        RuntimeKind::Tlstm => self.tasks_per_txn,
+                    },
+                    threads: self.threads,
+                    ..KvParams::mix(*mix)
+                };
+                match self.runtime {
+                    RuntimeKind::Swisstm => kv::measure_swisstm(&params, config),
+                    RuntimeKind::Tlstm => kv::measure_tlstm(&params, config),
+                }
+            }
         }
     }
 }
@@ -220,8 +266,9 @@ impl ScenarioSpec {
 pub struct MatrixSelection {
     /// Thread counts to measure (each scenario is run once per count).
     pub threads: Vec<usize>,
-    /// Workload family filter (`rbtree`, `vacation`, `stmbench7`); empty
-    /// means all.
+    /// Workload filter: each entry is a family (`rbtree`, `vacation`,
+    /// `stmbench7`, `overhead`, `kv`) or a concrete workload label
+    /// (`kv-a`, `rbtree-n16`, ...); empty means all.
     pub workload_families: Vec<String>,
     /// Runtime filter; empty means both.
     pub runtimes: Vec<RuntimeKind>,
@@ -247,7 +294,26 @@ pub fn default_workloads() -> Vec<WorkloadKind> {
         WorkloadKind::Stmbench7 { read_pct: 10 },
         WorkloadKind::OverheadRead { ops_per_txn: 64 },
         WorkloadKind::OverheadWrite { ops_per_txn: 64 },
+        WorkloadKind::Kv { mix: KvMix::A },
+        WorkloadKind::Kv { mix: KvMix::B },
+        WorkloadKind::Kv {
+            mix: KvMix::ScanHeavy,
+        },
     ]
+}
+
+/// The selectors a `--workloads` filter token may name: every family plus
+/// every concrete workload label of the default matrix.
+pub fn workload_selectors() -> Vec<String> {
+    let mut selectors = Vec::new();
+    for workload in default_workloads() {
+        let family = workload.family().to_string();
+        if !selectors.contains(&family) {
+            selectors.push(family);
+        }
+        selectors.push(workload.label());
+    }
+    selectors
 }
 
 /// Expands a matrix selection into the concrete scenario list.
@@ -266,7 +332,7 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
             && !selection
                 .workload_families
                 .iter()
-                .any(|f| f == workload.family())
+                .any(|f| f == workload.family() || *f == workload.label())
         {
             continue;
         }
@@ -334,7 +400,7 @@ mod tests {
         for runtime in RuntimeKind::ALL {
             assert!(scenarios.iter().any(|s| s.runtime == runtime));
         }
-        for family in ["rbtree", "vacation", "stmbench7", "overhead"] {
+        for family in ["rbtree", "vacation", "stmbench7", "overhead", "kv"] {
             assert!(scenarios.iter().any(|s| s.workload.family() == family));
         }
         // Names are unique — the report schema requires it.
@@ -363,6 +429,48 @@ mod tests {
         );
         assert!(scenarios.iter().all(|s| s.workload.family() == "rbtree"));
         assert!(scenarios.iter().all(|s| s.runtime == RuntimeKind::Swisstm));
+    }
+
+    #[test]
+    fn filters_accept_concrete_workload_labels() {
+        let selection = MatrixSelection {
+            threads: vec![1],
+            workload_families: vec!["kv-a".to_string(), "kv-scan".to_string()],
+            runtimes: Vec::new(),
+        };
+        let scenarios = build_scenarios(&selection);
+        assert!(!scenarios.is_empty());
+        assert!(scenarios
+            .iter()
+            .all(|s| ["kv-a", "kv-scan"].contains(&s.workload.label().as_str())));
+        // The family token still selects every kv mix.
+        let selection = MatrixSelection {
+            threads: vec![1],
+            workload_families: vec!["kv".to_string()],
+            runtimes: Vec::new(),
+        };
+        let labels: std::collections::HashSet<String> = build_scenarios(&selection)
+            .iter()
+            .map(|s| s.workload.label())
+            .collect();
+        assert_eq!(
+            labels,
+            ["kv-a", "kv-b", "kv-scan"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
+    }
+
+    #[test]
+    fn workload_selectors_cover_families_and_labels() {
+        let selectors = workload_selectors();
+        for token in ["rbtree", "kv", "overhead", "kv-a", "kv-b", "kv-scan"] {
+            assert!(
+                selectors.iter().any(|s| s == token),
+                "missing selector {token}"
+            );
+        }
     }
 
     #[test]

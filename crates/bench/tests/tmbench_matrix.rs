@@ -22,13 +22,20 @@ fn quick_matrix_produces_a_valid_gateable_report() {
         run_matrix(&scenarios, &config, true, |_, _, _| {})
     });
 
-    // Coverage: both runtimes, at least three workload families.
+    // Coverage: both runtimes, at least three workload families, and the kv
+    // serving scenarios on both runtimes (incl. the task-split TLSTM mode).
     assert!(report.distinct_runtimes() >= 2, "must cover both runtimes");
     assert!(
         report.distinct_workloads() >= 3,
         "must cover at least three workloads, got {}",
         report.distinct_workloads()
     );
+    for name in ["kv-a/swisstm/t1/k1", "kv-a/tlstm/t1/k4"] {
+        assert!(
+            report.scenarios.iter().any(|s| s.name == name),
+            "default matrix must include {name}"
+        );
+    }
 
     // Every scenario made progress and accounted for its transactions.
     for s in &report.scenarios {

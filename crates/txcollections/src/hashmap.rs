@@ -38,9 +38,37 @@ impl TxHashMap {
         Ok(TxHashMap { header })
     }
 
+    /// Allocates a map pre-sized for `expected_entries` entries: the bucket
+    /// count is the next power of two of the expected entry count, so chains
+    /// stay around one node long at the expected fill and the map never needs
+    /// rehashing in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn with_capacity<M: TxMem>(mem: &mut M, expected_entries: u64) -> Result<Self, Abort> {
+        // Cap the pre-allocation at 2^24 buckets (128 MiB of heads) so an
+        // absurd capacity request degrades into longer chains, not OOM.
+        let buckets = expected_entries
+            .max(1)
+            .checked_next_power_of_two()
+            .unwrap_or(1 << 24)
+            .min(1 << 24);
+        Self::create(mem, buckets)
+    }
+
     /// Re-creates a handle from a previously obtained header address.
     pub fn from_header(header: WordAddr) -> Self {
         TxHashMap { header }
+    }
+
+    /// Number of buckets the map was created with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn bucket_count<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        mem.read(self.header.offset(HDR_BUCKETS))
     }
 
     /// The heap address of the map header.
@@ -50,9 +78,12 @@ impl TxHashMap {
 
     fn bucket_slot<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<WordAddr, Abort> {
         let n = mem.read(self.header.offset(HDR_BUCKETS))?;
-        // Fibonacci hashing keeps adjacent keys in different buckets.
+        // Fibonacci hashing, taking the product's *high* bits: the low bits
+        // of `key * C mod 2^k` depend only on the key's low bits, which are
+        // exactly what an outer power-of-two sharding (txkv) already fixed —
+        // using them would leave most buckets of a shard's map empty.
         let hash = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        Ok(self.header.offset(HDR_TABLE + hash % n))
+        Ok(self.header.offset(HDR_TABLE + (hash >> 32) % n))
     }
 
     /// Number of entries in the map.
@@ -152,24 +183,40 @@ impl TxHashMap {
         Ok(false)
     }
 
+    /// Visits every `(key, value)` pair (bucket order, then chain order)
+    /// without materialising an intermediate vector. [`Self::to_vec`] and
+    /// whole-map consistency checks (e.g. `txkv`'s shard/index audit) are
+    /// built on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn for_each<M: TxMem, F>(&self, mem: &mut M, mut visit: F) -> Result<(), Abort>
+    where
+        F: FnMut(u64, u64),
+    {
+        let n = mem.read(self.header.offset(HDR_BUCKETS))?;
+        for b in 0..n {
+            let mut cur = mem.read_ref(self.header.offset(HDR_TABLE + b))?;
+            while let Some(node) = cur {
+                visit(
+                    mem.read(node.offset(OFF_KEY))?,
+                    mem.read(node.offset(OFF_VALUE))?,
+                );
+                cur = mem.read_ref(node.offset(OFF_NEXT))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Collects all `(key, value)` pairs (bucket order, then chain order).
     ///
     /// # Errors
     ///
     /// Propagates transactional aborts.
     pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
-        let n = mem.read(self.header.offset(HDR_BUCKETS))?;
         let mut out = Vec::new();
-        for b in 0..n {
-            let mut cur = mem.read_ref(self.header.offset(HDR_TABLE + b))?;
-            while let Some(node) = cur {
-                out.push((
-                    mem.read(node.offset(OFF_KEY))?,
-                    mem.read(node.offset(OFF_VALUE))?,
-                ));
-                cur = mem.read_ref(node.offset(OFF_NEXT))?;
-            }
-        }
+        self.for_each(mem, |k, v| out.push((k, v)))?;
         Ok(out)
     }
 }
@@ -227,6 +274,65 @@ mod tests {
         let mut all = map.to_vec(&mut mem).unwrap();
         all.sort_unstable();
         assert_eq!(all, (0..20u64).map(|k| (k, k)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bucket_hash_spreads_keys_that_share_low_bits() {
+        // Keys with identical low bits (the residue class an outer
+        // power-of-two sharding fixes) must still fan out over the buckets.
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 64).unwrap();
+        for i in 0..256u64 {
+            map.insert(&mut mem, i * 16 + 3, i).unwrap();
+        }
+        let mut used = std::collections::HashSet::new();
+        for b in 0..64u64 {
+            let head = mem.read_ref(map.header().offset(HDR_TABLE + b)).unwrap();
+            if head.is_some() {
+                used.insert(b);
+            }
+        }
+        assert!(
+            used.len() > 48,
+            "256 same-residue keys occupy only {}/64 buckets",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn with_capacity_presizes_buckets() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::with_capacity(&mut mem, 100).unwrap();
+        assert_eq!(map.bucket_count(&mut mem).unwrap(), 128);
+        for k in 0..100u64 {
+            map.insert(&mut mem, k, k + 1).unwrap();
+        }
+        assert_eq!(map.len(&mut mem).unwrap(), 100);
+        // Power-of-two request is taken as-is, zero is clamped to one bucket.
+        let map = TxHashMap::with_capacity(&mut mem, 64).unwrap();
+        assert_eq!(map.bucket_count(&mut mem).unwrap(), 64);
+        let map = TxHashMap::with_capacity(&mut mem, 0).unwrap();
+        assert_eq!(map.bucket_count(&mut mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn for_each_visits_every_entry_once() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let map = TxHashMap::create(&mut mem, 8).unwrap();
+        for k in 0..30u64 {
+            map.insert(&mut mem, k, k * 7).unwrap();
+        }
+        let mut seen = Vec::new();
+        map.for_each(&mut mem, |k, v| seen.push((k, v))).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30u64).map(|k| (k, k * 7)).collect::<Vec<_>>());
+        // to_vec is just a collected for_each.
+        let mut collected = map.to_vec(&mut mem).unwrap();
+        collected.sort_unstable();
+        assert_eq!(collected, seen);
     }
 
     #[test]

@@ -533,6 +533,56 @@ impl TxRbTree {
         Ok(best)
     }
 
+    /// Appends up to `limit` `(key, value)` pairs with keys in `lo..hi`, in
+    /// ascending key order, to `out`.
+    ///
+    /// One pruned in-order traversal: O(log n) to reach `lo`, then O(1)
+    /// amortised per returned entry — unlike repeated [`Self::ceiling`]
+    /// calls, which pay a full root descent per entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn range_into<M: TxMem>(
+        &self,
+        mem: &mut M,
+        lo: u64,
+        hi: u64,
+        limit: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Result<(), Abort> {
+        let mut taken = 0u64;
+        let mut stack = Vec::new();
+        // Descend towards `lo`, stacking every node whose key is in range
+        // (the left spine of the candidate region).
+        let mut cur = self.root(mem)?;
+        while let Some(node) = cur {
+            cur = if mem.read(node.offset(OFF_KEY))? >= lo {
+                stack.push(node);
+                self.left_of(mem, node)?
+            } else {
+                self.right_of(mem, node)?
+            };
+        }
+        // Nodes now pop in ascending key order; stop at `hi` or `limit`.
+        while let Some(node) = stack.pop() {
+            let key = mem.read(node.offset(OFF_KEY))?;
+            if key >= hi || taken >= limit {
+                return Ok(());
+            }
+            out.push((key, mem.read(node.offset(OFF_VALUE))?));
+            taken += 1;
+            // In-order successor: right child, then its left spine (every
+            // key there exceeds `key`, so no further `lo` pruning needed).
+            let mut cur = self.right_of(mem, node)?;
+            while let Some(n) = cur {
+                stack.push(n);
+                cur = self.left_of(mem, n)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Collects all `(key, value)` pairs in ascending key order (used for
     /// validation in tests and by full traversal workloads).
     ///
@@ -714,6 +764,40 @@ mod tests {
         let expected: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
         assert_eq!(all, expected);
         tree.check_invariants(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn range_into_matches_filtered_to_vec() {
+        let heap = heap();
+        let mut mem = DirectMem::new(&heap);
+        let tree = TxRbTree::create(&mut mem).unwrap();
+        for i in 0..200u64 {
+            tree.insert(&mut mem, (i * 37) % 301, i).unwrap();
+        }
+        let all = tree.to_vec(&mut mem).unwrap();
+        for (lo, hi, limit) in [
+            (0u64, 301u64, u64::MAX),
+            (50, 150, u64::MAX),
+            (50, 150, 7),
+            (150, 50, u64::MAX), // empty range
+            (300, 400, u64::MAX),
+            (0, 1, 0), // zero limit
+        ] {
+            let mut got = Vec::new();
+            tree.range_into(&mut mem, lo, hi, limit, &mut got).unwrap();
+            let want: Vec<(u64, u64)> = all
+                .iter()
+                .filter(|(k, _)| (lo..hi).contains(k))
+                .take(limit as usize)
+                .copied()
+                .collect();
+            assert_eq!(got, want, "range [{lo}, {hi}) limit {limit}");
+        }
+        // Empty tree.
+        let empty = TxRbTree::create(&mut mem).unwrap();
+        let mut got = Vec::new();
+        empty.range_into(&mut mem, 0, 100, 10, &mut got).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! # txkv — a sharded transactional key-value store
+//!
+//! The serving-shaped subsystem of the TLSTM reproduction: a concurrent,
+//! transactionally-consistent key-value store layered on the word heap
+//! ([`txmem`]) and the transactional collections ([`txcollections`]), generic
+//! over both runtimes through the shared [`txmem::TxMem`] trait.
+//!
+//! Three layers:
+//!
+//! * [`KvStore`] — N hash-sharded [`txcollections::TxHashMap`] buckets (shard
+//!   chosen by an independent key hash, each shard pre-sized so steady state
+//!   never rehashes) plus a [`txcollections::TxRbTree`] secondary index that
+//!   serves ordered `scan(lo..hi)` queries. Operations: `get`, `put`,
+//!   `delete`, `cas`, `scan`, and multi-operation atomic batches.
+//! * [`KvServer`] / [`KvSession`] — the in-process front-end: one runtime
+//!   (SwissTM or TLSTM) and per-client session handles. Under TLSTM a batch
+//!   is split into speculative tasks, one per shard-group, demonstrating the
+//!   paper's TLS-inside-transactions win on long multi-key operations.
+//! * [`RefStore`] — the sequential oracle with identical semantics
+//!   (including batch plan order), used by the conformance tests.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use txkv::{KvOp, KvReply, KvServer, KvServerConfig};
+//!
+//! let server = KvServer::tlstm(&KvServerConfig::default());
+//! server.populate((0..100u64).map(|k| (k, vec![k, k])));
+//!
+//! let mut session = server.session();
+//! let replies = session.batch(vec![
+//!     KvOp::Get { key: 7 },
+//!     KvOp::Cas { key: 7, expected: vec![7, 7], new: vec![8, 8] },
+//!     KvOp::Scan { lo: 0, hi: 10, limit: 100 },
+//! ]);
+//! assert_eq!(replies[0], KvReply::Value(Some(vec![7, 7])));
+//! assert_eq!(replies[1], KvReply::Swapped(true));
+//! assert_eq!(session.get(7), Some(vec![8, 8]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ops;
+pub mod ref_store;
+pub mod server;
+pub mod store;
+
+pub use ops::{checksum, plan_batch, shard_of, KvOp, KvReply};
+pub use ref_store::RefStore;
+pub use server::{KvServer, KvServerConfig, KvSession};
+pub use store::{KvStore, KvStoreParams};
+
+pub use txmem::{Abort, TxMem, WordAddr};

@@ -1,0 +1,187 @@
+//! The sequential reference oracle.
+//!
+//! [`RefStore`] implements the exact operation semantics of [`crate::KvStore`]
+//! — including the shard-group *plan order* of batches — on a plain
+//! `BTreeMap`, with no concurrency and no transactions. Conformance tests run
+//! identical operation streams through a `KvStore` (on either runtime) and a
+//! `RefStore` and require byte-identical replies and final contents.
+
+use std::collections::BTreeMap;
+
+use crate::ops::{checksum, plan_batch, KvOp, KvReply};
+
+/// A sequential, non-transactional model of the store.
+#[derive(Debug, Clone, Default)]
+pub struct RefStore {
+    map: BTreeMap<u64, Vec<u64>>,
+    n_shards: u64,
+}
+
+impl RefStore {
+    /// Creates an empty oracle modelling a store with `n_shards` shards (the
+    /// shard count only matters for batch planning).
+    pub fn new(n_shards: u64) -> Self {
+        RefStore {
+            map: BTreeMap::new(),
+            n_shards: n_shards.max(1),
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// `true` if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Reads the value of `key`.
+    pub fn get(&self, key: u64) -> Option<Vec<u64>> {
+        self.map.get(&key).cloned()
+    }
+
+    /// Inserts or overwrites `key → value`. Returns `true` on fresh insert.
+    pub fn put(&mut self, key: u64, value: &[u64]) -> bool {
+        self.map.insert(key, value.to_vec()).is_none()
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    pub fn delete(&mut self, key: u64) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
+    /// Compare-and-swap with the same semantics as the transactional store.
+    pub fn cas(&mut self, key: u64, expected: &[u64], new: &[u64]) -> bool {
+        match self.map.get_mut(&key) {
+            Some(current) if current.as_slice() == expected => {
+                *current = new.to_vec();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ordered scan of `lo..hi`, at most `limit` entries, as
+    /// `(key, checksum(value))` pairs.
+    pub fn scan(&self, lo: u64, hi: u64, limit: u64) -> Vec<(u64, u64)> {
+        self.map
+            .range(lo..hi)
+            .take(limit as usize)
+            .map(|(&k, v)| (k, checksum(v)))
+            .collect()
+    }
+
+    /// Executes one operation and produces its reply.
+    pub fn apply(&mut self, op: &KvOp) -> KvReply {
+        match op {
+            KvOp::Get { key } => KvReply::Value(self.get(*key)),
+            KvOp::Put { key, value } => KvReply::Inserted(self.put(*key, value)),
+            KvOp::Delete { key } => KvReply::Removed(self.delete(*key)),
+            KvOp::Cas { key, expected, new } => KvReply::Swapped(self.cas(*key, expected, new)),
+            KvOp::Scan { lo, hi, limit } => KvReply::Scan(self.scan(*lo, *hi, *limit)),
+        }
+    }
+
+    /// Executes a batch in plan order with `groups` shard-groups, exactly as
+    /// a [`crate::KvSession::batch`] on a server with `groups` batch tasks
+    /// does. Replies are returned in submission order.
+    pub fn batch(&mut self, ops: &[KvOp], groups: usize) -> Vec<KvReply> {
+        let plan = plan_batch(ops, self.n_shards, groups);
+        let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
+        for group in plan {
+            for index in group {
+                replies[index] = Some(self.apply(&ops[index]));
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("plan covers every op"))
+            .collect()
+    }
+
+    /// Full contents in ascending key order.
+    pub fn dump(&self) -> Vec<(u64, Vec<u64>)> {
+        self.map.iter().map(|(&k, v)| (k, v.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_semantics_match_the_documented_contract() {
+        let mut s = RefStore::new(4);
+        assert!(s.is_empty());
+        assert!(s.put(1, &[10]));
+        assert!(!s.put(1, &[11]));
+        assert_eq!(s.get(1), Some(vec![11]));
+        assert!(!s.cas(1, &[10], &[12]), "stale expectation fails");
+        assert!(s.cas(1, &[11], &[12]));
+        assert!(!s.cas(2, &[0], &[1]), "absent key fails");
+        assert!(s.delete(1));
+        assert!(!s.delete(1));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn scan_matches_store_checksums() {
+        let mut s = RefStore::new(4);
+        for k in [4u64, 2, 8] {
+            s.put(k, &[k, k + 1]);
+        }
+        assert_eq!(
+            s.scan(2, 8, 10),
+            vec![(2, checksum(&[2, 3])), (4, checksum(&[4, 5]))]
+        );
+        assert_eq!(s.scan(0, 100, 1).len(), 1);
+    }
+
+    #[test]
+    fn batch_reply_order_is_submission_order() {
+        let mut s = RefStore::new(8);
+        let ops = vec![
+            KvOp::Put {
+                key: 1,
+                value: vec![1],
+            },
+            KvOp::Put {
+                key: 2,
+                value: vec![2],
+            },
+            KvOp::Get { key: 1 },
+            KvOp::Get { key: 2 },
+        ];
+        let replies = s.batch(&ops, 4);
+        assert_eq!(replies.len(), 4);
+        assert_eq!(replies[0], KvReply::Inserted(true));
+        assert_eq!(replies[2], KvReply::Value(Some(vec![1])));
+        assert_eq!(replies[3], KvReply::Value(Some(vec![2])));
+    }
+
+    #[test]
+    fn batch_plan_order_is_observable_across_groups() {
+        // A Get planned into an earlier group than the Put that creates the
+        // key must miss — under any group count the plan order is the defined
+        // semantics, and it must be deterministic.
+        let mut a = RefStore::new(8);
+        let mut b = RefStore::new(8);
+        let ops = vec![
+            KvOp::Put {
+                key: 3,
+                value: vec![30],
+            },
+            KvOp::Get { key: 5 },
+            KvOp::Put {
+                key: 5,
+                value: vec![50],
+            },
+        ];
+        let r1 = a.batch(&ops, 4);
+        let r2 = b.batch(&ops, 4);
+        assert_eq!(r1, r2, "plan order must be deterministic");
+        assert_eq!(a.dump(), b.dump());
+    }
+}

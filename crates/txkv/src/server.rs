@@ -1,0 +1,413 @@
+//! The in-process serving front-end.
+//!
+//! A [`KvServer`] owns one runtime (SwissTM or TLSTM) and one [`KvStore`];
+//! each client obtains a [`KvSession`] (one per client thread) and submits
+//! single operations or multi-operation batches. A batch executes as **one
+//! atomic transaction** regardless of how many shards it touches.
+//!
+//! Under TLSTM a batch is additionally *split into speculative tasks*, one
+//! per shard-group (see [`crate::ops::plan_batch`]): the paper's
+//! TLS-inside-transactions model applied to the canonical middleware
+//! long-transaction — a multi-key read-modify-write batch. The tasks run out
+//! of order on the worker pool and commit in plan order, so the batch keeps
+//! transactional atomicity while its per-shard work overlaps. SwissTM
+//! executes the identical plan sequentially inside one transaction, which is
+//! what makes the two runtimes directly comparable (and conformance-testable
+//! against [`crate::RefStore::batch`]).
+
+use std::sync::{Arc, Mutex};
+
+use swisstm::{SwisstmRuntime, SwisstmThread};
+use tlstm::{TaskCtx, TlstmRuntime, TxnSpec, UThread};
+use txmem::{DirectMem, StatsSnapshot, TxConfig, TxHeap};
+
+use crate::ops::{plan_batch, KvOp, KvReply};
+use crate::store::{KvStore, KvStoreParams};
+
+/// Configuration of a [`KvServer`].
+#[derive(Debug, Clone)]
+pub struct KvServerConfig {
+    /// Store sizing (shards, expected keys).
+    pub store: KvStoreParams,
+    /// Shard-groups a batch is planned into. Under TLSTM each non-empty
+    /// group becomes one speculative task; under SwissTM the plan executes
+    /// sequentially. Both runtimes must use the same value to produce
+    /// identical batch semantics.
+    pub batch_tasks: usize,
+    /// Substrate configuration (heap size, lock table, spin limits).
+    pub tx: TxConfig,
+}
+
+impl Default for KvServerConfig {
+    fn default() -> Self {
+        KvServerConfig {
+            store: KvStoreParams::default(),
+            batch_tasks: 4,
+            tx: TxConfig::default(),
+        }
+    }
+}
+
+impl KvServerConfig {
+    fn substrate(&self) -> TxConfig {
+        TxConfig {
+            spec_depth: self.tx.spec_depth.max(self.batch_tasks.max(1)),
+            ..self.tx.clone()
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ServerInner {
+    Swisstm(Arc<SwisstmRuntime>),
+    Tlstm(Arc<TlstmRuntime>),
+}
+
+/// A transactional key-value server: one runtime, one store, many sessions.
+#[derive(Debug)]
+pub struct KvServer {
+    inner: ServerInner,
+    store: KvStore,
+    batch_tasks: usize,
+}
+
+impl KvServer {
+    /// Boots a server on the SwissTM baseline runtime.
+    pub fn swisstm(config: &KvServerConfig) -> Self {
+        let runtime = SwisstmRuntime::new(config.substrate());
+        let store = KvStore::create(&mut runtime.direct(), &config.store)
+            .expect("KV store allocation failed");
+        KvServer {
+            inner: ServerInner::Swisstm(runtime),
+            store,
+            batch_tasks: config.batch_tasks.max(1),
+        }
+    }
+
+    /// Boots a server on the TLSTM runtime (batches split into speculative
+    /// tasks).
+    pub fn tlstm(config: &KvServerConfig) -> Self {
+        let runtime = TlstmRuntime::new(config.substrate());
+        let store = KvStore::create(&mut runtime.direct(), &config.store)
+            .expect("KV store allocation failed");
+        KvServer {
+            inner: ServerInner::Tlstm(runtime),
+            store,
+            batch_tasks: config.batch_tasks.max(1),
+        }
+    }
+
+    /// The store handle (for direct inspection in tests).
+    pub fn store(&self) -> KvStore {
+        self.store
+    }
+
+    /// Shard-groups per batch.
+    pub fn batch_tasks(&self) -> usize {
+        self.batch_tasks
+    }
+
+    /// The runtime this server measures (`"swisstm"` or `"tlstm"`).
+    pub fn runtime_label(&self) -> &'static str {
+        match &self.inner {
+            ServerInner::Swisstm(_) => "swisstm",
+            ServerInner::Tlstm(_) => "tlstm",
+        }
+    }
+
+    /// The shared transactional heap.
+    pub fn heap(&self) -> &TxHeap {
+        match &self.inner {
+            ServerInner::Swisstm(rt) => rt.heap(),
+            ServerInner::Tlstm(rt) => rt.heap(),
+        }
+    }
+
+    /// Non-transactional direct access (initialisation and test inspection
+    /// only — never while sessions are running).
+    pub fn direct(&self) -> DirectMem<'_> {
+        match &self.inner {
+            ServerInner::Swisstm(rt) => rt.direct(),
+            ServerInner::Tlstm(rt) => rt.direct(),
+        }
+    }
+
+    /// Loads `entries` into the store non-transactionally (pre-measurement
+    /// population, as the paper's benchmarks do).
+    pub fn populate(&self, entries: impl IntoIterator<Item = (u64, Vec<u64>)>) {
+        let mut mem = self.direct();
+        for (key, value) in entries {
+            self.store
+                .put(&mut mem, key, &value)
+                .expect("populate cannot abort");
+        }
+    }
+
+    /// The runtime's statistics counters accumulated so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        match &self.inner {
+            ServerInner::Swisstm(rt) => rt.stats(),
+            ServerInner::Tlstm(rt) => rt.stats(),
+        }
+    }
+
+    /// Opens a session. Each client thread needs its own.
+    pub fn session(&self) -> KvSession {
+        let inner = match &self.inner {
+            ServerInner::Swisstm(rt) => SessionInner::Swisstm(rt.register_thread()),
+            ServerInner::Tlstm(rt) => {
+                SessionInner::Tlstm(rt.register_uthread(self.batch_tasks.max(1)))
+            }
+        };
+        KvSession {
+            inner,
+            store: self.store,
+            batch_tasks: self.batch_tasks,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum SessionInner {
+    Swisstm(SwisstmThread),
+    Tlstm(UThread),
+}
+
+/// A per-client handle: submits operations and batches to the server.
+#[derive(Debug)]
+pub struct KvSession {
+    inner: SessionInner,
+    store: KvStore,
+    batch_tasks: usize,
+}
+
+impl KvSession {
+    /// Reads `key` in its own transaction.
+    pub fn get(&mut self, key: u64) -> Option<Vec<u64>> {
+        match self.batch_one(KvOp::Get { key }) {
+            KvReply::Value(v) => v,
+            other => unreachable!("get produced {other:?}"),
+        }
+    }
+
+    /// Writes `key → value` in its own transaction. Returns `true` on fresh
+    /// insert.
+    pub fn put(&mut self, key: u64, value: Vec<u64>) -> bool {
+        match self.batch_one(KvOp::Put { key, value }) {
+            KvReply::Inserted(fresh) => fresh,
+            other => unreachable!("put produced {other:?}"),
+        }
+    }
+
+    /// Deletes `key` in its own transaction. Returns `true` if it existed.
+    pub fn delete(&mut self, key: u64) -> bool {
+        match self.batch_one(KvOp::Delete { key }) {
+            KvReply::Removed(existed) => existed,
+            other => unreachable!("delete produced {other:?}"),
+        }
+    }
+
+    /// Compare-and-swap in its own transaction.
+    pub fn cas(&mut self, key: u64, expected: Vec<u64>, new: Vec<u64>) -> bool {
+        match self.batch_one(KvOp::Cas { key, expected, new }) {
+            KvReply::Swapped(swapped) => swapped,
+            other => unreachable!("cas produced {other:?}"),
+        }
+    }
+
+    /// Ordered scan in its own transaction.
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: u64) -> Vec<(u64, u64)> {
+        match self.batch_one(KvOp::Scan { lo, hi, limit }) {
+            KvReply::Scan(hits) => hits,
+            other => unreachable!("scan produced {other:?}"),
+        }
+    }
+
+    fn batch_one(&mut self, op: KvOp) -> KvReply {
+        self.batch(vec![op])
+            .pop()
+            .expect("single-op batch yields one reply")
+    }
+
+    /// Executes `ops` as one atomic transaction and returns one reply per
+    /// operation, in submission order. Execution follows the batch plan (see
+    /// [`crate::ops::plan_batch`]); under TLSTM each non-empty shard-group
+    /// runs as its own speculative task.
+    pub fn batch(&mut self, ops: Vec<KvOp>) -> Vec<KvReply> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let store = self.store;
+        let plan = plan_batch(&ops, store.shards(), self.batch_tasks);
+        match &mut self.inner {
+            SessionInner::Swisstm(thread) => {
+                let replies = thread.atomic(|tx| {
+                    let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
+                    for group in &plan {
+                        for &index in group {
+                            replies[index] = Some(store.apply(tx, &ops[index])?);
+                        }
+                    }
+                    Ok(replies)
+                });
+                replies
+                    .into_iter()
+                    .map(|r| r.expect("plan covers every op"))
+                    .collect()
+            }
+            SessionInner::Tlstm(uthread) => {
+                let ops = Arc::new(ops);
+                let mut bodies = Vec::new();
+                let mut slots = Vec::new();
+                for group in plan {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let slot: Arc<Mutex<Vec<(usize, KvReply)>>> =
+                        Arc::new(Mutex::new(Vec::with_capacity(group.len())));
+                    let ops = Arc::clone(&ops);
+                    let task_slot = Arc::clone(&slot);
+                    bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+                        // A task may re-execute after a conflict; start each
+                        // execution from an empty reply slot so only the
+                        // committed execution's replies survive.
+                        let mut filled = Vec::with_capacity(group.len());
+                        for &index in &group {
+                            filled.push((index, store.apply(ctx, &ops[index])?));
+                        }
+                        *task_slot.lock().expect("reply slot poisoned") = filled;
+                        Ok(())
+                    }));
+                    slots.push(slot);
+                }
+                uthread.execute(vec![TxnSpec::new(bodies)]);
+                let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
+                for slot in slots {
+                    for (index, reply) in slot.lock().expect("reply slot poisoned").drain(..) {
+                        replies[index] = Some(reply);
+                    }
+                }
+                replies
+                    .into_iter()
+                    .map(|r| r.expect("every task filled its slot"))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::checksum;
+    use crate::RefStore;
+    use txmem::TxConfig;
+
+    fn test_config(batch_tasks: usize) -> KvServerConfig {
+        KvServerConfig {
+            store: KvStoreParams {
+                shards: 8,
+                expected_keys: 256,
+            },
+            batch_tasks,
+            tx: TxConfig::small(),
+        }
+    }
+
+    fn servers(batch_tasks: usize) -> [KvServer; 2] {
+        [
+            KvServer::swisstm(&test_config(batch_tasks)),
+            KvServer::tlstm(&test_config(batch_tasks)),
+        ]
+    }
+
+    #[test]
+    fn single_op_api_round_trips_on_both_runtimes() {
+        for server in servers(2) {
+            let label = server.runtime_label();
+            let mut session = server.session();
+            assert!(session.put(1, vec![10, 20]), "{label}");
+            assert_eq!(session.get(1), Some(vec![10, 20]), "{label}");
+            assert!(session.cas(1, vec![10, 20], vec![30, 40]), "{label}");
+            assert!(!session.cas(1, vec![10, 20], vec![0, 0]), "{label}");
+            assert_eq!(
+                session.scan(0, 10, 10),
+                vec![(1, checksum(&[30, 40]))],
+                "{label}"
+            );
+            assert!(session.delete(1), "{label}");
+            assert_eq!(session.get(1), None, "{label}");
+        }
+    }
+
+    #[test]
+    fn batches_are_atomic_and_match_the_oracle() {
+        for server in servers(4) {
+            let label = server.runtime_label();
+            server.populate((0..32u64).map(|k| (k, vec![k, k + 1])));
+            let mut oracle = RefStore::new(8);
+            for k in 0..32u64 {
+                oracle.put(k, &[k, k + 1]);
+            }
+            let mut session = server.session();
+            let ops: Vec<KvOp> = (0..16u64)
+                .map(|i| match i % 4 {
+                    0 => KvOp::Get { key: i * 2 },
+                    1 => KvOp::Put {
+                        key: i * 2,
+                        value: vec![i, i, i],
+                    },
+                    2 => KvOp::Cas {
+                        key: i * 2,
+                        expected: vec![i * 2, i * 2 + 1],
+                        new: vec![99, 99],
+                    },
+                    _ => KvOp::Scan {
+                        lo: i,
+                        hi: i + 8,
+                        limit: 4,
+                    },
+                })
+                .collect();
+            let got = session.batch(ops.clone());
+            let want = oracle.batch(&ops, server.batch_tasks());
+            assert_eq!(got, want, "{label} replies diverge from oracle");
+            assert_eq!(
+                server.store().dump(&mut server.direct()).unwrap(),
+                oracle.dump(),
+                "{label} committed state diverges from oracle"
+            );
+            server
+                .store()
+                .check_consistency(&mut server.direct())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        for server in servers(2) {
+            let mut session = server.session();
+            assert!(session.batch(Vec::new()).is_empty());
+        }
+    }
+
+    #[test]
+    fn tlstm_batches_actually_split_into_tasks() {
+        let server = KvServer::tlstm(&test_config(4));
+        server.populate((0..64u64).map(|k| (k, vec![k])));
+        let mut session = server.session();
+        // A batch over many keys lands in several shard-groups.
+        let ops: Vec<KvOp> = (0..32u64).map(|k| KvOp::Get { key: k * 3 }).collect();
+        let replies = session.batch(ops);
+        assert_eq!(replies.len(), 32);
+        let stats = server.stats();
+        assert!(
+            stats.task_commits > stats.tx_commits,
+            "a split batch must commit more tasks than transactions \
+             (tasks={}, txns={})",
+            stats.task_commits,
+            stats.tx_commits
+        );
+    }
+}

@@ -1,0 +1,543 @@
+//! The sharded transactional key-value store.
+//!
+//! A [`KvStore`] is a thin `Copy` handle (like every `txcollections`
+//! structure) to heap-resident state:
+//!
+//! * a *shard directory* block `[n_shards, index_hdr, shard_0_hdr, ...]`;
+//! * one pre-sized [`TxHashMap`] per shard — the primary index, chosen by a
+//!   key hash that is independent of the in-shard bucket hash;
+//! * one [`TxRbTree`] secondary index over *all* keys — the ordered view that
+//!   serves `scan(lo..hi)`.
+//!
+//! Values are whole-word records `[len, w_0, ..., w_{len-1}]` in the
+//! transactional heap; both indexes store the record address. Overwrites of a
+//! same-length value update the record in place (no allocation in steady
+//! state), so a fixed-value-size workload runs allocation-free after warmup.
+//!
+//! Every operation takes `&mut M: TxMem`, so the same store code runs inside
+//! SwissTM transactions, TLSTM tasks, and non-transactional `DirectMem`
+//! initialisation.
+
+use txcollections::{TxHashMap, TxRbTree};
+use txmem::{Abort, TxMem, WordAddr};
+
+use crate::ops::{checksum_word, shard_of, KvOp, KvReply, CHECKSUM_SEED, MAX_SHARDS};
+
+const DIR_SHARDS: u64 = 0;
+const DIR_INDEX: u64 = 1;
+const DIR_TABLE: u64 = 2;
+
+/// Record layout: `len` followed by the value words.
+const REC_LEN: u64 = 0;
+const REC_WORDS: u64 = 1;
+
+/// Handle to a sharded transactional key-value store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvStore {
+    dir: WordAddr,
+    n_shards: u64,
+}
+
+/// Sizing parameters of a store.
+#[derive(Debug, Clone, Copy)]
+pub struct KvStoreParams {
+    /// Number of hash shards (clamped to `1..=MAX_SHARDS`).
+    pub shards: u64,
+    /// Expected number of resident keys; each shard's bucket table is
+    /// pre-sized for its portion so chains stay short without rehashing.
+    pub expected_keys: u64,
+}
+
+impl Default for KvStoreParams {
+    fn default() -> Self {
+        KvStoreParams {
+            shards: 16,
+            expected_keys: 16 * 1024,
+        }
+    }
+}
+
+impl KvStore {
+    /// Allocates an empty store with `params.shards` pre-sized shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the underlying memory.
+    pub fn create<M: TxMem>(mem: &mut M, params: &KvStoreParams) -> Result<Self, Abort> {
+        let n_shards = params.shards.clamp(1, MAX_SHARDS);
+        let dir = mem.alloc(DIR_TABLE + n_shards)?;
+        mem.write(dir.offset(DIR_SHARDS), n_shards)?;
+        let index = TxRbTree::create(mem)?;
+        mem.write(dir.offset(DIR_INDEX), index.header().index())?;
+        let per_shard = (params.expected_keys / n_shards).max(1);
+        for s in 0..n_shards {
+            let shard = TxHashMap::with_capacity(mem, per_shard)?;
+            mem.write(dir.offset(DIR_TABLE + s), shard.header().index())?;
+        }
+        Ok(KvStore { dir, n_shards })
+    }
+
+    /// Re-opens a store from its directory address (e.g. from another
+    /// thread's handle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn open<M: TxMem>(mem: &mut M, dir: WordAddr) -> Result<Self, Abort> {
+        let n_shards = mem.read(dir.offset(DIR_SHARDS))?;
+        Ok(KvStore { dir, n_shards })
+    }
+
+    /// The heap address of the shard directory.
+    pub fn dir(&self) -> WordAddr {
+        self.dir
+    }
+
+    /// Number of hash shards.
+    pub fn shards(&self) -> u64 {
+        self.n_shards
+    }
+
+    /// The shard a key lives in.
+    pub fn shard_of(&self, key: u64) -> u64 {
+        shard_of(key, self.n_shards)
+    }
+
+    fn shard<M: TxMem>(&self, mem: &mut M, shard: u64) -> Result<TxHashMap, Abort> {
+        let header = mem.read(self.dir.offset(DIR_TABLE + shard))?;
+        Ok(TxHashMap::from_header(WordAddr::new(header)))
+    }
+
+    fn shard_for_key<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<TxHashMap, Abort> {
+        let shard = self.shard_of(key);
+        self.shard(mem, shard)
+    }
+
+    fn index<M: TxMem>(&self, mem: &mut M) -> Result<TxRbTree, Abort> {
+        let header = mem.read(self.dir.offset(DIR_INDEX))?;
+        Ok(TxRbTree::from_header(WordAddr::new(header)))
+    }
+
+    /// Total number of resident keys (sums the shard sizes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        let mut total = 0;
+        for s in 0..self.n_shards {
+            total += self.shard(mem, s)?.len(mem)?;
+        }
+        Ok(total)
+    }
+
+    /// Reads the value of `key` into `buf` (cleared first). Returns `true`
+    /// if the key was present. This is the allocation-free read path the
+    /// workload drivers use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get_into<M: TxMem>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        buf: &mut Vec<u64>,
+    ) -> Result<bool, Abort> {
+        buf.clear();
+        let map = self.shard_for_key(mem, key)?;
+        match map.get(mem, key)? {
+            None => Ok(false),
+            Some(record) => {
+                let record = WordAddr::new(record);
+                let len = mem.read(record.offset(REC_LEN))?;
+                buf.reserve(len as usize);
+                for i in 0..len {
+                    buf.push(mem.read(record.offset(REC_WORDS + i))?);
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Reads the value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<Vec<u64>>, Abort> {
+        let mut buf = Vec::new();
+        Ok(self.get_into(mem, key, &mut buf)?.then_some(buf))
+    }
+
+    /// Inserts or overwrites `key → value`. Returns `true` if the key was
+    /// newly inserted. Overwrites reuse the existing record when the value
+    /// length is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn put<M: TxMem>(&self, mem: &mut M, key: u64, value: &[u64]) -> Result<bool, Abort> {
+        let map = self.shard_for_key(mem, key)?;
+        if let Some(record) = map.get(mem, key)? {
+            let record = WordAddr::new(record);
+            let len = mem.read(record.offset(REC_LEN))?;
+            if len == value.len() as u64 {
+                for (i, &word) in value.iter().enumerate() {
+                    mem.write(record.offset(REC_WORDS + i as u64), word)?;
+                }
+                return Ok(false);
+            }
+        }
+        let record = self.write_record(mem, value)?;
+        map.insert(mem, key, record.index())?;
+        let index = self.index(mem)?;
+        index.insert(mem, key, record.index())
+    }
+
+    fn write_record<M: TxMem>(&self, mem: &mut M, value: &[u64]) -> Result<WordAddr, Abort> {
+        let record = mem.alloc(REC_WORDS + value.len() as u64)?;
+        mem.write(record.offset(REC_LEN), value.len() as u64)?;
+        for (i, &word) in value.iter().enumerate() {
+            mem.write(record.offset(REC_WORDS + i as u64), word)?;
+        }
+        Ok(record)
+    }
+
+    /// Removes `key`. Returns `true` if it was present. The record block is
+    /// leaked (matching `txmem`'s research-prototype allocation model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn delete<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+        let map = self.shard_for_key(mem, key)?;
+        if !map.remove(mem, key)? {
+            return Ok(false);
+        }
+        let index = self.index(mem)?;
+        index.remove(mem, key)?;
+        Ok(true)
+    }
+
+    /// Compare-and-swap: replaces the value of `key` with `new` iff the
+    /// current value equals `expected` word-for-word. Fails (returns `false`)
+    /// if the key is absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn cas<M: TxMem>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        expected: &[u64],
+        new: &[u64],
+    ) -> Result<bool, Abort> {
+        let map = self.shard_for_key(mem, key)?;
+        let record = match map.get(mem, key)? {
+            None => return Ok(false),
+            Some(record) => WordAddr::new(record),
+        };
+        let len = mem.read(record.offset(REC_LEN))?;
+        if len != expected.len() as u64 {
+            return Ok(false);
+        }
+        for (i, &want) in expected.iter().enumerate() {
+            if mem.read(record.offset(REC_WORDS + i as u64))? != want {
+                return Ok(false);
+            }
+        }
+        if new.len() as u64 == len {
+            for (i, &word) in new.iter().enumerate() {
+                mem.write(record.offset(REC_WORDS + i as u64), word)?;
+            }
+        } else {
+            let fresh = self.write_record(mem, new)?;
+            map.insert(mem, key, fresh.index())?;
+            let index = self.index(mem)?;
+            index.insert(mem, key, fresh.index())?;
+        }
+        Ok(true)
+    }
+
+    /// Ordered scan: appends up to `limit` `(key, checksum(value))` pairs for
+    /// keys in `lo..hi`, ascending, to `out`. Reads every value word, so scan
+    /// cost is proportional to the data scanned (the YCSB scan shape).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn scan_into<M: TxMem>(
+        &self,
+        mem: &mut M,
+        lo: u64,
+        hi: u64,
+        limit: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Result<(), Abort> {
+        let index = self.index(mem)?;
+        // One pruned in-order walk (O(log n + limit) node visits) appends
+        // `(key, record_addr)` pairs to `out`; the addresses are then
+        // replaced by value digests in place, so the scan needs no buffer
+        // beyond `out` itself.
+        let start = out.len();
+        index.range_into(mem, lo, hi, limit, out)?;
+        for hit in out[start..].iter_mut() {
+            let record = WordAddr::new(hit.1);
+            let len = mem.read(record.offset(REC_LEN))?;
+            let mut digest = CHECKSUM_SEED;
+            for i in 0..len {
+                digest = checksum_word(digest, mem.read(record.offset(REC_WORDS + i))?);
+            }
+            hit.1 = digest;
+        }
+        Ok(())
+    }
+
+    /// Ordered scan, collected (see [`Self::scan_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn scan<M: TxMem>(
+        &self,
+        mem: &mut M,
+        lo: u64,
+        hi: u64,
+        limit: u64,
+    ) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        self.scan_into(mem, lo, hi, limit, &mut out)?;
+        Ok(out)
+    }
+
+    /// Executes one operation and produces its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn apply<M: TxMem>(&self, mem: &mut M, op: &KvOp) -> Result<KvReply, Abort> {
+        match op {
+            KvOp::Get { key } => Ok(KvReply::Value(self.get(mem, *key)?)),
+            KvOp::Put { key, value } => Ok(KvReply::Inserted(self.put(mem, *key, value)?)),
+            KvOp::Delete { key } => Ok(KvReply::Removed(self.delete(mem, *key)?)),
+            KvOp::Cas { key, expected, new } => {
+                Ok(KvReply::Swapped(self.cas(mem, *key, expected, new)?))
+            }
+            KvOp::Scan { lo, hi, limit } => Ok(KvReply::Scan(self.scan(mem, *lo, *hi, *limit)?)),
+        }
+    }
+
+    /// Dumps the full store contents in ascending key order (conformance
+    /// helper: comparable against [`crate::RefStore::dump`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn dump<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, Vec<u64>)>, Abort> {
+        let index = self.index(mem)?;
+        let mut out = Vec::new();
+        for (key, record) in index.to_vec(mem)? {
+            let record = WordAddr::new(record);
+            let len = mem.read(record.offset(REC_LEN))?;
+            let mut value = Vec::with_capacity(len as usize);
+            for i in 0..len {
+                value.push(mem.read(record.offset(REC_WORDS + i))?);
+            }
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    /// Checks the cross-structure invariants: the ordered index holds exactly
+    /// the keys of the shard maps, both point at the same records, and every
+    /// key hashes to the shard that holds it. Returns the number of keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated (test/diagnostic helper).
+    pub fn check_consistency<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+        let mut shard_entries = Vec::new();
+        for s in 0..self.n_shards {
+            let map = self.shard(mem, s)?;
+            let entries = map.to_vec(mem)?;
+            assert_eq!(
+                entries.len() as u64,
+                map.len(mem)?,
+                "shard {s} size counter drifted"
+            );
+            for (key, record) in entries {
+                assert_eq!(self.shard_of(key), s, "key {key} is in the wrong shard");
+                shard_entries.push((key, record));
+            }
+        }
+        shard_entries.sort_unstable();
+        let index_entries = self.index(mem)?.to_vec(mem)?;
+        assert_eq!(
+            shard_entries, index_entries,
+            "ordered index and shard maps disagree"
+        );
+        Ok(shard_entries.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::checksum;
+    use txmem::{DirectMem, TxConfig, TxHeap};
+
+    fn store_on(heap: &TxHeap) -> (KvStore, DirectMem<'_>) {
+        let mut mem = DirectMem::new(heap);
+        let store = KvStore::create(
+            &mut mem,
+            &KvStoreParams {
+                shards: 4,
+                expected_keys: 64,
+            },
+        )
+        .unwrap();
+        (store, mem)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        assert!(store.put(&mut mem, 1, &[10, 11]).unwrap());
+        assert!(store.put(&mut mem, 2, &[20]).unwrap());
+        assert!(!store.put(&mut mem, 1, &[12, 13]).unwrap(), "overwrite");
+        assert_eq!(store.get(&mut mem, 1).unwrap(), Some(vec![12, 13]));
+        assert_eq!(store.get(&mut mem, 2).unwrap(), Some(vec![20]));
+        assert_eq!(store.get(&mut mem, 3).unwrap(), None);
+        assert_eq!(store.len(&mut mem).unwrap(), 2);
+        assert!(store.delete(&mut mem, 1).unwrap());
+        assert!(!store.delete(&mut mem, 1).unwrap());
+        assert_eq!(store.get(&mut mem, 1).unwrap(), None);
+        store.check_consistency(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn same_length_overwrite_reuses_the_record() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        store.put(&mut mem, 5, &[1, 2, 3]).unwrap();
+        let used_before = heap.words_allocated();
+        store.put(&mut mem, 5, &[4, 5, 6]).unwrap();
+        assert_eq!(
+            heap.words_allocated(),
+            used_before,
+            "same-length overwrite must not allocate"
+        );
+        assert_eq!(store.get(&mut mem, 5).unwrap(), Some(vec![4, 5, 6]));
+        // A different length allocates a fresh record and re-points both
+        // indexes at it.
+        store.put(&mut mem, 5, &[9]).unwrap();
+        assert_eq!(store.get(&mut mem, 5).unwrap(), Some(vec![9]));
+        store.check_consistency(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn cas_swaps_only_on_exact_match() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        store.put(&mut mem, 7, &[100, 200]).unwrap();
+        assert!(!store.cas(&mut mem, 7, &[100, 999], &[0, 0]).unwrap());
+        assert!(!store.cas(&mut mem, 7, &[100], &[0]).unwrap(), "wrong len");
+        assert!(!store.cas(&mut mem, 8, &[100, 200], &[0, 0]).unwrap());
+        assert_eq!(store.get(&mut mem, 7).unwrap(), Some(vec![100, 200]));
+        assert!(store.cas(&mut mem, 7, &[100, 200], &[1, 2]).unwrap());
+        assert_eq!(store.get(&mut mem, 7).unwrap(), Some(vec![1, 2]));
+        // CAS to a different length re-records.
+        assert!(store.cas(&mut mem, 7, &[1, 2], &[9, 9, 9]).unwrap());
+        assert_eq!(store.get(&mut mem, 7).unwrap(), Some(vec![9, 9, 9]));
+        store.check_consistency(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn scan_returns_ordered_checksummed_ranges() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        for key in [5u64, 1, 9, 3, 7] {
+            store.put(&mut mem, key, &[key * 2, key * 3]).unwrap();
+        }
+        let hits = store.scan(&mut mem, 2, 8, 10).unwrap();
+        assert_eq!(
+            hits,
+            vec![
+                (3, checksum(&[6, 9])),
+                (5, checksum(&[10, 15])),
+                (7, checksum(&[14, 21])),
+            ]
+        );
+        // Limit truncates from the front.
+        let hits = store.scan(&mut mem, 0, 100, 2).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 3);
+        // Empty range.
+        assert!(store.scan(&mut mem, 4, 4, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn open_sees_the_same_store() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        store.put(&mut mem, 11, &[1]).unwrap();
+        let reopened = KvStore::open(&mut mem, store.dir()).unwrap();
+        assert_eq!(reopened.shards(), store.shards());
+        assert_eq!(reopened.get(&mut mem, 11).unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn apply_covers_every_op_kind() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        let script = [
+            (
+                KvOp::Put {
+                    key: 1,
+                    value: vec![5],
+                },
+                KvReply::Inserted(true),
+            ),
+            (KvOp::Get { key: 1 }, KvReply::Value(Some(vec![5]))),
+            (
+                KvOp::Cas {
+                    key: 1,
+                    expected: vec![5],
+                    new: vec![6],
+                },
+                KvReply::Swapped(true),
+            ),
+            (
+                KvOp::Scan {
+                    lo: 0,
+                    hi: 10,
+                    limit: 10,
+                },
+                KvReply::Scan(vec![(1, checksum(&[6]))]),
+            ),
+            (KvOp::Delete { key: 1 }, KvReply::Removed(true)),
+            (KvOp::Get { key: 1 }, KvReply::Value(None)),
+        ];
+        for (op, want) in script {
+            assert_eq!(store.apply(&mut mem, &op).unwrap(), want, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn empty_value_records_work() {
+        let heap = TxHeap::new(&TxConfig::small());
+        let (store, mut mem) = store_on(&heap);
+        assert!(store.put(&mut mem, 3, &[]).unwrap());
+        assert_eq!(store.get(&mut mem, 3).unwrap(), Some(vec![]));
+        assert!(store.cas(&mut mem, 3, &[], &[1]).unwrap());
+        assert_eq!(store.get(&mut mem, 3).unwrap(), Some(vec![1]));
+    }
+}

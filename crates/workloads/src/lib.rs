@@ -17,6 +17,9 @@
 //!   (Figures 2a and 2b);
 //! * [`harness`] — duration-based throughput measurement utilities shared by
 //!   the figure-regeneration binaries in the `tlstm-bench` crate;
+//! * [`kv`] — the YCSB-style serving workload over the `txkv` sharded
+//!   transactional key-value store (zipfian/uniform key choice, mixes
+//!   A/B/C/scan-heavy, batches split into speculative tasks under TLSTM);
 //! * [`overhead`] — single-thread uncontended microworkloads (read-only and
 //!   write-heavy) that isolate the raw per-operation fast-path overhead of
 //!   each runtime, used to track the zero-allocation hot-path work.
@@ -29,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod kv;
 pub mod overhead;
 pub mod rbtree_bench;
 pub mod stmbench7;
