@@ -23,6 +23,7 @@ use tlstm_bench::scenarios::{
     build_scenarios, run_matrix, workload_selectors, MatrixSelection, RuntimeKind,
 };
 use tlstm_bench::{cell, env_u32, env_u64, DEFAULT_BENCH_MS};
+use tlstm_workloads::kv::FsyncPolicy;
 use tlstm_workloads::WorkloadConfig;
 
 /// Duration per data point for `--quick` runs when nothing overrides it.
@@ -49,9 +50,13 @@ MEASUREMENT OPTIONS:
     --seed N             workload RNG seed (default: TLSTM_BENCH_SEED, else 0xC0FFEE)
     --threads A,B,...    thread counts to measure (default: 1)
     --workloads LIST     comma-separated families (rbtree,vacation,stmbench7,
-                         overhead,kv) or concrete labels (kv-a,kv-b,kv-scan,
-                         rbtree-n16,...); default: all
+                         overhead,kv,kv-durable) or concrete labels (kv-a,
+                         kv-a-durable,rbtree-n16,...); default: all
     --runtimes LIST      comma-separated runtimes: swisstm,tlstm (default: both)
+    --fsync POLICY       WAL fsync policy of the kv-durable scenarios:
+                         always, group, group:<ms>, none (default: group;
+                         scenario names are unaffected, so reports stay
+                         comparable against the baseline)
     --out FILE           write the JSON report to FILE
 
 GATE OPTIONS:
@@ -74,6 +79,7 @@ struct CliArgs {
     threads: Option<Vec<usize>>,
     workloads: Vec<String>,
     runtimes: Vec<RuntimeKind>,
+    fsync: Option<FsyncPolicy>,
     out: Option<String>,
     baseline: Option<String>,
     current: Option<String>,
@@ -171,6 +177,10 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                         cli.runtimes.push(runtime);
                     }
                 }
+            }
+            "--fsync" => {
+                let v = value_of(&mut i, arg)?;
+                cli.fsync = Some(FsyncPolicy::parse(v.trim())?);
             }
             "--out" => cli.out = Some(value_of(&mut i, arg)?),
             "--baseline" => cli.baseline = Some(value_of(&mut i, arg)?),
@@ -328,6 +338,7 @@ fn main() -> ExitCode {
         threads: cli.threads.clone().unwrap_or_else(|| vec![1]),
         workload_families: cli.workloads.clone(),
         runtimes: cli.runtimes.clone(),
+        fsync: cli.fsync,
     };
     let scenarios = build_scenarios(&selection);
     if scenarios.is_empty() {

@@ -9,7 +9,7 @@
 //! same tool.
 
 use tlstm_workloads::harness::RunMetrics;
-use tlstm_workloads::kv::{self, KvMix, KvParams};
+use tlstm_workloads::kv::{self, FsyncPolicy, KvDurability, KvMix, KvParams};
 use tlstm_workloads::overhead::{self, OverheadParams};
 use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
 use tlstm_workloads::stmbench7::{self, Stmbench7Params};
@@ -78,6 +78,16 @@ pub enum WorkloadKind {
         /// The operation mix (A, B, C or scan-heavy).
         mix: KvMix,
     },
+    /// The KV serving workload through the durable front-end: every write
+    /// batch is redo-logged by the `txlog` group-commit WAL and waits for
+    /// its durability acknowledgement. Compare against the matching
+    /// [`WorkloadKind::Kv`] scenario to read off the logging overhead.
+    KvDurable {
+        /// The operation mix (A, B, C or scan-heavy).
+        mix: KvMix,
+        /// When the WAL acknowledges writes.
+        fsync: FsyncPolicy,
+    },
 }
 
 impl WorkloadKind {
@@ -93,11 +103,15 @@ impl WorkloadKind {
                 format!("overhead-write-n{ops_per_txn}")
             }
             WorkloadKind::Kv { mix } => format!("kv-{}", mix.label()),
+            // The fsync policy is a run-time modifier (`--fsync`), not part
+            // of the identity: scenario names must stay stable so baselines
+            // keep matching.
+            WorkloadKind::KvDurable { mix, .. } => format!("kv-{}-durable", mix.label()),
         }
     }
 
     /// The CLI filter family this workload belongs to (`rbtree`, `vacation`,
-    /// `stmbench7`, `overhead`, `kv`).
+    /// `stmbench7`, `overhead`, `kv`, `kv-durable`).
     pub fn family(&self) -> &'static str {
         match self {
             WorkloadKind::RbTree { .. } => "rbtree",
@@ -105,6 +119,7 @@ impl WorkloadKind {
             WorkloadKind::Stmbench7 { .. } => "stmbench7",
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => "overhead",
             WorkloadKind::Kv { .. } => "kv",
+            WorkloadKind::KvDurable { .. } => "kv-durable",
         }
     }
 
@@ -116,7 +131,16 @@ impl WorkloadKind {
             WorkloadKind::Stmbench7 { .. } => &[3],
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => &[2],
             // A 16-op batch splits into KV_BATCH_GROUPS shard-group tasks.
-            WorkloadKind::Kv { .. } => &[KV_BATCH_GROUPS],
+            WorkloadKind::Kv { .. } | WorkloadKind::KvDurable { .. } => &[KV_BATCH_GROUPS],
+        }
+    }
+
+    /// The same workload with `fsync` swapped in, for durable kinds; other
+    /// kinds are returned unchanged (the `--fsync` CLI modifier).
+    pub fn with_fsync(self, fsync: FsyncPolicy) -> WorkloadKind {
+        match self {
+            WorkloadKind::KvDurable { mix, .. } => WorkloadKind::KvDurable { mix, fsync },
+            other => other,
         }
     }
 }
@@ -229,7 +253,7 @@ impl ScenarioSpec {
                     RuntimeKind::Tlstm => overhead::measure_tlstm(&params, config),
                 }
             }
-            WorkloadKind::Kv { mix } => {
+            WorkloadKind::Kv { mix } | WorkloadKind::KvDurable { mix, .. } => {
                 // `tasks_per_txn` is the batch's shard-group count. SwissTM
                 // scenarios carry k1 ("one task") in the matrix, but must
                 // plan with the same grouping as TLSTM so both runtimes
@@ -250,6 +274,12 @@ impl ScenarioSpec {
                         RuntimeKind::Tlstm => self.tasks_per_txn,
                     },
                     threads: self.threads,
+                    durable: match &self.workload {
+                        WorkloadKind::KvDurable { fsync, .. } => {
+                            Some(KvDurability { fsync: *fsync })
+                        }
+                        _ => None,
+                    },
                     ..KvParams::mix(*mix)
                 };
                 match self.runtime {
@@ -272,6 +302,10 @@ pub struct MatrixSelection {
     pub workload_families: Vec<String>,
     /// Runtime filter; empty means both.
     pub runtimes: Vec<RuntimeKind>,
+    /// Fsync-policy override for the `kv-durable` scenarios (`--fsync`);
+    /// `None` keeps the default matrix's policy. Scenario names are not
+    /// affected — the modifier exists to compare policies across runs.
+    pub fsync: Option<FsyncPolicy>,
 }
 
 impl Default for MatrixSelection {
@@ -280,6 +314,7 @@ impl Default for MatrixSelection {
             threads: vec![1],
             workload_families: Vec::new(),
             runtimes: Vec::new(),
+            fsync: None,
         }
     }
 }
@@ -298,6 +333,18 @@ pub fn default_workloads() -> Vec<WorkloadKind> {
         WorkloadKind::Kv { mix: KvMix::B },
         WorkloadKind::Kv {
             mix: KvMix::ScanHeavy,
+        },
+        // The durable twins of the write-bearing kv mixes: the throughput
+        // delta vs kv-a / kv-b is the WAL's group-commit overhead. The
+        // default policy is the group-commit clock; override per run with
+        // `--fsync always|group[:<ms>]|none`.
+        WorkloadKind::KvDurable {
+            mix: KvMix::A,
+            fsync: FsyncPolicy::default(),
+        },
+        WorkloadKind::KvDurable {
+            mix: KvMix::B,
+            fsync: FsyncPolicy::default(),
         },
     ]
 }
@@ -336,6 +383,10 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
         {
             continue;
         }
+        let workload = match selection.fsync {
+            Some(fsync) => workload.with_fsync(fsync),
+            None => workload,
+        };
         for &threads in &selection.threads {
             for &runtime in runtimes {
                 match runtime {
@@ -400,7 +451,14 @@ mod tests {
         for runtime in RuntimeKind::ALL {
             assert!(scenarios.iter().any(|s| s.runtime == runtime));
         }
-        for family in ["rbtree", "vacation", "stmbench7", "overhead", "kv"] {
+        for family in [
+            "rbtree",
+            "vacation",
+            "stmbench7",
+            "overhead",
+            "kv",
+            "kv-durable",
+        ] {
             assert!(scenarios.iter().any(|s| s.workload.family() == family));
         }
         // Names are unique — the report schema requires it.
@@ -420,6 +478,7 @@ mod tests {
             threads: vec![1, 2],
             workload_families: vec!["rbtree".to_string()],
             runtimes: vec![RuntimeKind::Swisstm],
+            fsync: None,
         };
         let scenarios = build_scenarios(&selection);
         assert_eq!(
@@ -437,6 +496,7 @@ mod tests {
             threads: vec![1],
             workload_families: vec!["kv-a".to_string(), "kv-scan".to_string()],
             runtimes: Vec::new(),
+            fsync: None,
         };
         let scenarios = build_scenarios(&selection);
         assert!(!scenarios.is_empty());
@@ -448,6 +508,7 @@ mod tests {
             threads: vec![1],
             workload_families: vec!["kv".to_string()],
             runtimes: Vec::new(),
+            fsync: None,
         };
         let labels: std::collections::HashSet<String> = build_scenarios(&selection)
             .iter()
@@ -465,12 +526,58 @@ mod tests {
     #[test]
     fn workload_selectors_cover_families_and_labels() {
         let selectors = workload_selectors();
-        for token in ["rbtree", "kv", "overhead", "kv-a", "kv-b", "kv-scan"] {
+        for token in [
+            "rbtree",
+            "kv",
+            "overhead",
+            "kv-a",
+            "kv-b",
+            "kv-scan",
+            "kv-durable",
+            "kv-a-durable",
+            "kv-b-durable",
+        ] {
             assert!(
                 selectors.iter().any(|s| s == token),
                 "missing selector {token}"
             );
         }
+        // The `kv` family must not swallow the durable twins (their overhead
+        // comparison needs them separately selectable).
+        let selection = MatrixSelection {
+            threads: vec![1],
+            workload_families: vec!["kv".to_string()],
+            runtimes: Vec::new(),
+            fsync: None,
+        };
+        assert!(build_scenarios(&selection)
+            .iter()
+            .all(|s| s.workload.family() == "kv"));
+    }
+
+    #[test]
+    fn fsync_override_applies_only_to_durable_workloads() {
+        let selection = MatrixSelection {
+            threads: vec![1],
+            workload_families: vec!["kv-durable".to_string(), "kv-a".to_string()],
+            runtimes: vec![RuntimeKind::Swisstm],
+            fsync: Some(FsyncPolicy::None),
+        };
+        let scenarios = build_scenarios(&selection);
+        assert!(!scenarios.is_empty());
+        for spec in &scenarios {
+            match &spec.workload {
+                WorkloadKind::KvDurable { fsync, .. } => {
+                    assert_eq!(*fsync, FsyncPolicy::None)
+                }
+                WorkloadKind::Kv { .. } => {}
+                other => panic!("unexpected workload {other:?}"),
+            }
+        }
+        // Scenario names are unaffected by the modifier.
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name() == "kv-a-durable/swisstm/t1/k1"));
     }
 
     #[test]

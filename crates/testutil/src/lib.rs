@@ -15,14 +15,20 @@
 //!   overrides, so tests of env-driven configuration (`TLSTM_BENCH_*`) can't
 //!   race each other inside one test process;
 //! * [`CountingAlloc`] — an allocation-counting global allocator for the
-//!   zero-allocation hot-path tests.
+//!   zero-allocation hot-path tests;
+//! * [`CrashPoints`] — a named crash-point registry for deterministic
+//!   crash-injection tests (the `txlog` WAL writer honors these), zero-cost
+//!   when disabled;
+//! * [`TempDir`] — a unique scratch directory removed on drop, for tests that
+//!   exercise real file I/O (WAL segments, snapshots).
 
 #![warn(missing_docs)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Process-wide counter behind [`CountingAlloc`].
@@ -239,6 +245,139 @@ impl EnvVarGuard {
     }
 }
 
+/// A named crash-point registry for deterministic crash-injection tests.
+///
+/// Production code inserts `if crash_points.should_crash("component::point")`
+/// checks at interesting places (the `txlog` WAL writer honors
+/// `wal::before-append`, `wal::mid-frame`, `wal::after-append-before-fsync`
+/// and `wal::after-fsync-before-ack`); tests [`arm`](CrashPoints::arm) one
+/// point and the component simulates a process crash when it is reached —
+/// typically by abandoning all further I/O and failing every in-flight
+/// acknowledgement.
+///
+/// The registry is designed to be **zero-cost when disabled**: the default
+/// (disarmed) handle answers `should_crash` with a single relaxed atomic load
+/// and never takes a lock. Firing is one-shot — the first matching check
+/// consumes the armed point, so a "crashed" component that keeps calling
+/// `should_crash` on its way down does not re-trigger.
+///
+/// Handles are cheap clones sharing one registry, so a test can keep a handle
+/// while the component under test owns another. Each handle tree is
+/// independent: concurrently running tests arm their own registries without
+/// cross-talk (there is deliberately no process-global instance). For
+/// cross-process experiments, [`CrashPoints::from_env`] arms the point named
+/// by an environment variable at construction time.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPoints {
+    inner: Arc<CrashInner>,
+}
+
+#[derive(Debug, Default)]
+struct CrashInner {
+    /// Fast-path gate: `false` ⇒ nothing armed, `should_crash` is one load.
+    enabled: AtomicBool,
+    armed: Mutex<Option<String>>,
+    fired: Mutex<Option<String>>,
+}
+
+impl CrashPoints {
+    /// A disarmed registry (every `should_crash` answers `false`).
+    pub fn disabled() -> Self {
+        CrashPoints::default()
+    }
+
+    /// A registry armed from the environment variable `var`, if it is set to
+    /// a non-empty point name; disarmed otherwise.
+    pub fn from_env(var: &str) -> Self {
+        let points = CrashPoints::default();
+        if let Ok(point) = std::env::var(var) {
+            if !point.is_empty() {
+                points.arm(&point);
+            }
+        }
+        points
+    }
+
+    /// Arms `point`: the next `should_crash(point)` returns `true` (once).
+    /// Re-arming replaces any previously armed point.
+    pub fn arm(&self, point: &str) {
+        *self.inner.armed.lock().unwrap() = Some(point.to_string());
+        self.inner.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disarms the registry without clearing the fired record.
+    pub fn disarm(&self) {
+        self.inner.enabled.store(false, Ordering::Release);
+        *self.inner.armed.lock().unwrap() = None;
+    }
+
+    /// `true` iff `point` is the armed crash point. The first matching call
+    /// consumes the armed point (one-shot) and records it as fired. When
+    /// nothing is armed this is a single relaxed atomic load.
+    #[inline]
+    pub fn should_crash(&self, point: &str) -> bool {
+        if !self.inner.enabled.load(Ordering::Acquire) {
+            return false;
+        }
+        self.check_slow(point)
+    }
+
+    #[cold]
+    fn check_slow(&self, point: &str) -> bool {
+        let mut armed = self.inner.armed.lock().unwrap();
+        if armed.as_deref() == Some(point) {
+            *self.inner.fired.lock().unwrap() = armed.take();
+            self.inner.enabled.store(false, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The point that fired, if any did.
+    pub fn fired(&self) -> Option<String> {
+        self.inner.fired.lock().unwrap().clone()
+    }
+}
+
+/// Monotonic counter making [`TempDir`] names unique within one process.
+static TEMP_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory under the system temp dir, removed
+/// (recursively) when dropped. For tests that exercise real file I/O.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<tmp>/<prefix>-<pid>-<seq>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(prefix: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            TEMP_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("failed to create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 impl Drop for EnvVarGuard {
     fn drop(&mut self) {
         if let Some((name, previous)) = self.var.take() {
@@ -302,6 +441,54 @@ mod tests {
             assert_eq!(std::env::var(name).as_deref(), Ok("outer"));
         }
         assert!(std::env::var(name).is_err(), "guard must remove the var");
+    }
+
+    #[test]
+    fn crash_points_fire_once_and_only_when_armed() {
+        let points = CrashPoints::disabled();
+        assert!(!points.should_crash("wal::before-append"));
+        assert_eq!(points.fired(), None);
+
+        points.arm("wal::mid-frame");
+        assert!(!points.should_crash("wal::before-append"), "wrong point");
+        assert!(points.should_crash("wal::mid-frame"));
+        assert!(!points.should_crash("wal::mid-frame"), "firing is one-shot");
+        assert_eq!(points.fired(), Some("wal::mid-frame".to_string()));
+
+        // Clones share the registry.
+        let clone = points.clone();
+        points.arm("wal::after-fsync-before-ack");
+        assert!(clone.should_crash("wal::after-fsync-before-ack"));
+        assert!(!points.should_crash("wal::after-fsync-before-ack"));
+
+        points.arm("x");
+        points.disarm();
+        assert!(!points.should_crash("x"));
+    }
+
+    #[test]
+    fn crash_points_arm_from_env() {
+        let var = "TLSTM_TESTUTIL_CRASH_POINT_PROBE";
+        {
+            let _guard = EnvVarGuard::set(var, "wal::before-append");
+            let points = CrashPoints::from_env(var);
+            assert!(points.should_crash("wal::before-append"));
+        }
+        let _guard = EnvVarGuard::lock_only();
+        let points = CrashPoints::from_env(var);
+        assert!(!points.should_crash("wal::before-append"));
+    }
+
+    #[test]
+    fn temp_dir_is_unique_and_removed_on_drop() {
+        let a = TempDir::new("testutil-probe");
+        let b = TempDir::new("testutil-probe");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("f"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "temp dir must be removed on drop");
     }
 
     #[test]

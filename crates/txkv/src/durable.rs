@@ -1,0 +1,662 @@
+//! The durable front-end: `txkv` over the [`txlog`] write-ahead log.
+//!
+//! A [`DurableKvStore`] wraps a [`KvServer`] (either runtime) with a
+//! **logical redo log** above the STM commit point:
+//!
+//! 1. every batch that contains a write is stamped with a **commit sequence
+//!    number** (LSN) by reading and incrementing a dedicated heap word
+//!    *inside* the batch's transaction ([`KvSession::batch_logged`]) — STM
+//!    serialisability makes the LSN order identical to the commit order, on
+//!    SwissTM and TLSTM alike;
+//! 2. after the STM commit, the batch's *write* operations plus the plan
+//!    parameters (shard count, effective group count) are encoded as a
+//!    record and handed to the group-commit [`LogWriter`]; the committer
+//!    parks until its LSN is durable per the configured [`FsyncPolicy`]
+//!    before acknowledging the client. Reads are never logged — a
+//!    read-mostly batch's record carries only its few writes.
+//!
+//! The shared sequence word is a deliberate serialisation point: every
+//! logged batch conflicts on it, which is exactly what makes the stamp a
+//! total commit order (the classic commit-ticket design). Durable write
+//! batches therefore serialise against each other even when their keys are
+//! disjoint — part of the durability cost the `kv-*-durable` benchmark
+//! scenarios measure against their in-memory twins.
+//!
+//! Because TLSTM batch tasks and SwissTM sequential plans execute the *same
+//! deterministic plan* (PR 4's conformance property), both runtimes log the
+//! identical record stream — so recovery is runtime-agnostic: replaying the
+//! records sequentially in plan order reproduces the committed state
+//! regardless of which runtime (or which task split) produced the log.
+//!
+//! [`DurableKvStore::snapshot`] writes a consistent shard-by-shard snapshot
+//! from inside a single transaction, rotates the log to a fresh segment and
+//! prunes everything the snapshot covers; booting a store recovers the
+//! newest valid snapshot plus the contiguous record suffix and discards a
+//! torn tail (see [`txlog::recovery`] for the invariants).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use txlog::codec::Cursor;
+use txlog::{CrashPoints, FsyncPolicy, LogWriter, WalError, WalHandle, WalOptions};
+use txmem::{TxMem, WordAddr};
+
+use crate::ops::{KvOp, KvReply};
+use crate::server::{KvServer, KvServerConfig, KvSession};
+use crate::store::KvStore;
+
+/// Version tag of the record and snapshot payload encodings.
+const PAYLOAD_VERSION: u32 = 1;
+
+/// Configuration of a [`DurableKvStore`].
+#[derive(Debug, Clone, Default)]
+pub struct DurableKvConfig {
+    /// The wrapped server's configuration (store sizing, batch grouping,
+    /// substrate).
+    pub server: KvServerConfig,
+    /// When log appends are fsynced (and therefore acknowledged).
+    pub fsync: FsyncPolicy,
+    /// Crash-injection registry for the WAL writer;
+    /// [`CrashPoints::disabled`] outside crash tests.
+    pub crash_points: CrashPoints,
+}
+
+/// What booting a [`DurableKvStore`] recovered from its log directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot the boot loaded, if one was valid.
+    pub snapshot_lsn: Option<u64>,
+    /// Redo records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// The LSN the next committed batch will carry.
+    pub next_lsn: u64,
+    /// Diagnostics from the log scan (torn tails discarded, invalid
+    /// snapshots skipped, ...).
+    pub diagnostics: Vec<String>,
+}
+
+/// A crash-safe [`KvServer`]: acknowledged writes survive process death.
+#[derive(Debug)]
+pub struct DurableKvStore {
+    server: KvServer,
+    seq: WordAddr,
+    writer: LogWriter,
+    dir: PathBuf,
+    recovery: RecoveryReport,
+}
+
+impl DurableKvStore {
+    /// Boots a durable store on the SwissTM runtime, recovering whatever the
+    /// log directory holds (an empty/missing directory boots a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures and undecodable (version-mismatched)
+    /// log content. Torn/corrupt tails are *not* errors — they are discarded
+    /// per the recovery invariants.
+    pub fn swisstm(dir: &Path, config: &DurableKvConfig) -> io::Result<DurableKvStore> {
+        Self::boot(dir, config, KvServer::swisstm)
+    }
+
+    /// Boots a durable store on the TLSTM runtime (batches split into
+    /// speculative tasks; the log stream is identical to SwissTM's).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::swisstm`].
+    pub fn tlstm(dir: &Path, config: &DurableKvConfig) -> io::Result<DurableKvStore> {
+        Self::boot(dir, config, KvServer::tlstm)
+    }
+
+    fn boot(
+        dir: &Path,
+        config: &DurableKvConfig,
+        make: fn(&KvServerConfig) -> KvServer,
+    ) -> io::Result<DurableKvStore> {
+        let recovered = txlog::recover(dir)?;
+        let server = make(&config.server);
+        let store = server.store();
+        let mut mem = server.direct();
+        let seq = mem
+            .alloc(1)
+            .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "sequence word"))?;
+
+        let mut snapshot_lsn = None;
+        if let Some((lsn, payload)) = &recovered.snapshot {
+            snapshot_lsn = Some(*lsn);
+            let entries = decode_snapshot(payload)
+                .ok_or_else(|| invalid_data(format!("undecodable snapshot at LSN {lsn}")))?;
+            for (key, value) in entries {
+                store
+                    .put(&mut mem, key, &value)
+                    .map_err(|_| invalid_data("snapshot replay aborted (heap exhausted?)"))?;
+            }
+        }
+        for (lsn, payload) in &recovered.records {
+            let record = decode_record(payload)
+                .ok_or_else(|| invalid_data(format!("undecodable record at LSN {lsn}")))?;
+            for op in record.plan_order() {
+                store
+                    .apply(&mut mem, op)
+                    .map_err(|_| invalid_data("record replay aborted (heap exhausted?)"))?;
+            }
+        }
+        mem.write(seq, recovered.next_lsn)
+            .expect("direct writes cannot abort");
+
+        let writer = LogWriter::open(
+            dir,
+            &WalOptions {
+                start_lsn: recovered.next_lsn,
+                fsync: config.fsync,
+                crash_points: config.crash_points.clone(),
+            },
+        )?;
+        Ok(DurableKvStore {
+            server,
+            seq,
+            writer,
+            dir: dir.to_path_buf(),
+            recovery: RecoveryReport {
+                snapshot_lsn,
+                replayed_records: recovered.records.len() as u64,
+                next_lsn: recovered.next_lsn,
+                diagnostics: recovered.diagnostics,
+            },
+        })
+    }
+
+    /// The wrapped server (store handle, stats, direct access for tests).
+    pub fn server(&self) -> &KvServer {
+        &self.server
+    }
+
+    /// The store handle.
+    pub fn store(&self) -> KvStore {
+        self.server.store()
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What booting this store recovered.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// All batches with LSN below this are durable and were acknowledged.
+    pub fn durable_lsn(&self) -> u64 {
+        self.writer.durable_lsn()
+    }
+
+    /// `true` once the WAL writer has died (injected crash or I/O error);
+    /// every subsequent write batch fails with [`WalError::Crashed`].
+    pub fn is_dead(&self) -> bool {
+        self.writer.is_dead()
+    }
+
+    /// Loads `entries` non-transactionally — and **without logging** — for
+    /// pre-measurement population. Call [`Self::snapshot`] afterwards to make
+    /// the populated base durable; otherwise recovery starts from an empty
+    /// store plus the logged batches.
+    pub fn populate(&self, entries: impl IntoIterator<Item = (u64, Vec<u64>)>) {
+        self.server.populate(entries);
+    }
+
+    /// Opens a durable session. Each client thread needs its own.
+    pub fn session(&self) -> DurableKvSession {
+        DurableKvSession {
+            inner: self.server.session(),
+            seq: self.seq,
+            wal: self.writer.handle(),
+            shards: self.server.store().shards(),
+            groups: self.server.batch_tasks(),
+        }
+    }
+
+    /// Takes a consistent shard-by-shard snapshot inside one transaction,
+    /// writes it (atomically) to the log directory, rotates the log to a
+    /// fresh segment and prunes every snapshot/segment the new snapshot
+    /// covers. Returns the snapshot's LSN: every record below it is covered.
+    ///
+    /// Concurrent sessions keep committing while the snapshot runs; their
+    /// batches either serialise before the snapshot transaction (covered) or
+    /// after it (stay in the log).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures; fails with `Other` if the WAL writer
+    /// is dead.
+    pub fn snapshot(&self) -> io::Result<u64> {
+        let store = self.server.store();
+        let seq = self.seq;
+        let n_shards = store.shards();
+        let mut session = self.server.session();
+        let (lsn, payload) = session.transact(move |mut mem| {
+            let lsn = mem.read(seq)?;
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&PAYLOAD_VERSION.to_le_bytes());
+            payload.extend_from_slice(&n_shards.to_le_bytes());
+            for shard in 0..n_shards {
+                let entries = store.dump_shard(&mut mem, shard)?;
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (key, value) in entries {
+                    payload.extend_from_slice(&key.to_le_bytes());
+                    payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    for word in value {
+                        payload.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+            }
+            Ok((lsn, payload))
+        });
+        txlog::write_snapshot(&self.dir, lsn, &payload)?;
+        self.writer.rotate().map_err(io::Error::other)?;
+        txlog::prune_obsolete(&self.dir, lsn)?;
+        Ok(lsn)
+    }
+}
+
+/// A per-client durable session: batches are atomic *and* — once the call
+/// returns `Ok` — durable per the store's fsync policy.
+#[derive(Debug)]
+pub struct DurableKvSession {
+    inner: KvSession,
+    seq: WordAddr,
+    wal: WalHandle,
+    shards: u64,
+    groups: usize,
+}
+
+/// `true` if the operation can change store state (and must be logged).
+fn op_writes(op: &KvOp) -> bool {
+    matches!(
+        op,
+        KvOp::Put { .. } | KvOp::Delete { .. } | KvOp::Cas { .. }
+    )
+}
+
+impl DurableKvSession {
+    /// Executes `ops` as one atomic transaction; if the batch contains any
+    /// write, parks until its redo record is durable before returning.
+    /// Read-only batches skip the log entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Crashed`] when the WAL writer died before the
+    /// record was acknowledged. The in-memory commit stands, but the write
+    /// is **not** acknowledged as durable: after a restart, recovery may or
+    /// may not include it (it is beyond the acknowledged prefix).
+    pub fn batch(&mut self, ops: Vec<KvOp>) -> Result<Vec<KvReply>, WalError> {
+        if !ops.iter().any(op_writes) {
+            return Ok(self.inner.batch(ops));
+        }
+        // Encode before execution (the ops move into the transaction); the
+        // LSN lives in the frame header, not the payload.
+        let payload = encode_record(self.shards, self.groups, &ops);
+        let (replies, lsn) = self.inner.batch_logged(ops, self.seq);
+        let ticket = self.wal.append(lsn, payload)?;
+        ticket.wait()?;
+        Ok(replies)
+    }
+
+    /// Reads `key` (never logged).
+    pub fn get(&mut self, key: u64) -> Option<Vec<u64>> {
+        self.inner.get(key)
+    }
+
+    /// Ordered scan (never logged).
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: u64) -> Vec<(u64, u64)> {
+        self.inner.scan(lo, hi, limit)
+    }
+
+    /// Durable single-key write. Returns `true` on fresh insert.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::batch`].
+    pub fn put(&mut self, key: u64, value: Vec<u64>) -> Result<bool, WalError> {
+        match self.batch(vec![KvOp::Put { key, value }])?.pop() {
+            Some(KvReply::Inserted(fresh)) => Ok(fresh),
+            other => unreachable!("put produced {other:?}"),
+        }
+    }
+
+    /// Durable single-key delete. Returns `true` if the key existed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::batch`].
+    pub fn delete(&mut self, key: u64) -> Result<bool, WalError> {
+        match self.batch(vec![KvOp::Delete { key }])?.pop() {
+            Some(KvReply::Removed(existed)) => Ok(existed),
+            other => unreachable!("delete produced {other:?}"),
+        }
+    }
+
+    /// Durable compare-and-swap.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::batch`].
+    pub fn cas(&mut self, key: u64, expected: Vec<u64>, new: Vec<u64>) -> Result<bool, WalError> {
+        match self.batch(vec![KvOp::Cas { key, expected, new }])?.pop() {
+            Some(KvReply::Swapped(swapped)) => Ok(swapped),
+            other => unreachable!("cas produced {other:?}"),
+        }
+    }
+}
+
+fn invalid_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+// --- record / snapshot payload codecs ---------------------------------------
+
+/// A decoded redo record: the **write** operations of one committed batch,
+/// in submission order, plus the plan parameters needed to replay them in
+/// the exact order the original execution applied them.
+///
+/// Reads (`Get`/`Scan`) have no state effect and are not logged — a
+/// read-mostly batch's record carries only its few writes. Because the
+/// original plan assigns an operation to a shard-group by its own key alone
+/// (`shard_of(key, shards) % groups`) and preserves submission order inside
+/// each group, replaying the writes group-by-group ([`Self::plan_order`])
+/// reproduces the committed write sequence exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Shard count the original plan grouped by (kept in the record so
+    /// replay reproduces the plan even if the store is re-configured).
+    pub shards: u64,
+    /// *Effective* shard-group count of the original plan (already clamped
+    /// by the full batch length, reads included).
+    pub groups: usize,
+    /// The write operations, in submission order.
+    pub ops: Vec<KvOp>,
+}
+
+impl BatchRecord {
+    /// The record's writes in the original plan's application order:
+    /// group-by-group, submission order within each group.
+    pub fn plan_order(&self) -> impl Iterator<Item = &KvOp> {
+        let shards = self.shards.max(1);
+        let groups = self.groups.max(1) as u64;
+        (0..groups).flat_map(move |group| {
+            self.ops
+                .iter()
+                .filter(move |op| crate::ops::shard_of(op.planning_key(), shards) % groups == group)
+        })
+    }
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_CAS: u8 = 3;
+
+fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for &word in words {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Encodes one batch as a redo-record payload (the frame adds LSN and CRC).
+/// `ops` is the **full** batch — the effective group count is derived from
+/// its length before the reads are dropped from the encoding.
+pub fn encode_record(shards: u64, groups: usize, ops: &[KvOp]) -> Vec<u8> {
+    // Mirror `plan_batch`'s clamp so replay partitions exactly like the
+    // original execution did.
+    let effective_groups = groups.max(1).min(ops.len().max(1));
+    let writes = ops.iter().filter(|op| op_writes(op));
+    let mut out = Vec::with_capacity(20 + ops.len() * 16);
+    out.extend_from_slice(&PAYLOAD_VERSION.to_le_bytes());
+    out.extend_from_slice(&shards.to_le_bytes());
+    out.extend_from_slice(&(effective_groups as u32).to_le_bytes());
+    out.extend_from_slice(&(writes.clone().count() as u32).to_le_bytes());
+    for op in writes {
+        match op {
+            KvOp::Put { key, value } => {
+                out.push(OP_PUT);
+                out.extend_from_slice(&key.to_le_bytes());
+                put_words(&mut out, value);
+            }
+            KvOp::Delete { key } => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            KvOp::Cas { key, expected, new } => {
+                out.push(OP_CAS);
+                out.extend_from_slice(&key.to_le_bytes());
+                put_words(&mut out, expected);
+                put_words(&mut out, new);
+            }
+            KvOp::Get { .. } | KvOp::Scan { .. } => unreachable!("reads are filtered out"),
+        }
+    }
+    out
+}
+
+/// Decodes a redo-record payload; `None` on any structural violation.
+pub fn decode_record(payload: &[u8]) -> Option<BatchRecord> {
+    let mut cur = Cursor::new(payload);
+    if cur.u32()? != PAYLOAD_VERSION {
+        return None;
+    }
+    let shards = cur.u64()?;
+    let groups = cur.u32()? as usize;
+    let n_ops = cur.u32()? as usize;
+    if n_ops > payload.len() {
+        return None; // cheaper than letting a corrupt count allocate wildly
+    }
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let op = match cur.u8()? {
+            OP_PUT => KvOp::Put {
+                key: cur.u64()?,
+                value: cur.words()?,
+            },
+            OP_DELETE => KvOp::Delete { key: cur.u64()? },
+            OP_CAS => KvOp::Cas {
+                key: cur.u64()?,
+                expected: cur.words()?,
+                new: cur.words()?,
+            },
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    cur.done().then_some(BatchRecord {
+        shards,
+        groups,
+        ops,
+    })
+}
+
+/// Decodes a snapshot payload into its `(key, value)` entries (shard
+/// sections flattened, in shard order); `None` on any structural violation.
+pub fn decode_snapshot(payload: &[u8]) -> Option<Vec<(u64, Vec<u64>)>> {
+    let mut cur = Cursor::new(payload);
+    if cur.u32()? != PAYLOAD_VERSION {
+        return None;
+    }
+    let n_shards = cur.u64()?;
+    let mut entries = Vec::new();
+    for expected_shard in 0..n_shards {
+        if cur.u64()? != expected_shard {
+            return None;
+        }
+        let count = cur.u64()? as usize;
+        if count > payload.len() {
+            return None;
+        }
+        for _ in 0..count {
+            let key = cur.u64()?;
+            let value = cur.words()?;
+            entries.push((key, value));
+        }
+    }
+    cur.done().then_some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_codec_keeps_writes_and_drops_reads() {
+        let ops = vec![
+            KvOp::Get { key: 7 },
+            KvOp::Put {
+                key: 9,
+                value: vec![1, 2, 3],
+            },
+            KvOp::Delete { key: 11 },
+            KvOp::Cas {
+                key: 13,
+                expected: vec![],
+                new: vec![u64::MAX],
+            },
+            KvOp::Scan {
+                lo: 0,
+                hi: 100,
+                limit: 8,
+            },
+        ];
+        let payload = encode_record(16, 4, &ops);
+        assert_eq!(
+            decode_record(&payload),
+            Some(BatchRecord {
+                shards: 16,
+                groups: 4,
+                ops: vec![ops[1].clone(), ops[2].clone(), ops[3].clone()],
+            })
+        );
+        // A read-mostly batch's record is dominated by its single write, not
+        // by the 15 reads around it.
+        let mut read_heavy: Vec<KvOp> = (0..15).map(|k| KvOp::Get { key: k }).collect();
+        read_heavy.push(KvOp::Put {
+            key: 99,
+            value: vec![1],
+        });
+        let payload = encode_record(16, 4, &read_heavy);
+        let record = decode_record(&payload).unwrap();
+        assert_eq!(record.ops.len(), 1);
+        assert!(payload.len() < 64, "reads must not inflate the record");
+    }
+
+    #[test]
+    fn plan_order_matches_the_original_plan_restricted_to_writes() {
+        // Mixed batch: the plan-order of the record's writes must equal the
+        // full plan_batch order of the same batch with reads skipped.
+        let ops: Vec<KvOp> = (0..12u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    KvOp::Get { key: i * 7 }
+                } else {
+                    KvOp::Put {
+                        key: i * 7,
+                        value: vec![i],
+                    }
+                }
+            })
+            .collect();
+        let (shards, groups) = (16u64, 4usize);
+        let payload = encode_record(shards, groups, &ops);
+        let record = decode_record(&payload).unwrap();
+        let replayed: Vec<KvOp> = record.plan_order().cloned().collect();
+        let full_plan: Vec<KvOp> = crate::ops::plan_batch(&ops, shards, groups)
+            .into_iter()
+            .flatten()
+            .map(|index| ops[index].clone())
+            .filter(|op| matches!(op, KvOp::Put { .. }))
+            .collect();
+        assert_eq!(replayed, full_plan);
+    }
+
+    #[test]
+    fn effective_group_count_survives_read_stripping() {
+        // A 1-write batch of 8 ops planned into 4 groups must replay with 4
+        // groups, not min(4, 1) — the clamp uses the full batch length.
+        let mut ops: Vec<KvOp> = (0..7).map(|k| KvOp::Get { key: k }).collect();
+        ops.push(KvOp::Put {
+            key: 3,
+            value: vec![9],
+        });
+        let record = decode_record(&encode_record(8, 4, &ops)).unwrap();
+        assert_eq!(record.groups, 4);
+        // And a 2-op batch clamps to 2 groups exactly like plan_batch does.
+        let ops = vec![
+            KvOp::Put {
+                key: 1,
+                value: vec![1],
+            },
+            KvOp::Put {
+                key: 2,
+                value: vec![2],
+            },
+        ];
+        let record = decode_record(&encode_record(8, 4, &ops)).unwrap();
+        assert_eq!(record.groups, 2);
+    }
+
+    #[test]
+    fn record_decoder_rejects_corruption_without_panicking() {
+        let ops = vec![
+            KvOp::Put {
+                key: 1,
+                value: vec![10, 20],
+            },
+            KvOp::Cas {
+                key: 2,
+                expected: vec![5],
+                new: vec![6, 7],
+            },
+        ];
+        let good = encode_record(8, 2, &ops);
+        assert!(decode_record(&good).is_some());
+        // Truncations at every length.
+        for cut in 0..good.len() {
+            let _ = decode_record(&good[..cut]); // must not panic
+        }
+        // Trailing garbage is rejected (a CRC-valid frame can never carry
+        // it, but the decoder must not silently accept it either).
+        let mut padded = good.clone();
+        padded.push(0);
+        assert_eq!(decode_record(&padded), None);
+        // A wrong version is rejected.
+        let mut wrong = good;
+        wrong[0] ^= 0xFF;
+        assert_eq!(decode_record(&wrong), None);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        // Hand-build a two-shard payload the way `snapshot()` does.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&PAYLOAD_VERSION.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        let shard_entries: [&[(u64, &[u64])]; 2] =
+            [&[(4, &[40, 41][..])], &[(1, &[10][..]), (3, &[][..])]];
+        for (shard, entries) in shard_entries.iter().enumerate() {
+            payload.extend_from_slice(&(shard as u64).to_le_bytes());
+            payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for &(key, value) in *entries {
+                payload.extend_from_slice(&key.to_le_bytes());
+                payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                for &word in value {
+                    payload.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+        assert_eq!(
+            decode_snapshot(&payload),
+            Some(vec![(4, vec![40, 41]), (1, vec![10]), (3, vec![]),])
+        );
+        for cut in 0..payload.len() {
+            let _ = decode_snapshot(&payload[..cut]); // must not panic
+        }
+    }
+}

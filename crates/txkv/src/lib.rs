@@ -19,6 +19,13 @@
 //! * [`RefStore`] — the sequential oracle with identical semantics
 //!   (including batch plan order), used by the conformance tests.
 //!
+//! A fourth, optional layer makes the store crash-safe: [`DurableKvStore`]
+//! (module [`durable`]) wraps a [`KvServer`] with the `txlog` write-ahead
+//! log — committed write batches are redo-logged with a commit sequence
+//! number assigned at STM commit time, group-committed with a configurable
+//! fsync policy, snapshotted, and recovered after a crash to an exact
+//! batch-boundary prefix that contains every acknowledged write.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -41,14 +48,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod durable;
 pub mod ops;
 pub mod ref_store;
 pub mod server;
 pub mod store;
 
+pub use durable::{DurableKvConfig, DurableKvSession, DurableKvStore, RecoveryReport};
 pub use ops::{checksum, plan_batch, shard_of, KvOp, KvReply};
 pub use ref_store::RefStore;
 pub use server::{KvServer, KvServerConfig, KvSession};
 pub use store::{KvStore, KvStoreParams};
 
+pub use txlog::{CrashPoints, FsyncPolicy, WalError};
 pub use txmem::{Abort, TxMem, WordAddr};

@@ -19,7 +19,7 @@ use std::sync::{Arc, Mutex};
 
 use swisstm::{SwisstmRuntime, SwisstmThread};
 use tlstm::{TaskCtx, TlstmRuntime, TxnSpec, UThread};
-use txmem::{DirectMem, StatsSnapshot, TxConfig, TxHeap};
+use txmem::{Abort, DirectMem, StatsSnapshot, TxConfig, TxHeap, TxMem, WordAddr};
 
 use crate::ops::{plan_batch, KvOp, KvReply};
 use crate::store::{KvStore, KvStoreParams};
@@ -234,31 +234,73 @@ impl KvSession {
     /// [`crate::ops::plan_batch`]); under TLSTM each non-empty shard-group
     /// runs as its own speculative task.
     pub fn batch(&mut self, ops: Vec<KvOp>) -> Vec<KvReply> {
+        self.batch_inner(ops, None).0
+    }
+
+    /// Like [`Self::batch`], but additionally stamps the transaction with a
+    /// **commit sequence number**: the word at `seq` is read and incremented
+    /// *inside* the transaction, so the returned numbers of concurrent
+    /// batches are dense and ordered exactly as the STM serialises their
+    /// commits — the property the durable front-end's redo log relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty (there is nothing to stamp).
+    pub fn batch_logged(&mut self, ops: Vec<KvOp>, seq: WordAddr) -> (Vec<KvReply>, u64) {
+        assert!(!ops.is_empty(), "cannot stamp an empty batch");
+        let (replies, lsn) = self.batch_inner(ops, Some(seq));
+        (
+            replies,
+            lsn.expect("stamped batches always produce a sequence"),
+        )
+    }
+
+    fn batch_inner(
+        &mut self,
+        ops: Vec<KvOp>,
+        seq: Option<WordAddr>,
+    ) -> (Vec<KvReply>, Option<u64>) {
         if ops.is_empty() {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         let store = self.store;
         let plan = plan_batch(&ops, store.shards(), self.batch_tasks);
         match &mut self.inner {
             SessionInner::Swisstm(thread) => {
-                let replies = thread.atomic(|tx| {
+                let (replies, lsn) = thread.atomic(|tx| {
+                    let lsn = match seq {
+                        Some(seq) => {
+                            let lsn = tx.read(seq)?;
+                            tx.write(seq, lsn + 1)?;
+                            Some(lsn)
+                        }
+                        None => None,
+                    };
                     let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
                     for group in &plan {
                         for &index in group {
                             replies[index] = Some(store.apply(tx, &ops[index])?);
                         }
                     }
-                    Ok(replies)
+                    Ok((replies, lsn))
                 });
-                replies
-                    .into_iter()
-                    .map(|r| r.expect("plan covers every op"))
-                    .collect()
+                (
+                    replies
+                        .into_iter()
+                        .map(|r| r.expect("plan covers every op"))
+                        .collect(),
+                    lsn,
+                )
             }
             SessionInner::Tlstm(uthread) => {
                 let ops = Arc::new(ops);
                 let mut bodies = Vec::new();
                 let mut slots = Vec::new();
+                let lsn_slot: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+                // The sequence bump rides in the first non-empty group's
+                // task; its position inside the transaction is irrelevant
+                // for the commit order the stamp captures.
+                let mut pending_seq = seq;
                 for group in plan {
                     if group.is_empty() {
                         continue;
@@ -267,7 +309,17 @@ impl KvSession {
                         Arc::new(Mutex::new(Vec::with_capacity(group.len())));
                     let ops = Arc::clone(&ops);
                     let task_slot = Arc::clone(&slot);
+                    let task_seq = pending_seq.take();
+                    let task_lsn_slot = Arc::clone(&lsn_slot);
                     bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+                        if let Some(seq) = task_seq {
+                            // Re-executions overwrite the slot, so only the
+                            // committed execution's stamp survives (same
+                            // idiom as the reply slots below).
+                            let lsn = ctx.read(seq)?;
+                            ctx.write(seq, lsn + 1)?;
+                            *task_lsn_slot.lock().expect("lsn slot poisoned") = Some(lsn);
+                        }
                         // A task may re-execute after a conflict; start each
                         // execution from an empty reply slot so only the
                         // committed execution's replies survive.
@@ -287,10 +339,45 @@ impl KvSession {
                         replies[index] = Some(reply);
                     }
                 }
-                replies
-                    .into_iter()
-                    .map(|r| r.expect("every task filled its slot"))
-                    .collect()
+                let lsn = lsn_slot.lock().expect("lsn slot poisoned").take();
+                debug_assert_eq!(lsn.is_some(), seq.is_some());
+                (
+                    replies
+                        .into_iter()
+                        .map(|r| r.expect("every task filled its slot"))
+                        .collect(),
+                    lsn,
+                )
+            }
+        }
+    }
+
+    /// Runs `body` as one atomic transaction (a single task under TLSTM) and
+    /// returns its committed result. The closure receives a `&mut dyn TxMem`,
+    /// so store code generic over the memory can run inside it on either
+    /// runtime; like any transaction body it may re-execute and must be
+    /// side-effect free apart from its return value.
+    pub fn transact<T, F>(&mut self, body: F) -> T
+    where
+        F: Fn(&mut dyn TxMem) -> Result<T, Abort> + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        match &mut self.inner {
+            SessionInner::Swisstm(thread) => thread.atomic(|tx| body(tx)),
+            SessionInner::Tlstm(uthread) => {
+                let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+                let task_slot = Arc::clone(&slot);
+                uthread.execute(vec![TxnSpec::single(move |ctx: &mut TaskCtx<'_>| {
+                    let value = body(ctx)?;
+                    *task_slot.lock().expect("transact slot poisoned") = Some(value);
+                    Ok(())
+                })]);
+                let value = slot
+                    .lock()
+                    .expect("transact slot poisoned")
+                    .take()
+                    .expect("committed transaction filled its slot");
+                value
             }
         }
     }

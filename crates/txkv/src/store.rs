@@ -350,6 +350,32 @@ impl KvStore {
         Ok(out)
     }
 
+    /// Dumps one shard's contents, sorted by key (the snapshot building
+    /// block: a consistent snapshot walks the shards inside one transaction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn dump_shard<M: TxMem>(
+        &self,
+        mem: &mut M,
+        shard: u64,
+    ) -> Result<Vec<(u64, Vec<u64>)>, Abort> {
+        let map = self.shard(mem, shard)?;
+        let mut out = Vec::new();
+        for (key, record) in map.to_vec(mem)? {
+            let record = WordAddr::new(record);
+            let len = mem.read(record.offset(REC_LEN))?;
+            let mut value = Vec::with_capacity(len as usize);
+            for i in 0..len {
+                value.push(mem.read(record.offset(REC_WORDS + i))?);
+            }
+            out.push((key, value));
+        }
+        out.sort_unstable_by_key(|&(key, _)| key);
+        Ok(out)
+    }
+
     /// Checks the cross-structure invariants: the ordered index holds exactly
     /// the keys of the shard maps, both point at the same records, and every
     /// key hashes to the shard that holds it. Returns the number of keys.

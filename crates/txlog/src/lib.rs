@@ -1,0 +1,220 @@
+//! # txlog — durability for the transactional key-value store
+//!
+//! The write-ahead-log subsystem of the TLSTM reproduction's serving stack:
+//! a **logical redo log** of committed transactions layered *above* the STM
+//! commit point, plus snapshots and crash recovery. `txlog` is payload
+//! agnostic — records are opaque byte strings stamped with a dense **log
+//! sequence number** (LSN) that the caller assigns at STM commit time — so
+//! the same machinery can log `txkv` batch plans today and other subsystems
+//! tomorrow.
+//!
+//! Three pieces:
+//!
+//! * [`frame`] — the on-disk record framing: length-prefixed, CRC-32
+//!   protected frames that recovery can validate byte-by-byte, so a torn
+//!   tail (a crash mid-append) is detected and cleanly discarded;
+//! * [`LogWriter`] — the **group-commit** writer: one dedicated log thread
+//!   drains committed records (re-sequencing out-of-order arrivals into LSN
+//!   order), appends them in a single `write` and fsyncs per the configured
+//!   [`FsyncPolicy`]; committers park on a [`CommitTicket`] until their LSN
+//!   is durable. The writer honors the `wal::*` crash points of
+//!   [`tlstm_testutil::CrashPoints`] for deterministic crash-injection
+//!   tests;
+//! * [`recovery`] + [`files`] — snapshot files, log segments, and the
+//!   recovery scan: load the newest valid snapshot, replay the contiguous
+//!   record suffix, stop at the first torn/corrupt frame, and repair the
+//!   tail so the next boot starts from a clean log.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use tlstm_testutil::TempDir;
+//! use txlog::{FsyncPolicy, LogWriter, WalOptions};
+//!
+//! let dir = TempDir::new("txlog-doc");
+//! let writer = LogWriter::open(dir.path(), &WalOptions::default()).unwrap();
+//! let handle = writer.handle();
+//! let ticket = handle.append(0, b"first record".to_vec()).unwrap();
+//! ticket.wait().unwrap(); // parks until LSN 0 is durable
+//! drop(writer);
+//!
+//! let recovered = txlog::recover(dir.path()).unwrap();
+//! assert_eq!(recovered.records, vec![(0, b"first record".to_vec())]);
+//! assert_eq!(recovered.next_lsn, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod files;
+pub mod frame;
+pub mod recovery;
+pub mod writer;
+
+pub use files::{list_segments, list_snapshots, prune_obsolete, read_snapshot, write_snapshot};
+pub use frame::{crc32, read_frames, FrameScan};
+pub use recovery::{recover, RecoveredLog};
+pub use tlstm_testutil::CrashPoints;
+pub use writer::{CommitTicket, LogWriter, WalHandle, WalOptions};
+
+use std::fmt;
+use std::time::Duration;
+
+/// The crash points the WAL writer honors (names for
+/// [`tlstm_testutil::CrashPoints::arm`]). Each simulates the process dying at
+/// that instant: the writer abandons all further I/O and every unacknowledged
+/// committer fails with [`WalError::Crashed`].
+pub mod crash_points {
+    /// Before the batch of frames is written to the segment file at all.
+    pub const BEFORE_APPEND: &str = "wal::before-append";
+    /// Mid-write: only a prefix of the batch reaches the file, leaving a
+    /// torn final frame.
+    pub const MID_FRAME: &str = "wal::mid-frame";
+    /// After the frames are fully written but before the fsync.
+    pub const AFTER_APPEND_BEFORE_FSYNC: &str = "wal::after-append-before-fsync";
+    /// After the fsync but before committers are acknowledged.
+    pub const AFTER_FSYNC_BEFORE_ACK: &str = "wal::after-fsync-before-ack";
+
+    /// All WAL crash points, in pipeline order (for test matrices).
+    pub const ALL: [&str; 4] = [
+        BEFORE_APPEND,
+        MID_FRAME,
+        AFTER_APPEND_BEFORE_FSYNC,
+        AFTER_FSYNC_BEFORE_ACK,
+    ];
+}
+
+/// Environment variable [`WalOptions::default`] arms crash points from, for
+/// cross-process crash experiments.
+pub const CRASH_POINT_ENV: &str = "TXLOG_CRASH_POINT";
+
+/// Default interval of [`FsyncPolicy::Group`].
+pub const DEFAULT_GROUP_INTERVAL: Duration = Duration::from_millis(2);
+
+/// When the log writer issues `fsync` — the durability/latency trade-off of
+/// the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync every drained batch before acknowledging it. Group commit still
+    /// amortises the fsync over every record that arrived while the previous
+    /// batch was being written, but no acknowledged record can be lost.
+    Always,
+    /// Fsync at most once per interval: records are acknowledged when the
+    /// periodic fsync covers them, bounding acknowledged-write loss to zero
+    /// while batching fsyncs harder than [`FsyncPolicy::Always`] under light
+    /// load (committers wait up to one interval for their ack).
+    Group(Duration),
+    /// Never fsync (acknowledge as soon as the OS has the bytes). For
+    /// benchmarking the logging overhead in isolation — acknowledged writes
+    /// can be lost on a real power failure.
+    None,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Group(DEFAULT_GROUP_INTERVAL)
+    }
+}
+
+impl FsyncPolicy {
+    /// The identifier used in CLI flags and reports (`always`, `group`,
+    /// `none`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Group(_) => "group",
+            FsyncPolicy::None => "none",
+        }
+    }
+
+    /// Parses a CLI token: `always`, `group`, `group:<ms>` or `none`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted options for anything else.
+    pub fn parse(token: &str) -> Result<FsyncPolicy, String> {
+        let unknown = || {
+            format!("unknown fsync policy '{token}' (want one of: always, group, group:<ms>, none)")
+        };
+        match token {
+            "always" => Ok(FsyncPolicy::Always),
+            "group" => Ok(FsyncPolicy::Group(DEFAULT_GROUP_INTERVAL)),
+            "none" => Ok(FsyncPolicy::None),
+            other => match other.strip_prefix("group:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .map(|ms| FsyncPolicy::Group(Duration::from_millis(ms)))
+                    .ok_or_else(unknown),
+                None => Err(unknown()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Group(interval) => write!(f, "group:{}", interval.as_millis()),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Why a WAL operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The writer died (injected crash point or I/O error) before the record
+    /// was acknowledged as durable. The in-memory commit happened; recovery
+    /// may or may not include the record.
+    Crashed,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Crashed => {
+                f.write_str("the WAL writer crashed before the record was durable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_rejects() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(
+            FsyncPolicy::parse("group"),
+            Ok(FsyncPolicy::Group(DEFAULT_GROUP_INTERVAL))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:7"),
+            Ok(FsyncPolicy::Group(Duration::from_millis(7)))
+        );
+        assert_eq!(FsyncPolicy::parse("none"), Ok(FsyncPolicy::None));
+        for bad in ["", "Always", "group:", "group:0", "group:x", "sync"] {
+            let err = FsyncPolicy::parse(bad).unwrap_err();
+            assert!(err.contains("always, group, group:<ms>, none"), "{err}");
+        }
+    }
+
+    #[test]
+    fn fsync_policy_labels_and_display() {
+        assert_eq!(FsyncPolicy::Always.label(), "always");
+        assert_eq!(FsyncPolicy::default().label(), "group");
+        assert_eq!(FsyncPolicy::None.label(), "none");
+        assert_eq!(
+            FsyncPolicy::Group(Duration::from_millis(5)).to_string(),
+            "group:5"
+        );
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+    }
+}

@@ -1,0 +1,514 @@
+//! The group-commit log writer.
+//!
+//! One dedicated log thread owns the current segment file. Committers hand it
+//! `(lsn, payload)` records via [`WalHandle::append`] **after** their STM
+//! commit assigned the LSN, then park on the returned [`CommitTicket`] until
+//! the record is durable. Because STM commits finish in LSN order but the
+//! post-commit handoff races, records can *arrive* out of order; the writer
+//! re-sequences them (a record is written only once every lower LSN has been
+//! written) so the on-disk log is always a dense, in-order prefix — which is
+//! what makes a torn tail equivalent to "the run simply stopped earlier".
+//!
+//! Group commit falls out of the design: while the thread is busy writing one
+//! batch, later commits pile up in the pending map and are drained — one
+//! `write`, at most one fsync — on the next iteration. The
+//! [`FsyncPolicy`] decides when acknowledgements happen:
+//! [`Always`](FsyncPolicy::Always) fsyncs every drained batch,
+//! [`Group`](FsyncPolicy::Group) fsyncs on an interval clock (acks wait for
+//! the covering fsync), [`None`](FsyncPolicy::None) acknowledges right after
+//! the `write`.
+//!
+//! The writer honors the [`crate::crash_points`] of the configured
+//! [`CrashPoints`] registry: when one fires, the thread abandons all I/O
+//! exactly at that pipeline stage, marks the log dead and fails every
+//! unacknowledged ticket — an in-process, deterministic stand-in for the
+//! machine dying at that instant.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tlstm_testutil::CrashPoints;
+
+use crate::files::segment_path;
+use crate::frame::encode_frame_into;
+use crate::{crash_points, FsyncPolicy, WalError, CRASH_POINT_ENV};
+
+/// Configuration of a [`LogWriter`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// The LSN the next appended record will carry (0 for a fresh log,
+    /// [`crate::RecoveredLog::next_lsn`] after recovery). The writer opens a
+    /// fresh segment named after it.
+    pub start_lsn: u64,
+    /// When appends are fsynced (and therefore acknowledged).
+    pub fsync: FsyncPolicy,
+    /// Crash-injection registry; [`CrashPoints::disabled`] in production.
+    pub crash_points: CrashPoints,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            start_lsn: 0,
+            fsync: FsyncPolicy::default(),
+            crash_points: CrashPoints::from_env(CRASH_POINT_ENV),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    /// Committed records not yet written, keyed by LSN (re-sequencing buffer).
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// The next LSN the writer will append — everything below is in the file.
+    next_append: u64,
+    /// All records with `lsn < durable_upto` are durable and acknowledged.
+    durable_upto: u64,
+    /// All records with `lsn < written_upto` are written (≥ durable_upto
+    /// under [`FsyncPolicy::Group`], equal otherwise).
+    written_upto: u64,
+    /// Rotation handshake: requests vs completions.
+    rotations_requested: u64,
+    rotations_done: u64,
+    /// Start LSN of the segment currently being written.
+    segment_start: u64,
+    /// The writer simulated (or suffered) a crash; nothing further will be
+    /// written or acknowledged.
+    dead: bool,
+    /// Clean-shutdown request (set by [`LogWriter::drop`]).
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the writer thread (new work, rotation request, shutdown).
+    work_cv: Condvar,
+    /// Wakes committers and rotation waiters (durability advanced, death).
+    ack_cv: Condvar,
+}
+
+/// The group-commit write-ahead-log writer: owns the log thread.
+///
+/// Dropping the writer performs a clean shutdown: the contiguous pending
+/// prefix is flushed, fsynced and acknowledged, then the thread exits (any
+/// record stranded behind a sequence gap fails its ticket).
+#[derive(Debug)]
+pub struct LogWriter {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A cheap cloneable handle for submitting records to the writer from any
+/// thread.
+#[derive(Debug, Clone)]
+pub struct WalHandle {
+    shared: Arc<Shared>,
+}
+
+/// A committer's claim ticket for one appended record.
+#[derive(Debug)]
+#[must_use = "wait on the ticket to learn whether the record became durable"]
+pub struct CommitTicket {
+    shared: Arc<Shared>,
+    lsn: u64,
+}
+
+impl LogWriter {
+    /// Opens (creating if needed) the log directory and starts the writer
+    /// thread on a fresh segment starting at `options.start_lsn`. An existing
+    /// file of that name is truncated — after recovery this is exactly the
+    /// repaired tail position, so nothing valid is lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file creation failures.
+    pub fn open(dir: &Path, options: &WalOptions) -> std::io::Result<LogWriter> {
+        std::fs::create_dir_all(dir)?;
+        let file = File::create(segment_path(dir, options.start_lsn))?;
+        // The segment's directory entry must be durable before any record
+        // written to it is acknowledged.
+        crate::files::sync_dir(dir)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: BTreeMap::new(),
+                next_append: options.start_lsn,
+                durable_upto: options.start_lsn,
+                written_upto: options.start_lsn,
+                rotations_requested: 0,
+                rotations_done: 0,
+                segment_start: options.start_lsn,
+                dead: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            ack_cv: Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let dir = dir.to_path_buf();
+            let fsync = options.fsync;
+            let crash = options.crash_points.clone();
+            std::thread::Builder::new()
+                .name("txlog-writer".to_string())
+                .spawn(move || WriterThread::new(shared, dir, file, fsync, crash).run())?
+        };
+        Ok(LogWriter {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// A handle for submitting records from other threads.
+    pub fn handle(&self) -> WalHandle {
+        WalHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Submits one record (see [`WalHandle::append`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Crashed`] if the writer is dead.
+    pub fn append(&self, lsn: u64, payload: Vec<u8>) -> Result<CommitTicket, WalError> {
+        self.handle().append(lsn, payload)
+    }
+
+    /// Asks the writer to close the current segment and start a new one (the
+    /// log-truncation step after a snapshot), waiting until it has happened.
+    /// Returns the new segment's start LSN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Crashed`] if the writer dies first.
+    pub fn rotate(&self) -> Result<u64, WalError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.dead {
+            return Err(WalError::Crashed);
+        }
+        state.rotations_requested += 1;
+        let target = state.rotations_requested;
+        self.shared.work_cv.notify_all();
+        while state.rotations_done < target && !state.dead {
+            state = self.shared.ack_cv.wait(state).unwrap();
+        }
+        if state.rotations_done >= target {
+            Ok(state.segment_start)
+        } else {
+            Err(WalError::Crashed)
+        }
+    }
+
+    /// All records with `lsn <` this are durable and acknowledged.
+    pub fn durable_lsn(&self) -> u64 {
+        self.shared.state.lock().unwrap().durable_upto
+    }
+
+    /// `true` once the writer has died (crash point or I/O error).
+    pub fn is_dead(&self) -> bool {
+        self.shared.state.lock().unwrap().dead
+    }
+}
+
+impl Drop for LogWriter {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl WalHandle {
+    /// Submits the record `(lsn, payload)` for group commit. LSNs must be
+    /// dense and unique (they are assigned by an STM commit-time counter);
+    /// arrival order is free. Returns the ticket to park on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Crashed`] if the writer is already dead or shut
+    /// down — the record will never be durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lsn` was already appended or is already pending (a caller
+    /// logic error, not a recoverable condition).
+    pub fn append(&self, lsn: u64, payload: Vec<u8>) -> Result<CommitTicket, WalError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.dead || state.shutdown {
+            return Err(WalError::Crashed);
+        }
+        assert!(
+            lsn >= state.next_append && !state.pending.contains_key(&lsn),
+            "LSN {lsn} appended twice (next_append {})",
+            state.next_append
+        );
+        state.pending.insert(lsn, payload);
+        self.shared.work_cv.notify_all();
+        Ok(CommitTicket {
+            shared: Arc::clone(&self.shared),
+            lsn,
+        })
+    }
+
+    /// All records with `lsn <` this are durable and acknowledged.
+    pub fn durable_lsn(&self) -> u64 {
+        self.shared.state.lock().unwrap().durable_upto
+    }
+}
+
+impl CommitTicket {
+    /// Parks until the record is durable per the writer's fsync policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Crashed`] if the writer died before the record
+    /// was acknowledged (the in-memory commit stands; recovery may or may
+    /// not surface the record).
+    pub fn wait(self) -> Result<(), WalError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.durable_upto > self.lsn {
+                return Ok(());
+            }
+            if state.dead {
+                return Err(WalError::Crashed);
+            }
+            state = self.shared.ack_cv.wait(state).unwrap();
+        }
+    }
+
+    /// The record's log sequence number.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+}
+
+/// The writer thread's private side.
+struct WriterThread {
+    shared: Arc<Shared>,
+    dir: PathBuf,
+    file: File,
+    fsync: FsyncPolicy,
+    crash: CrashPoints,
+    last_fsync: Instant,
+}
+
+impl WriterThread {
+    fn new(
+        shared: Arc<Shared>,
+        dir: PathBuf,
+        file: File,
+        fsync: FsyncPolicy,
+        crash: CrashPoints,
+    ) -> WriterThread {
+        WriterThread {
+            shared,
+            dir,
+            file,
+            fsync,
+            crash,
+            last_fsync: Instant::now(),
+        }
+    }
+
+    /// Marks the log dead and wakes everyone. Consumes the thread's loop.
+    fn die(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.dead = true;
+        self.shared.ack_cv.notify_all();
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Acknowledges every record below `upto` as durable.
+    fn ack_durable(&self, upto: u64) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.durable_upto = state.durable_upto.max(upto);
+        self.shared.ack_cv.notify_all();
+    }
+
+    /// The group-fsync deadline, if records are written but not yet durable.
+    fn fsync_deadline(&self, state: &State) -> Option<Instant> {
+        match self.fsync {
+            FsyncPolicy::Group(interval) if state.durable_upto < state.written_upto => {
+                Some(self.last_fsync + interval)
+            }
+            _ => None,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            // Phase 1 (locked): wait for work, then drain the contiguous run.
+            let mut batch = Vec::new();
+            let mut last_frame_start = 0usize;
+            let batch_upto;
+            let rotate_now;
+            let exit_now;
+            {
+                let mut state: MutexGuard<'_, State> = self.shared.state.lock().unwrap();
+                loop {
+                    if state.dead {
+                        return;
+                    }
+                    let has_work = state.pending.contains_key(&state.next_append);
+                    let rotate_pending = state.rotations_requested > state.rotations_done;
+                    if has_work || rotate_pending || state.shutdown {
+                        break;
+                    }
+                    match self.fsync_deadline(&state) {
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                break; // fsync is due
+                            }
+                            let (guard, _) = self
+                                .shared
+                                .work_cv
+                                .wait_timeout(state, deadline - now)
+                                .unwrap();
+                            state = guard;
+                        }
+                        None => state = self.shared.work_cv.wait(state).unwrap(),
+                    }
+                }
+                loop {
+                    let next = state.next_append;
+                    match state.pending.remove(&next) {
+                        Some(payload) => {
+                            last_frame_start = batch.len();
+                            encode_frame_into(&mut batch, next, &payload);
+                            state.next_append = next + 1;
+                        }
+                        None => break,
+                    }
+                }
+                batch_upto = state.next_append;
+                rotate_now = state.rotations_requested > state.rotations_done;
+                // A clean shutdown flushes the contiguous prefix; records
+                // stranded behind a sequence gap can never be written and
+                // their tickets fail when `dead` is set on exit.
+                exit_now = state.shutdown && batch.is_empty() && !rotate_now;
+            }
+
+            // Phase 2 (unlocked): file I/O, honoring the crash points.
+            if !batch.is_empty() {
+                if self.crash.should_crash(crash_points::BEFORE_APPEND) {
+                    return self.die();
+                }
+                if self.crash.should_crash(crash_points::MID_FRAME) {
+                    // Write everything up to the middle of the last frame:
+                    // a torn final record, exactly what a crash mid-`write`
+                    // leaves behind.
+                    let torn = last_frame_start + (batch.len() - last_frame_start) / 2;
+                    let _ = self.file.write_all(&batch[..torn]);
+                    let _ = self.file.sync_data();
+                    return self.die();
+                }
+                if self.file.write_all(&batch).is_err() {
+                    return self.die();
+                }
+                {
+                    let mut state = self.shared.state.lock().unwrap();
+                    state.written_upto = batch_upto;
+                }
+                if self
+                    .crash
+                    .should_crash(crash_points::AFTER_APPEND_BEFORE_FSYNC)
+                {
+                    return self.die();
+                }
+            }
+
+            // Phase 3: durability per policy.
+            let ack_upto = match self.fsync {
+                FsyncPolicy::Always => {
+                    if batch.is_empty() {
+                        None
+                    } else {
+                        if self.file.sync_data().is_err() {
+                            return self.die();
+                        }
+                        self.last_fsync = Instant::now();
+                        Some(batch_upto)
+                    }
+                }
+                FsyncPolicy::None => (!batch.is_empty()).then_some(batch_upto),
+                FsyncPolicy::Group(interval) => {
+                    let (written, durable) = {
+                        let state = self.shared.state.lock().unwrap();
+                        (state.written_upto, state.durable_upto)
+                    };
+                    if durable < written && Instant::now() >= self.last_fsync + interval {
+                        if self.file.sync_data().is_err() {
+                            return self.die();
+                        }
+                        self.last_fsync = Instant::now();
+                        Some(written)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(upto) = ack_upto {
+                if self
+                    .crash
+                    .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
+                {
+                    return self.die();
+                }
+                self.ack_durable(upto);
+            }
+
+            // Phase 4: segment rotation (requested after a snapshot).
+            if rotate_now && self.rotate_segment().is_err() {
+                return self.die();
+            }
+
+            if exit_now {
+                return self.clean_shutdown();
+            }
+        }
+    }
+
+    /// Closes the current segment cleanly (fsync, so older segments are never
+    /// torn) and opens the next one at the current append position.
+    fn rotate_segment(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        let next_start = {
+            let state = self.shared.state.lock().unwrap();
+            state.next_append
+        };
+        self.file = File::create(segment_path(&self.dir, next_start))?;
+        crate::files::sync_dir(&self.dir)?;
+        let mut state = self.shared.state.lock().unwrap();
+        state.durable_upto = state.durable_upto.max(state.written_upto);
+        state.segment_start = next_start;
+        state.rotations_done += 1;
+        self.shared.ack_cv.notify_all();
+        Ok(())
+    }
+
+    /// Final flush on clean shutdown: everything written becomes durable,
+    /// then the log is marked dead so any stranded ticket fails.
+    fn clean_shutdown(self) {
+        let upto = {
+            let state = self.shared.state.lock().unwrap();
+            state.written_upto
+        };
+        if self.file.sync_data().is_ok() {
+            self.ack_durable(upto);
+        }
+        self.die();
+    }
+}

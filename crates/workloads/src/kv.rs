@@ -24,10 +24,13 @@
 
 use std::sync::atomic::Ordering;
 
-use txkv::{KvOp, KvServer, KvServerConfig, KvStoreParams};
+use tlstm_testutil::TempDir;
+use txkv::{DurableKvConfig, DurableKvStore, KvOp, KvServer, KvServerConfig, KvStoreParams};
 use txmem::TxConfig;
 
 use crate::harness::{average_metrics, run_threads_metrics, DetRng, RunMetrics, WorkloadConfig};
+
+pub use txkv::FsyncPolicy;
 
 /// The YCSB-style operation mixes the driver can generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +90,18 @@ pub struct KvParams {
     pub tasks_per_txn: usize,
     /// Number of client threads (sessions).
     pub threads: usize,
+    /// `Some` runs the workload through a [`DurableKvStore`] (write-ahead
+    /// logged batches with the given fsync policy) in a scratch directory;
+    /// `None` runs the plain in-memory server. Comparing the two isolates
+    /// the durability overhead.
+    pub durable: Option<KvDurability>,
+}
+
+/// Durability parameters of a KV workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvDurability {
+    /// When the WAL acknowledges writes (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for KvParams {
@@ -101,6 +116,7 @@ impl Default for KvParams {
             shards: 16,
             tasks_per_txn: 1,
             threads: 1,
+            durable: None,
         }
     }
 }
@@ -126,6 +142,7 @@ impl KvParams {
             shards: 4,
             tasks_per_txn: 2,
             threads: 1,
+            durable: None,
         }
     }
 
@@ -305,28 +322,87 @@ fn measure(server: KvServer, params: &KvParams, config: &WorkloadConfig, rep: u3
     RunMetrics::new(throughput, latency, server.stats())
 }
 
-/// Measures the KV workload on the SwissTM baseline.
+/// Measures the workload through a [`DurableKvStore`] in a scratch log
+/// directory: the populated base is snapshotted (so the run starts from a
+/// realistic durable state), then every client batch is write-ahead logged
+/// and waits for its durability acknowledgement. The scratch directory is
+/// removed when the run ends.
+fn measure_durable(
+    boot: fn(&std::path::Path, &DurableKvConfig) -> std::io::Result<DurableKvStore>,
+    params: &KvParams,
+    config: &WorkloadConfig,
+    rep: u32,
+    fsync: FsyncPolicy,
+) -> RunMetrics {
+    let dir = TempDir::new("tmbench-kv-durable");
+    let store = boot(
+        dir.path(),
+        &DurableKvConfig {
+            server: params.server_config(),
+            fsync,
+            crash_points: txkv::CrashPoints::disabled(),
+        },
+    )
+    .expect("failed to boot the durable KV store");
+    store.populate((0..params.records).map(|k| (k, initial_value(k, params.value_words))));
+    store.snapshot().expect("baseline snapshot failed");
+    let dist = KeyDist::new(params);
+    let (throughput, latency) = run_threads_metrics(
+        params.threads.max(1),
+        config.duration,
+        |client, stop, ops, hist| {
+            let mut session = store.session();
+            let dist = dist.clone();
+            let mut rng = DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
+            while !stop.load(Ordering::Relaxed) {
+                let batch = generate_batch(&mut rng, &dist, params);
+                let n = batch.len() as u64;
+                let t0 = std::time::Instant::now();
+                session
+                    .batch(batch)
+                    .expect("WAL writer died during the benchmark");
+                hist.record(t0.elapsed());
+                ops.fetch_add(n, Ordering::Relaxed);
+            }
+        },
+    );
+    RunMetrics::new(throughput, latency, store.server().stats())
+}
+
+/// Measures the KV workload on the SwissTM baseline (durably, through the
+/// write-ahead log, when [`KvParams::durable`] is set).
 pub fn measure_swisstm(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        measure(
+    average_metrics(config.repetitions, |rep| match params.durable {
+        Some(durability) => measure_durable(
+            DurableKvStore::swisstm,
+            params,
+            config,
+            rep,
+            durability.fsync,
+        ),
+        None => measure(
             KvServer::swisstm(&params.server_config()),
             params,
             config,
             rep,
-        )
+        ),
     })
 }
 
 /// Measures the KV workload on TLSTM with `params.tasks_per_txn` speculative
-/// tasks per batch.
+/// tasks per batch (durably, through the write-ahead log, when
+/// [`KvParams::durable`] is set).
 pub fn measure_tlstm(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        measure(
+    average_metrics(config.repetitions, |rep| match params.durable {
+        Some(durability) => {
+            measure_durable(DurableKvStore::tlstm, params, config, rep, durability.fsync)
+        }
+        None => measure(
             KvServer::tlstm(&params.server_config()),
             params,
             config,
             rep,
-        )
+        ),
     })
 }
 
@@ -465,6 +541,23 @@ mod tests {
                 m.stats.task_commits >= m.stats.tx_commits,
                 "tlstm must run tasks"
             );
+        }
+    }
+
+    #[test]
+    fn durable_mode_makes_progress_on_both_runtimes() {
+        let config = WorkloadConfig::quick();
+        for fsync in [FsyncPolicy::None, FsyncPolicy::Always] {
+            let params = KvParams {
+                durable: Some(KvDurability { fsync }),
+                ..KvParams::tiny(KvMix::A)
+            };
+            let m = measure_swisstm(&params, &config);
+            assert!(m.throughput.ops > 0, "swisstm durable {fsync:?}");
+            assert!(m.stats.tx_commits > 0);
+            let m = measure_tlstm(&params, &config);
+            assert!(m.throughput.ops > 0, "tlstm durable {fsync:?}");
+            assert!(m.stats.task_commits >= m.stats.tx_commits);
         }
     }
 
