@@ -51,7 +51,10 @@ MEASUREMENT OPTIONS:
     --threads A,B,...    thread counts to measure (default: 1)
     --workloads LIST     comma-separated families (rbtree,vacation,stmbench7,
                          overhead,kv,kv-durable) or concrete labels (kv-a,
-                         kv-a-durable,rbtree-n16,...); default: all
+                         kv-a-durable,rbtree-n16,...); default: all.
+                         kv-a-durable-cN rows (N = 1, 8, 64) are the
+                         multi-committer sweep: they pin N client threads on
+                         one WAL and ignore --threads
     --runtimes LIST      comma-separated runtimes: swisstm,tlstm (default: both)
     --fsync POLICY       WAL fsync policy of the kv-durable scenarios:
                          always, group, group:<ms>, none (default: group;

@@ -87,6 +87,11 @@ pub enum WorkloadKind {
         mix: KvMix,
         /// When the WAL acknowledges writes.
         fsync: FsyncPolicy,
+        /// `Some(n)`: a multi-committer sweep row — pin `n` client threads
+        /// sharing one WAL, ignoring the matrix's `--threads` axis, so runs
+        /// with different thread lists stay comparable. The committer count
+        /// is part of the scenario identity (`kv-a-durable-c64`).
+        committers: Option<usize>,
     },
 }
 
@@ -105,7 +110,13 @@ impl WorkloadKind {
             WorkloadKind::Kv { mix } => format!("kv-{}", mix.label()),
             // The fsync policy is a run-time modifier (`--fsync`), not part
             // of the identity: scenario names must stay stable so baselines
-            // keep matching.
+            // keep matching. A pinned committer count *is* identity — the
+            // sweep rows measure different offered loads.
+            WorkloadKind::KvDurable {
+                mix,
+                committers: Some(n),
+                ..
+            } => format!("kv-{}-durable-c{n}", mix.label()),
             WorkloadKind::KvDurable { mix, .. } => format!("kv-{}-durable", mix.label()),
         }
     }
@@ -139,8 +150,24 @@ impl WorkloadKind {
     /// kinds are returned unchanged (the `--fsync` CLI modifier).
     pub fn with_fsync(self, fsync: FsyncPolicy) -> WorkloadKind {
         match self {
-            WorkloadKind::KvDurable { mix, .. } => WorkloadKind::KvDurable { mix, fsync },
+            WorkloadKind::KvDurable {
+                mix, committers, ..
+            } => WorkloadKind::KvDurable {
+                mix,
+                fsync,
+                committers,
+            },
             other => other,
+        }
+    }
+
+    /// The client-thread count this workload pins, if any: the
+    /// multi-committer sweep rows run at their own fixed thread count and
+    /// ignore the matrix's `--threads` axis.
+    pub fn pinned_threads(&self) -> Option<usize> {
+        match self {
+            WorkloadKind::KvDurable { committers, .. } => *committers,
+            _ => None,
         }
     }
 }
@@ -341,10 +368,31 @@ pub fn default_workloads() -> Vec<WorkloadKind> {
         WorkloadKind::KvDurable {
             mix: KvMix::A,
             fsync: FsyncPolicy::default(),
+            committers: None,
         },
         WorkloadKind::KvDurable {
             mix: KvMix::B,
             fsync: FsyncPolicy::default(),
+            committers: None,
+        },
+        // The multi-committer sweep: N client threads share one WAL, so the
+        // cN rows read off how the pipelined group commit amortises fsyncs
+        // as committers pile up (ops/s-per-fsync rises with N). These rows
+        // pin their own thread count and ignore the `--threads` axis.
+        WorkloadKind::KvDurable {
+            mix: KvMix::A,
+            fsync: FsyncPolicy::default(),
+            committers: Some(1),
+        },
+        WorkloadKind::KvDurable {
+            mix: KvMix::A,
+            fsync: FsyncPolicy::default(),
+            committers: Some(8),
+        },
+        WorkloadKind::KvDurable {
+            mix: KvMix::A,
+            fsync: FsyncPolicy::default(),
+            committers: Some(64),
         },
     ]
 }
@@ -387,7 +435,13 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
             Some(fsync) => workload.with_fsync(fsync),
             None => workload,
         };
-        for &threads in &selection.threads {
+        // Committer-pinned rows run once at their own thread count; every
+        // other workload expands over the selection's thread axis.
+        let thread_axis: Vec<usize> = match workload.pinned_threads() {
+            Some(pinned) => vec![pinned],
+            None => selection.threads.clone(),
+        };
+        for &threads in &thread_axis {
             for &runtime in runtimes {
                 match runtime {
                     RuntimeKind::Swisstm => scenarios.push(ScenarioSpec {
@@ -536,6 +590,9 @@ mod tests {
             "kv-durable",
             "kv-a-durable",
             "kv-b-durable",
+            "kv-a-durable-c1",
+            "kv-a-durable-c8",
+            "kv-a-durable-c64",
         ] {
             assert!(
                 selectors.iter().any(|s| s == token),
@@ -578,6 +635,52 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| s.name() == "kv-a-durable/swisstm/t1/k1"));
+    }
+
+    #[test]
+    fn committer_sweep_rows_pin_their_thread_count() {
+        let selection = MatrixSelection {
+            threads: vec![1, 2],
+            workload_families: vec!["kv-durable".to_string()],
+            runtimes: vec![RuntimeKind::Swisstm],
+            fsync: None,
+        };
+        let scenarios = build_scenarios(&selection);
+        // Each cN row appears exactly once, at its own thread count,
+        // regardless of the thread axis.
+        for (label, want) in [
+            ("kv-a-durable-c1", 1),
+            ("kv-a-durable-c8", 8),
+            ("kv-a-durable-c64", 64),
+        ] {
+            let rows: Vec<_> = scenarios
+                .iter()
+                .filter(|s| s.workload.label() == label)
+                .collect();
+            assert_eq!(rows.len(), 1, "{label}");
+            assert_eq!(rows[0].threads, want, "{label}");
+        }
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name() == "kv-a-durable-c64/swisstm/t64/k1"));
+        // Unpinned durable rows still expand over the thread axis.
+        assert_eq!(
+            scenarios
+                .iter()
+                .filter(|s| s.workload.label() == "kv-a-durable")
+                .count(),
+            2
+        );
+        // The fsync modifier preserves the pinned committer count.
+        let sweep = WorkloadKind::KvDurable {
+            mix: KvMix::A,
+            fsync: FsyncPolicy::default(),
+            committers: Some(8),
+        };
+        assert_eq!(
+            sweep.with_fsync(FsyncPolicy::None).pinned_threads(),
+            Some(8)
+        );
     }
 
     #[test]

@@ -248,9 +248,13 @@ impl EnvVarGuard {
 /// A named crash-point registry for deterministic crash-injection tests.
 ///
 /// Production code inserts `if crash_points.should_crash("component::point")`
-/// checks at interesting places (the `txlog` WAL writer honors
-/// `wal::before-append`, `wal::mid-frame`, `wal::after-append-before-fsync`
-/// and `wal::after-fsync-before-ack`); tests [`arm`](CrashPoints::arm) one
+/// checks at interesting places (the `txlog` WAL writer honors the append
+/// path `wal::before-append`, `wal::mid-frame`,
+/// `wal::after-append-before-fsync`, `wal::after-fsync-before-ack` and the
+/// rotation path `wal::before-rotate-fsync`,
+/// `wal::after-create-before-dirsync`, `wal::after-rotate-before-ack` —
+/// `txlog::crash_points` holds the authoritative list); tests
+/// [`arm`](CrashPoints::arm) one
 /// point and the component simulates a process crash when it is reached —
 /// typically by abandoning all further I/O and failing every in-flight
 /// acknowledgement.
@@ -264,9 +268,10 @@ impl EnvVarGuard {
 /// Handles are cheap clones sharing one registry, so a test can keep a handle
 /// while the component under test owns another. Each handle tree is
 /// independent: concurrently running tests arm their own registries without
-/// cross-talk (there is deliberately no process-global instance). For
-/// cross-process experiments, [`CrashPoints::from_env`] arms the point named
-/// by an environment variable at construction time.
+/// cross-talk (this crate deliberately provides no process-global instance;
+/// `txlog` hoists its own env-armed default into one). For cross-process
+/// experiments, [`CrashPoints::from_env`] arms the point named by an
+/// environment variable at construction time.
 #[derive(Debug, Clone, Default)]
 pub struct CrashPoints {
     inner: Arc<CrashInner>,

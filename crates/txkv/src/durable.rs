@@ -150,6 +150,7 @@ impl DurableKvStore {
                 start_lsn: recovered.next_lsn,
                 fsync: config.fsync,
                 crash_points: config.crash_points.clone(),
+                ..WalOptions::default()
             },
         )?;
         Ok(DurableKvStore {

@@ -94,7 +94,9 @@ fn oracle_prefix(batches: &[Vec<KvOp>], n: usize) -> Vec<(u64, Vec<u64>)> {
 fn crash_matrix_recovers_an_acked_prefix_on_both_runtimes() {
     with_default_watchdog(|| {
         for (label, boot) in RUNTIMES {
-            for point in crash_points::ALL {
+            // Only the append-path points can fire from `session.batch`; the
+            // rotation-path points are exercised by the rotation matrix below.
+            for point in crash_points::APPEND {
                 let context = format!("{label}/{point}");
                 let dir = TempDir::new("txkv-crash");
                 let crash = CrashPoints::disabled();
@@ -174,6 +176,99 @@ fn crash_matrix_recovers_an_acked_prefix_on_both_runtimes() {
                 session
                     .batch(ops)
                     .unwrap_or_else(|e| panic!("{context}: {e}"));
+                assert_eq!(
+                    dump(&recovered),
+                    oracle_prefix(&batches, batches.len()),
+                    "{context}: post-recovery writes diverge"
+                );
+            }
+        }
+    });
+}
+
+/// The rotation crash matrix (the rotation path previously had zero crash
+/// coverage): arm each rotation point, crash inside the log-truncation
+/// rotate that follows a snapshot, and recover on both runtimes. The
+/// snapshot itself is written durably *before* the rotation, so recovery
+/// must come back through it — never losing an acknowledged batch, whether
+/// the crash left an untrimmed outgoing segment or an orphaned all-zero
+/// successor segment.
+#[test]
+fn rotation_crash_matrix_recovers_every_acked_batch_on_both_runtimes() {
+    with_default_watchdog(|| {
+        for (label, boot) in RUNTIMES {
+            for point in crash_points::ROTATION {
+                let context = format!("{label}/{point}");
+                let dir = TempDir::new("txkv-rotate-crash");
+                let crash = CrashPoints::disabled();
+                let store = boot(dir.path(), &config(FsyncPolicy::Always, crash.clone()))
+                    .unwrap_or_else(|e| panic!("{context}: boot failed: {e}"));
+                let mut session = store.session();
+                let mut rng = TestRng::new(0x0707 ^ point.len() as u64);
+                let mut batches = Vec::new();
+                for _ in 0..8 {
+                    let ops = gen_batch(&mut rng, 10);
+                    batches.push(ops.clone());
+                    session
+                        .batch(ops)
+                        .unwrap_or_else(|e| panic!("{context}: {e}"));
+                }
+                assert_eq!(store.durable_lsn(), 8, "{context}");
+
+                crash.arm(point);
+                assert!(store.snapshot().is_err(), "{context}: rotation must fail");
+                assert!(store.is_dead(), "{context}");
+                assert_eq!(crash.fired(), Some(point.to_string()), "{context}");
+                // No premature prune: the crashed rotation must leave the
+                // pre-snapshot log segment in place (it is still the only
+                // home of records the orphaned successor never received).
+                assert!(
+                    !txlog::list_segments(dir.path()).unwrap().is_empty(),
+                    "{context}: segments pruned after a failed rotation"
+                );
+                let ops = gen_batch(&mut rng, 10);
+                assert_eq!(
+                    session.batch(ops).unwrap_err(),
+                    WalError::Crashed,
+                    "{context}: dead stores must refuse writes"
+                );
+                drop(session);
+                drop(store);
+
+                let recovered = boot(
+                    dir.path(),
+                    &config(FsyncPolicy::Always, CrashPoints::disabled()),
+                )
+                .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
+                let report = recovered.recovery().clone();
+                assert_eq!(report.next_lsn, 8, "{context}: acked batches lost");
+                assert_eq!(
+                    report.snapshot_lsn,
+                    Some(8),
+                    "{context}: the pre-rotation snapshot must be used"
+                );
+                assert_eq!(report.replayed_records, 0, "{context}");
+                assert_eq!(
+                    dump(&recovered),
+                    oracle_prefix(&batches, 8),
+                    "{context}: recovered state diverges from the oracle"
+                );
+                recovered
+                    .store()
+                    .check_consistency(&mut recovered.server().direct())
+                    .unwrap();
+
+                // The recovered store serves, logs, and can rotate again.
+                let mut session = recovered.session();
+                let ops = gen_batch(&mut rng, 6);
+                batches.push(ops.clone());
+                session
+                    .batch(ops)
+                    .unwrap_or_else(|e| panic!("{context}: {e}"));
+                let snap = recovered
+                    .snapshot()
+                    .unwrap_or_else(|e| panic!("{context}: post-recovery snapshot failed: {e}"));
+                assert_eq!(snap, 9, "{context}");
                 assert_eq!(
                     dump(&recovered),
                     oracle_prefix(&batches, batches.len()),

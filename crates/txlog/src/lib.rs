@@ -13,13 +13,15 @@
 //! * [`frame`] — the on-disk record framing: length-prefixed, CRC-32
 //!   protected frames that recovery can validate byte-by-byte, so a torn
 //!   tail (a crash mid-append) is detected and cleanly discarded;
-//! * [`LogWriter`] — the **group-commit** writer: one dedicated log thread
+//! * [`LogWriter`] — the **pipelined group-commit** writer: an append stage
 //!   drains committed records (re-sequencing out-of-order arrivals into LSN
-//!   order), appends them in a single `write` and fsyncs per the configured
-//!   [`FsyncPolicy`]; committers park on a [`CommitTicket`] until their LSN
-//!   is durable. The writer honors the `wal::*` crash points of
-//!   [`tlstm_testutil::CrashPoints`] for deterministic crash-injection
-//!   tests;
+//!   order) and appends each batch in a single `write` to a preallocated
+//!   segment, while a second sync stage fsyncs the previous batch per the
+//!   configured [`FsyncPolicy`] — fsync latency overlaps the next batch's
+//!   fill. Committers wait on a [`CommitTicket`] whose fast path is one
+//!   atomic load of the durable watermark. The writer honors the `wal::*`
+//!   crash points of [`tlstm_testutil::CrashPoints`] for deterministic
+//!   crash-injection tests;
 //! * [`recovery`] + [`files`] — snapshot files, log segments, and the
 //!   recovery scan: load the newest valid snapshot, replay the contiguous
 //!   record suffix, stop at the first torn/corrupt frame, and repair the
@@ -56,7 +58,7 @@ pub use files::{list_segments, list_snapshots, prune_obsolete, read_snapshot, wr
 pub use frame::{crc32, read_frames, FrameScan};
 pub use recovery::{recover, RecoveredLog};
 pub use tlstm_testutil::CrashPoints;
-pub use writer::{CommitTicket, LogWriter, WalHandle, WalOptions};
+pub use writer::{CommitTicket, LogWriter, WalHandle, WalOptions, DEFAULT_SEGMENT_PREALLOC};
 
 use std::fmt;
 use std::time::Duration;
@@ -75,13 +77,44 @@ pub mod crash_points {
     pub const AFTER_APPEND_BEFORE_FSYNC: &str = "wal::after-append-before-fsync";
     /// After the fsync but before committers are acknowledged.
     pub const AFTER_FSYNC_BEFORE_ACK: &str = "wal::after-fsync-before-ack";
+    /// At the start of a segment rotation, before the outgoing segment is
+    /// trimmed and fsynced.
+    pub const BEFORE_ROTATE_FSYNC: &str = "wal::before-rotate-fsync";
+    /// After the successor segment is created and preallocated but before
+    /// its directory entry is fsynced.
+    pub const AFTER_CREATE_BEFORE_DIRSYNC: &str = "wal::after-create-before-dirsync";
+    /// After the directory fsync, before the rotation is published and
+    /// waiters acknowledged.
+    pub const AFTER_ROTATE_BEFORE_ACK: &str = "wal::after-rotate-before-ack";
 
-    /// All WAL crash points, in pipeline order (for test matrices).
-    pub const ALL: [&str; 4] = [
+    /// The append-path crash points, in pipeline order. These fire while a
+    /// record batch is being handled, so an armed point is guaranteed to
+    /// trigger on the next append.
+    pub const APPEND: [&str; 4] = [
         BEFORE_APPEND,
         MID_FRAME,
         AFTER_APPEND_BEFORE_FSYNC,
         AFTER_FSYNC_BEFORE_ACK,
+    ];
+
+    /// The rotation-path crash points, in pipeline order. These fire only
+    /// inside [`crate::LogWriter::rotate`] handling (e.g. the log-truncation
+    /// step after a snapshot).
+    pub const ROTATION: [&str; 3] = [
+        BEFORE_ROTATE_FSYNC,
+        AFTER_CREATE_BEFORE_DIRSYNC,
+        AFTER_ROTATE_BEFORE_ACK,
+    ];
+
+    /// All WAL crash points (append path, then rotation path).
+    pub const ALL: [&str; 7] = [
+        BEFORE_APPEND,
+        MID_FRAME,
+        AFTER_APPEND_BEFORE_FSYNC,
+        AFTER_FSYNC_BEFORE_ACK,
+        BEFORE_ROTATE_FSYNC,
+        AFTER_CREATE_BEFORE_DIRSYNC,
+        AFTER_ROTATE_BEFORE_ACK,
     ];
 }
 

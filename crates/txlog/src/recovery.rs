@@ -111,10 +111,21 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
         }
         if let Some(reason) = scan.truncation {
             if !stopped {
-                diagnostics.push(format!(
-                    "discarded torn tail of {}: {reason}",
-                    path.display()
-                ));
+                // An all-zero tail is preallocation residue (the writer
+                // extends segments with `set_len` and trims them at close;
+                // a crash skips the trim) — expected, not corruption.
+                if bytes[scan.valid_bytes..].iter().all(|&b| b == 0) {
+                    diagnostics.push(format!(
+                        "trimmed preallocated tail of {}: {} zero bytes",
+                        path.display(),
+                        bytes.len() - scan.valid_bytes
+                    ));
+                } else {
+                    diagnostics.push(format!(
+                        "discarded torn tail of {}: {reason}",
+                        path.display()
+                    ));
+                }
             }
             // Repair: drop the torn bytes so future scans end cleanly.
             let file = std::fs::OpenOptions::new().write(true).open(path)?;

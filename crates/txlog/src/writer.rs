@@ -1,26 +1,42 @@
-//! The group-commit log writer.
+//! The pipelined group-commit log writer.
 //!
-//! One dedicated log thread owns the current segment file. Committers hand it
-//! `(lsn, payload)` records via [`WalHandle::append`] **after** their STM
-//! commit assigned the LSN, then park on the returned [`CommitTicket`] until
-//! the record is durable. Because STM commits finish in LSN order but the
-//! post-commit handoff races, records can *arrive* out of order; the writer
-//! re-sequences them (a record is written only once every lower LSN has been
-//! written) so the on-disk log is always a dense, in-order prefix — which is
-//! what makes a torn tail equivalent to "the run simply stopped earlier".
+//! Two stages, two threads:
 //!
-//! Group commit falls out of the design: while the thread is busy writing one
-//! batch, later commits pile up in the pending map and are drained — one
-//! `write`, at most one fsync — on the next iteration. The
-//! [`FsyncPolicy`] decides when acknowledgements happen:
-//! [`Always`](FsyncPolicy::Always) fsyncs every drained batch,
-//! [`Group`](FsyncPolicy::Group) fsyncs on an interval clock (acks wait for
-//! the covering fsync), [`None`](FsyncPolicy::None) acknowledges right after
-//! the `write`.
+//! * the **append stage** owns the current segment file. It drains committed
+//!   `(lsn, payload)` records from the pending map (re-sequencing
+//!   out-of-order arrivals so the on-disk log is always a dense, in-order
+//!   prefix), encodes them into one batch buffer and `write`s it — then
+//!   immediately loops to fill the next batch;
+//! * the **sync stage** fsyncs what the append stage has written and
+//!   acknowledges committers. While it is inside `fsync(2)` for batch N, the
+//!   append stage is already encoding and writing batch N+1 — the fsync
+//!   latency overlaps the next batch's fill instead of serialising with it.
 //!
-//! The writer honors the [`crate::crash_points`] of the configured
-//! [`CrashPoints`] registry: when one fires, the thread abandons all I/O
-//! exactly at that pipeline stage, marks the log dead and fails every
+//! Segments are pre-allocated with [`File::set_len`] when created, so
+//! steady-state appends stay inside the allocated extent and `sync_data`
+//! never pays a metadata update. The preallocated zero tail is trimmed back
+//! to the written bytes whenever a segment is closed (rotation or clean
+//! shutdown); only a crash can leave one behind, and recovery treats an
+//! all-zero tail as clean preallocation residue, not corruption.
+//!
+//! Committers hand records to the writer via [`WalHandle::append`] **after**
+//! their STM commit assigned the LSN, then wait on the returned
+//! [`CommitTicket`]. Acknowledgement is a *sequence watermark*: the sync
+//! stage publishes `durable_upto` both under the state lock and as an atomic
+//! that [`CommitTicket::wait`] loads first — a committer whose record is
+//! already durable returns without touching the lock or parking. Laggards
+//! fall back to one shared condvar that is woken **once per fsync**, so the
+//! ack fan-out is O(1) per batch, not O(committers).
+//!
+//! The [`FsyncPolicy`] decides when the sync stage runs:
+//! [`Always`](FsyncPolicy::Always) fsyncs every written batch (pipelined with
+//! the next fill), [`Group`](FsyncPolicy::Group) fsyncs on an interval clock,
+//! [`None`](FsyncPolicy::None) skips the sync stage entirely — the append
+//! stage acknowledges right after the `write`.
+//!
+//! Both stages honor the [`crate::crash_points`] of the configured
+//! [`CrashPoints`] registry: when one fires, the stage abandons all I/O
+//! exactly at that pipeline position, marks the log dead and fails every
 //! unacknowledged ticket — an in-process, deterministic stand-in for the
 //! machine dying at that instant.
 
@@ -28,7 +44,8 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -37,6 +54,19 @@ use tlstm_testutil::CrashPoints;
 use crate::files::segment_path;
 use crate::frame::encode_frame_into;
 use crate::{crash_points, FsyncPolicy, WalError, CRASH_POINT_ENV};
+
+/// Default segment preallocation ([`WalOptions::preallocate_bytes`]).
+pub const DEFAULT_SEGMENT_PREALLOC: u64 = 4 * 1024 * 1024;
+
+/// The process-wide crash-point registry armed from [`CRASH_POINT_ENV`].
+///
+/// Read once: a process simulates at most one crash, and benchmarks open
+/// stores in a loop — re-parsing the environment per [`WalOptions::default`]
+/// would be wasted work (and was, before this was hoisted).
+fn env_crash_points() -> &'static CrashPoints {
+    static ENV: OnceLock<CrashPoints> = OnceLock::new();
+    ENV.get_or_init(|| CrashPoints::from_env(CRASH_POINT_ENV))
+}
 
 /// Configuration of a [`LogWriter`].
 #[derive(Debug, Clone)]
@@ -48,7 +78,13 @@ pub struct WalOptions {
     /// When appends are fsynced (and therefore acknowledged).
     pub fsync: FsyncPolicy,
     /// Crash-injection registry; [`CrashPoints::disabled`] in production.
+    /// [`WalOptions::default`] hands out the process-wide registry armed
+    /// from [`CRASH_POINT_ENV`] (parsed once); tests inject their own.
     pub crash_points: CrashPoints,
+    /// Size each new segment is extended to at creation (`File::set_len`),
+    /// so steady-state fsyncs never pay a metadata update. `0` disables
+    /// preallocation. Segments grow past this transparently if needed.
+    pub preallocate_bytes: u64,
 }
 
 impl Default for WalOptions {
@@ -56,7 +92,8 @@ impl Default for WalOptions {
         WalOptions {
             start_lsn: 0,
             fsync: FsyncPolicy::default(),
-            crash_points: CrashPoints::from_env(CRASH_POINT_ENV),
+            crash_points: env_crash_points().clone(),
+            preallocate_bytes: DEFAULT_SEGMENT_PREALLOC,
         }
     }
 }
@@ -68,15 +105,19 @@ struct State {
     /// The next LSN the writer will append — everything below is in the file.
     next_append: u64,
     /// All records with `lsn < durable_upto` are durable and acknowledged.
+    /// Mirrored into [`Shared::durable_watermark`] under this lock.
     durable_upto: u64,
     /// All records with `lsn < written_upto` are written (≥ durable_upto
-    /// under [`FsyncPolicy::Group`], equal otherwise).
+    /// while an fsync is pending, equal at rest).
     written_upto: u64,
     /// Rotation handshake: requests vs completions.
     rotations_requested: u64,
     rotations_done: u64,
     /// Start LSN of the segment currently being written.
     segment_start: u64,
+    /// The append stage exited after a clean shutdown; the sync stage owes
+    /// one final flush-and-ack before marking the log dead.
+    append_done: bool,
     /// The writer simulated (or suffered) a crash; nothing further will be
     /// written or acknowledged.
     dead: bool,
@@ -87,21 +128,59 @@ struct State {
 #[derive(Debug)]
 struct Shared {
     state: Mutex<State>,
-    /// Wakes the writer thread (new work, rotation request, shutdown).
+    /// Lock-free mirror of [`State::durable_upto`]: the committers' ack
+    /// fast path. Stored (release) under the state lock, loaded (acquire)
+    /// without it.
+    durable_watermark: AtomicU64,
+    /// The sync stage's handle to the current segment (swapped at rotation).
+    /// Held only across a single `fsync` or the rotation swap.
+    sync_file: Mutex<File>,
+    /// Wakes the append stage (new work, rotation request, shutdown).
+    /// Exactly one waiter — notify with `notify_one`.
     work_cv: Condvar,
+    /// Wakes the sync stage (bytes written, shutdown handoff). Exactly one
+    /// waiter — notify with `notify_one`.
+    sync_cv: Condvar,
     /// Wakes committers and rotation waiters (durability advanced, death).
     ack_cv: Condvar,
 }
 
-/// The group-commit write-ahead-log writer: owns the log thread.
+impl Shared {
+    /// Marks the log dead and wakes everyone (committers fail, both stages
+    /// exit).
+    fn die(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.dead = true;
+        self.ack_cv.notify_all();
+        self.work_cv.notify_one();
+        self.sync_cv.notify_one();
+    }
+
+    /// Acknowledges every record below `upto` as durable: one watermark
+    /// store and one condvar broadcast per batch, regardless of how many
+    /// committers are waiting.
+    fn ack_durable(&self, upto: u64) {
+        let mut state = self.state.lock().unwrap();
+        if upto > state.durable_upto {
+            state.durable_upto = upto;
+            self.durable_watermark.store(upto, Ordering::Release);
+            self.ack_cv.notify_all();
+        }
+    }
+}
+
+/// The pipelined group-commit write-ahead-log writer: owns the append and
+/// sync threads.
 ///
 /// Dropping the writer performs a clean shutdown: the contiguous pending
-/// prefix is flushed, fsynced and acknowledged, then the thread exits (any
-/// record stranded behind a sequence gap fails its ticket).
+/// prefix is flushed, the segment is trimmed to its written bytes, fsynced
+/// and acknowledged, then both threads exit (any record stranded behind a
+/// sequence gap fails its ticket).
 #[derive(Debug)]
 pub struct LogWriter {
     shared: Arc<Shared>,
-    thread: Option<JoinHandle<()>>,
+    append_thread: Option<JoinHandle<()>>,
+    sync_thread: Option<JoinHandle<()>>,
 }
 
 /// A cheap cloneable handle for submitting records to the writer from any
@@ -121,9 +200,10 @@ pub struct CommitTicket {
 
 impl LogWriter {
     /// Opens (creating if needed) the log directory and starts the writer
-    /// thread on a fresh segment starting at `options.start_lsn`. An existing
-    /// file of that name is truncated — after recovery this is exactly the
-    /// repaired tail position, so nothing valid is lost.
+    /// threads on a fresh segment starting at `options.start_lsn`. An
+    /// existing file of that name is truncated — after recovery this is
+    /// exactly the repaired tail position, so nothing valid is lost. The
+    /// segment is preallocated per [`WalOptions::preallocate_bytes`].
     ///
     /// # Errors
     ///
@@ -131,9 +211,16 @@ impl LogWriter {
     pub fn open(dir: &Path, options: &WalOptions) -> std::io::Result<LogWriter> {
         std::fs::create_dir_all(dir)?;
         let file = File::create(segment_path(dir, options.start_lsn))?;
+        if options.preallocate_bytes > 0 {
+            file.set_len(options.preallocate_bytes)?;
+            // Persist the size now (sync_all), so the steady-state
+            // `sync_data` calls have no metadata left to write.
+            file.sync_all()?;
+        }
         // The segment's directory entry must be durable before any record
         // written to it is acknowledged.
         crate::files::sync_dir(dir)?;
+        let sync_file = file.try_clone()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 pending: BTreeMap::new(),
@@ -143,24 +230,45 @@ impl LogWriter {
                 rotations_requested: 0,
                 rotations_done: 0,
                 segment_start: options.start_lsn,
+                append_done: false,
                 dead: false,
                 shutdown: false,
             }),
+            durable_watermark: AtomicU64::new(options.start_lsn),
+            sync_file: Mutex::new(sync_file),
             work_cv: Condvar::new(),
+            sync_cv: Condvar::new(),
             ack_cv: Condvar::new(),
         });
-        let thread = {
-            let shared = Arc::clone(&shared);
-            let dir = dir.to_path_buf();
-            let fsync = options.fsync;
-            let crash = options.crash_points.clone();
+        let append_thread = {
+            let stage = AppendStage {
+                shared: Arc::clone(&shared),
+                dir: dir.to_path_buf(),
+                file,
+                written_bytes: 0,
+                preallocate: options.preallocate_bytes,
+                fsync: options.fsync,
+                crash: options.crash_points.clone(),
+            };
             std::thread::Builder::new()
-                .name("txlog-writer".to_string())
-                .spawn(move || WriterThread::new(shared, dir, file, fsync, crash).run())?
+                .name("txlog-append".to_string())
+                .spawn(move || stage.run())?
+        };
+        let sync_thread = {
+            let stage = SyncStage {
+                shared: Arc::clone(&shared),
+                fsync: options.fsync,
+                crash: options.crash_points.clone(),
+                last_fsync: Instant::now(),
+            };
+            std::thread::Builder::new()
+                .name("txlog-sync".to_string())
+                .spawn(move || stage.run())?
         };
         Ok(LogWriter {
             shared,
-            thread: Some(thread),
+            append_thread: Some(append_thread),
+            sync_thread: Some(sync_thread),
         })
     }
 
@@ -194,7 +302,7 @@ impl LogWriter {
         }
         state.rotations_requested += 1;
         let target = state.rotations_requested;
-        self.shared.work_cv.notify_all();
+        self.shared.work_cv.notify_one();
         while state.rotations_done < target && !state.dead {
             state = self.shared.ack_cv.wait(state).unwrap();
         }
@@ -205,9 +313,17 @@ impl LogWriter {
         }
     }
 
-    /// All records with `lsn <` this are durable and acknowledged.
+    /// All records with `lsn <` this are durable and acknowledged (the
+    /// locked, authoritative read).
     pub fn durable_lsn(&self) -> u64 {
         self.shared.state.lock().unwrap().durable_upto
+    }
+
+    /// Lock-free snapshot of the durable watermark — the committers' ack
+    /// fast path. Trails [`LogWriter::durable_lsn`] only inside the ack
+    /// critical section; they agree whenever the log is at rest.
+    pub fn durable_watermark(&self) -> u64 {
+        self.shared.durable_watermark.load(Ordering::Acquire)
     }
 
     /// `true` once the writer has died (crash point or I/O error).
@@ -221,9 +337,14 @@ impl Drop for LogWriter {
         {
             let mut state = self.shared.state.lock().unwrap();
             state.shutdown = true;
-            self.shared.work_cv.notify_all();
+            self.shared.work_cv.notify_one();
         }
-        if let Some(thread) = self.thread.take() {
+        // The append stage drains and exits first, handing the sync stage
+        // the final flush; join in pipeline order.
+        if let Some(thread) = self.append_thread.take() {
+            let _ = thread.join();
+        }
+        if let Some(thread) = self.sync_thread.take() {
             let _ = thread.join();
         }
     }
@@ -232,7 +353,8 @@ impl Drop for LogWriter {
 impl WalHandle {
     /// Submits the record `(lsn, payload)` for group commit. LSNs must be
     /// dense and unique (they are assigned by an STM commit-time counter);
-    /// arrival order is free. Returns the ticket to park on.
+    /// arrival order is free. Returns the ticket to wait on. One map insert
+    /// and one `notify_one` under a short critical section.
     ///
     /// # Errors
     ///
@@ -254,21 +376,33 @@ impl WalHandle {
             state.next_append
         );
         state.pending.insert(lsn, payload);
-        self.shared.work_cv.notify_all();
+        self.shared.work_cv.notify_one();
         Ok(CommitTicket {
             shared: Arc::clone(&self.shared),
             lsn,
         })
     }
 
-    /// All records with `lsn <` this are durable and acknowledged.
+    /// All records with `lsn <` this are durable and acknowledged (the
+    /// locked, authoritative read).
     pub fn durable_lsn(&self) -> u64 {
         self.shared.state.lock().unwrap().durable_upto
+    }
+
+    /// Lock-free snapshot of the durable watermark (see
+    /// [`LogWriter::durable_watermark`]).
+    pub fn durable_watermark(&self) -> u64 {
+        self.shared.durable_watermark.load(Ordering::Acquire)
     }
 }
 
 impl CommitTicket {
-    /// Parks until the record is durable per the writer's fsync policy.
+    /// Waits until the record is durable per the writer's fsync policy.
+    ///
+    /// Fast path: one atomic load of the durable watermark — a record the
+    /// sync stage has already covered returns without locking or parking.
+    /// Otherwise the committer parks on the shared ack condvar, which is
+    /// broadcast once per fsync.
     ///
     /// # Errors
     ///
@@ -276,6 +410,9 @@ impl CommitTicket {
     /// was acknowledged (the in-memory commit stands; recovery may or may
     /// not surface the record).
     pub fn wait(self) -> Result<(), WalError> {
+        if self.shared.durable_watermark.load(Ordering::Acquire) > self.lsn {
+            return Ok(());
+        }
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if state.durable_upto > self.lsn {
@@ -294,63 +431,37 @@ impl CommitTicket {
     }
 }
 
-/// The writer thread's private side.
-struct WriterThread {
+/// The synthetic error a crash point turns into inside fallible I/O paths
+/// (the caller reacts to any error by dying, which is exactly the simulated
+/// outcome).
+fn injected_crash() -> std::io::Error {
+    std::io::Error::other("injected crash point")
+}
+
+/// Stage 1: drains pending records, encodes and writes batches, rotates
+/// segments. Owns the segment file's write handle.
+struct AppendStage {
     shared: Arc<Shared>,
     dir: PathBuf,
     file: File,
+    /// Valid bytes written to the current segment (the trim point for
+    /// rotation/shutdown; everything beyond is preallocated zeros).
+    written_bytes: u64,
+    preallocate: u64,
     fsync: FsyncPolicy,
     crash: CrashPoints,
-    last_fsync: Instant,
 }
 
-impl WriterThread {
-    fn new(
-        shared: Arc<Shared>,
-        dir: PathBuf,
-        file: File,
-        fsync: FsyncPolicy,
-        crash: CrashPoints,
-    ) -> WriterThread {
-        WriterThread {
-            shared,
-            dir,
-            file,
-            fsync,
-            crash,
-            last_fsync: Instant::now(),
-        }
-    }
-
-    /// Marks the log dead and wakes everyone. Consumes the thread's loop.
+impl AppendStage {
     fn die(&self) {
-        let mut state = self.shared.state.lock().unwrap();
-        state.dead = true;
-        self.shared.ack_cv.notify_all();
-        self.shared.work_cv.notify_all();
-    }
-
-    /// Acknowledges every record below `upto` as durable.
-    fn ack_durable(&self, upto: u64) {
-        let mut state = self.shared.state.lock().unwrap();
-        state.durable_upto = state.durable_upto.max(upto);
-        self.shared.ack_cv.notify_all();
-    }
-
-    /// The group-fsync deadline, if records are written but not yet durable.
-    fn fsync_deadline(&self, state: &State) -> Option<Instant> {
-        match self.fsync {
-            FsyncPolicy::Group(interval) if state.durable_upto < state.written_upto => {
-                Some(self.last_fsync + interval)
-            }
-            _ => None,
-        }
+        self.shared.die();
     }
 
     fn run(mut self) {
+        let mut batch = Vec::new();
         loop {
             // Phase 1 (locked): wait for work, then drain the contiguous run.
-            let mut batch = Vec::new();
+            batch.clear();
             let mut last_frame_start = 0usize;
             let batch_upto;
             let rotate_now;
@@ -366,21 +477,7 @@ impl WriterThread {
                     if has_work || rotate_pending || state.shutdown {
                         break;
                     }
-                    match self.fsync_deadline(&state) {
-                        Some(deadline) => {
-                            let now = Instant::now();
-                            if now >= deadline {
-                                break; // fsync is due
-                            }
-                            let (guard, _) = self
-                                .shared
-                                .work_cv
-                                .wait_timeout(state, deadline - now)
-                                .unwrap();
-                            state = guard;
-                        }
-                        None => state = self.shared.work_cv.wait(state).unwrap(),
-                    }
+                    state = self.shared.work_cv.wait(state).unwrap();
                 }
                 loop {
                     let next = state.next_append;
@@ -401,7 +498,7 @@ impl WriterThread {
                 exit_now = state.shutdown && batch.is_empty() && !rotate_now;
             }
 
-            // Phase 2 (unlocked): file I/O, honoring the crash points.
+            // Phase 2 (unlocked): write the batch, honoring the crash points.
             if !batch.is_empty() {
                 if self.crash.should_crash(crash_points::BEFORE_APPEND) {
                     return self.die();
@@ -418,97 +515,194 @@ impl WriterThread {
                 if self.file.write_all(&batch).is_err() {
                     return self.die();
                 }
-                {
-                    let mut state = self.shared.state.lock().unwrap();
-                    state.written_upto = batch_upto;
-                }
+                self.written_bytes += batch.len() as u64;
+                // This check must precede publishing `written_upto`: once
+                // published, the sync stage may fsync and acknowledge the
+                // batch, and this point means the bytes never became durable.
                 if self
                     .crash
                     .should_crash(crash_points::AFTER_APPEND_BEFORE_FSYNC)
                 {
                     return self.die();
                 }
+                if matches!(self.fsync, FsyncPolicy::None) {
+                    // No sync stage under `fsync=none`: acknowledge as soon
+                    // as the OS has the bytes.
+                    {
+                        let mut state = self.shared.state.lock().unwrap();
+                        state.written_upto = batch_upto;
+                    }
+                    if self
+                        .crash
+                        .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
+                    {
+                        return self.die();
+                    }
+                    self.shared.ack_durable(batch_upto);
+                } else {
+                    // Publish the batch to the sync stage and immediately
+                    // loop to fill the next one — the fsync overlaps it.
+                    let mut state = self.shared.state.lock().unwrap();
+                    state.written_upto = batch_upto;
+                    self.shared.sync_cv.notify_one();
+                }
             }
 
-            // Phase 3: durability per policy.
-            let ack_upto = match self.fsync {
-                FsyncPolicy::Always => {
-                    if batch.is_empty() {
-                        None
-                    } else {
-                        if self.file.sync_data().is_err() {
-                            return self.die();
-                        }
-                        self.last_fsync = Instant::now();
-                        Some(batch_upto)
-                    }
-                }
-                FsyncPolicy::None => (!batch.is_empty()).then_some(batch_upto),
-                FsyncPolicy::Group(interval) => {
-                    let (written, durable) = {
-                        let state = self.shared.state.lock().unwrap();
-                        (state.written_upto, state.durable_upto)
-                    };
-                    if durable < written && Instant::now() >= self.last_fsync + interval {
-                        if self.file.sync_data().is_err() {
-                            return self.die();
-                        }
-                        self.last_fsync = Instant::now();
-                        Some(written)
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(upto) = ack_upto {
-                if self
-                    .crash
-                    .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
-                {
-                    return self.die();
-                }
-                self.ack_durable(upto);
-            }
-
-            // Phase 4: segment rotation (requested after a snapshot).
+            // Phase 3: segment rotation (requested after a snapshot).
             if rotate_now && self.rotate_segment().is_err() {
                 return self.die();
             }
 
             if exit_now {
-                return self.clean_shutdown();
+                return self.finish();
             }
         }
     }
 
-    /// Closes the current segment cleanly (fsync, so older segments are never
-    /// torn) and opens the next one at the current append position.
+    /// Closes the current segment cleanly and opens the next one at the
+    /// current append position. The outgoing segment is trimmed to its
+    /// written bytes and fsynced **before** the successor exists, so
+    /// non-newest segments never carry a zero tail — recovery relies on
+    /// that to treat any mid-scan stop as the end of history.
     fn rotate_segment(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()?;
-        let next_start = {
-            let state = self.shared.state.lock().unwrap();
-            state.next_append
-        };
-        self.file = File::create(segment_path(&self.dir, next_start))?;
+        if self.crash.should_crash(crash_points::BEFORE_ROTATE_FSYNC) {
+            return Err(injected_crash());
+        }
+        self.file.set_len(self.written_bytes)?;
+        // sync_all: the trim is a metadata change.
+        self.file.sync_all()?;
+        let next_start = self.shared.state.lock().unwrap().next_append;
+        let file = File::create(segment_path(&self.dir, next_start))?;
+        if self.preallocate > 0 {
+            file.set_len(self.preallocate)?;
+            file.sync_all()?;
+        }
+        if self
+            .crash
+            .should_crash(crash_points::AFTER_CREATE_BEFORE_DIRSYNC)
+        {
+            return Err(injected_crash());
+        }
         crate::files::sync_dir(&self.dir)?;
+        if self
+            .crash
+            .should_crash(crash_points::AFTER_ROTATE_BEFORE_ACK)
+        {
+            return Err(injected_crash());
+        }
+        // Swap the sync stage's handle before declaring the rotation done:
+        // every record at or past `next_start` lands in the new file, and
+        // everything before it was made durable by the sync_all above.
+        *self.shared.sync_file.lock().unwrap() = file.try_clone()?;
+        self.file = file;
+        self.written_bytes = 0;
         let mut state = self.shared.state.lock().unwrap();
         state.durable_upto = state.durable_upto.max(state.written_upto);
+        self.shared
+            .durable_watermark
+            .store(state.durable_upto, Ordering::Release);
         state.segment_start = next_start;
         state.rotations_done += 1;
         self.shared.ack_cv.notify_all();
         Ok(())
     }
 
-    /// Final flush on clean shutdown: everything written becomes durable,
-    /// then the log is marked dead so any stranded ticket fails.
-    fn clean_shutdown(self) {
-        let upto = {
-            let state = self.shared.state.lock().unwrap();
-            state.written_upto
-        };
-        if self.file.sync_data().is_ok() {
-            self.ack_durable(upto);
+    /// Clean shutdown: trim the preallocated tail so the log ends at a frame
+    /// boundary, then hand the sync stage the final flush-and-ack.
+    fn finish(self) {
+        if self.file.set_len(self.written_bytes).is_err() {
+            return self.die();
         }
-        self.die();
+        let mut state = self.shared.state.lock().unwrap();
+        state.append_done = true;
+        self.shared.sync_cv.notify_one();
+    }
+}
+
+/// Stage 2: fsyncs written batches per the [`FsyncPolicy`] and acknowledges
+/// committers through the watermark. Runs concurrently with the append
+/// stage's next fill.
+struct SyncStage {
+    shared: Arc<Shared>,
+    fsync: FsyncPolicy,
+    crash: CrashPoints,
+    last_fsync: Instant,
+}
+
+impl SyncStage {
+    fn die(&self) {
+        self.shared.die();
+    }
+
+    fn run(mut self) {
+        loop {
+            let ack_upto;
+            let finish;
+            {
+                let mut state = self.shared.state.lock().unwrap();
+                loop {
+                    if state.dead {
+                        return;
+                    }
+                    if state.append_done {
+                        break;
+                    }
+                    if state.written_upto > state.durable_upto {
+                        match self.fsync {
+                            // Group: wait out the interval clock, collecting
+                            // everything written in the meantime under one
+                            // fsync.
+                            FsyncPolicy::Group(interval) => {
+                                let deadline = self.last_fsync + interval;
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break;
+                                }
+                                let (guard, _) = self
+                                    .shared
+                                    .sync_cv
+                                    .wait_timeout(state, deadline - now)
+                                    .unwrap();
+                                state = guard;
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        state = self.shared.sync_cv.wait(state).unwrap();
+                    }
+                }
+                ack_upto = state.written_upto;
+                finish = state.append_done;
+            }
+
+            // The fsync itself, outside the state lock: the append stage
+            // keeps filling the next batch while this runs. On the final
+            // flush sync_all also persists the shutdown trim.
+            let synced = {
+                let file = self.shared.sync_file.lock().unwrap();
+                if finish {
+                    file.sync_all()
+                } else {
+                    file.sync_data()
+                }
+            };
+            if synced.is_err() {
+                return self.die();
+            }
+            self.last_fsync = Instant::now();
+            if !finish
+                && self
+                    .crash
+                    .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
+            {
+                return self.die();
+            }
+            self.shared.ack_durable(ack_upto);
+            if finish {
+                // Clean end of the pipeline: mark the log dead so any ticket
+                // stranded behind a sequence gap fails instead of hanging.
+                return self.die();
+            }
+        }
     }
 }

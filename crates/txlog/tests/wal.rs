@@ -1,16 +1,31 @@
-//! Integration tests of the group-commit writer: re-sequencing, fsync
-//! policies, rotation, clean shutdown, and deterministic crash injection.
+//! Integration tests of the pipelined group-commit writer: re-sequencing,
+//! fsync policies, rotation, preallocation trims, clean shutdown, watermark
+//! acknowledgement, and deterministic crash injection on both the append and
+//! the rotation path.
 
 use std::time::Duration;
 
-use tlstm_testutil::{with_default_watchdog, CrashPoints, TempDir};
+use tlstm_testutil::{with_default_watchdog, CrashPoints, EnvVarGuard, TempDir};
+use txlog::files::segment_path;
 use txlog::{crash_points, recover, FsyncPolicy, LogWriter, WalError, WalOptions};
+
+/// Small preallocation for tests: big enough that no test segment outgrows
+/// it, small enough that untrimmed tails stay cheap to scan.
+const TEST_PREALLOC: u64 = 64 * 1024;
 
 fn options(fsync: FsyncPolicy) -> WalOptions {
     WalOptions {
         start_lsn: 0,
         fsync,
         crash_points: CrashPoints::disabled(),
+        preallocate_bytes: TEST_PREALLOC,
+    }
+}
+
+fn crash_options(crash: &CrashPoints) -> WalOptions {
+    WalOptions {
+        crash_points: crash.clone(),
+        ..options(FsyncPolicy::Always)
     }
 }
 
@@ -80,6 +95,144 @@ fn concurrent_committers_all_become_durable() {
     });
 }
 
+/// Lost-wakeup regression for the `notify_one` stage handoffs: each condvar
+/// in the pipeline has exactly one consumer, so a swallowed notification
+/// would strand the writer (and this test would hit the watchdog). Many
+/// concurrent appenders hammer the `work_cv`/`sync_cv` edges under every
+/// fsync policy.
+#[test]
+fn notify_one_wakeups_are_never_lost_under_contention() {
+    with_default_watchdog(|| {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 32;
+        for fsync in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Group(Duration::from_millis(1)),
+            FsyncPolicy::None,
+        ] {
+            let dir = TempDir::new("txlog-wal-wakeup");
+            let writer = LogWriter::open(dir.path(), &options(fsync)).unwrap();
+            let handle = writer.handle();
+            std::thread::scope(|scope| {
+                for thread in 0..THREADS {
+                    let handle = handle.clone();
+                    scope.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let lsn = i * THREADS + thread;
+                            let ticket = handle.append(lsn, payload(lsn)).unwrap();
+                            ticket.wait().unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(writer.durable_lsn(), THREADS * PER_THREAD, "{fsync:?}");
+            assert_eq!(
+                writer.durable_watermark(),
+                writer.durable_lsn(),
+                "{fsync:?}: watermark and locked read must agree at rest"
+            );
+            drop(writer);
+            let log = recover(dir.path()).unwrap();
+            assert_eq!(
+                log.records.len(),
+                (THREADS * PER_THREAD) as usize,
+                "{fsync:?}"
+            );
+        }
+    });
+}
+
+/// Ticket storm: 64 threads submit their LSNs in reverse stride order, so
+/// the pending map is full of gaps and acks can only advance when the run
+/// becomes contiguous. Asserts the dense-acknowledgement invariant and that
+/// the fast-path atomic watermark never disagrees with the locked
+/// `durable_lsn()` read.
+#[test]
+fn ticket_storm_acks_densely_and_watermark_agrees() {
+    with_default_watchdog(|| {
+        const THREADS: u64 = 64;
+        const PER_THREAD: u64 = 4;
+        let dir = TempDir::new("txlog-wal-storm");
+        let writer = LogWriter::open(dir.path(), &options(FsyncPolicy::Always)).unwrap();
+        let handle = writer.handle();
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    // Append the thread's highest LSN first (no waiting), so
+                    // arrival order is heavily out-of-order across threads.
+                    let tickets: Vec<_> = (0..PER_THREAD)
+                        .rev()
+                        .map(|i| {
+                            let lsn = i * THREADS + thread;
+                            handle.append(lsn, payload(lsn)).unwrap()
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        let lsn = ticket.lsn();
+                        ticket.wait().unwrap();
+                        // Dense ack order: an acknowledged record is covered
+                        // by the watermark, which in turn never runs ahead of
+                        // the locked authoritative read.
+                        let watermark = handle.durable_watermark();
+                        assert!(
+                            watermark > lsn,
+                            "acked LSN {lsn} above watermark {watermark}"
+                        );
+                        let locked = handle.durable_lsn();
+                        assert!(
+                            watermark <= locked,
+                            "fast path ({watermark}) ahead of the locked read ({locked})"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(writer.durable_lsn(), THREADS * PER_THREAD);
+        assert_eq!(writer.durable_watermark(), writer.durable_lsn());
+        drop(writer);
+        let log = recover(dir.path()).unwrap();
+        assert_eq!(
+            log.records,
+            (0..THREADS * PER_THREAD)
+                .map(|l| (l, payload(l)))
+                .collect::<Vec<_>>(),
+            "the on-disk log is the dense in-order history"
+        );
+    });
+}
+
+/// Shutdown with records stranded behind a sequence gap must not hang: the
+/// contiguous prefix is flushed and acknowledged, the stranded tickets fail.
+#[test]
+fn shutdown_with_gap_stranded_records_fails_their_tickets() {
+    with_default_watchdog(|| {
+        for fsync in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Group(Duration::from_secs(60)), // interval never expires
+            FsyncPolicy::None,
+        ] {
+            let dir = TempDir::new("txlog-wal-gap");
+            let writer = LogWriter::open(dir.path(), &options(fsync)).unwrap();
+            let t0 = writer.append(0, payload(0)).unwrap();
+            // LSN 1 never arrives: 2 and 3 can never be written.
+            let t2 = writer.append(2, payload(2)).unwrap();
+            let t3 = writer.append(3, payload(3)).unwrap();
+            drop(writer); // must not hang on the stranded records
+            t0.wait().unwrap();
+            assert_eq!(t2.wait(), Err(WalError::Crashed), "{fsync:?}");
+            assert_eq!(t3.wait(), Err(WalError::Crashed), "{fsync:?}");
+            let log = recover(dir.path()).unwrap();
+            assert_eq!(log.records, vec![(0, payload(0))], "{fsync:?}");
+            assert!(
+                log.diagnostics.is_empty(),
+                "{fsync:?}: {:?}",
+                log.diagnostics
+            );
+        }
+    });
+}
+
 #[test]
 fn rotation_starts_a_new_segment_and_keeps_every_record() {
     with_default_watchdog(|| {
@@ -103,6 +256,54 @@ fn rotation_starts_a_new_segment_and_keeps_every_record() {
         let log = recover(dir.path()).unwrap();
         assert_eq!(log.records.len(), 8);
         assert_eq!(log.next_lsn, 8);
+    });
+}
+
+/// Preallocation lifecycle: segments span the configured extent while open
+/// and are trimmed back to their written bytes when closed — by rotation and
+/// by clean shutdown — so only a crash leaves a zero tail behind.
+#[test]
+fn preallocated_segments_are_trimmed_at_rotation_and_shutdown() {
+    with_default_watchdog(|| {
+        let dir = TempDir::new("txlog-wal-prealloc");
+        let writer = LogWriter::open(dir.path(), &options(FsyncPolicy::Always)).unwrap();
+        assert_eq!(
+            std::fs::metadata(segment_path(dir.path(), 0))
+                .unwrap()
+                .len(),
+            TEST_PREALLOC,
+            "a fresh segment spans the full preallocated extent"
+        );
+        for lsn in 0..4 {
+            writer.append(lsn, payload(lsn)).unwrap().wait().unwrap();
+        }
+        let new_start = writer.rotate().unwrap();
+        let closed = std::fs::metadata(segment_path(dir.path(), 0))
+            .unwrap()
+            .len();
+        assert!(
+            closed > 0 && closed < TEST_PREALLOC,
+            "rotation trims the outgoing segment (len {closed})"
+        );
+        assert_eq!(
+            std::fs::metadata(segment_path(dir.path(), new_start))
+                .unwrap()
+                .len(),
+            TEST_PREALLOC,
+            "the successor segment is preallocated"
+        );
+        writer.append(4, payload(4)).unwrap().wait().unwrap();
+        drop(writer);
+        let last = std::fs::metadata(segment_path(dir.path(), new_start))
+            .unwrap()
+            .len();
+        assert!(
+            last > 0 && last < TEST_PREALLOC,
+            "clean shutdown trims the final segment (len {last})"
+        );
+        let log = recover(dir.path()).unwrap();
+        assert_eq!(log.next_lsn, 5);
+        assert!(log.diagnostics.is_empty(), "{:?}", log.diagnostics);
     });
 }
 
@@ -145,25 +346,44 @@ fn group_policy_acks_within_the_interval() {
     });
 }
 
-/// The crash matrix: arm each WAL crash point, submit records, and check
+/// [`WalOptions::default`] hands out one process-wide registry parsed from
+/// [`txlog::CRASH_POINT_ENV`] exactly once, instead of re-reading the
+/// environment per call.
+#[test]
+fn default_options_share_one_env_parsed_registry() {
+    // First default() initialises the process-wide registry while the
+    // variable is guaranteed unset...
+    let guard = EnvVarGuard::lock_only();
+    let a = WalOptions::default();
+    drop(guard);
+    // ...so setting it afterwards must change nothing: the environment is
+    // parsed once per process, not per call.
+    let _guard = EnvVarGuard::set(txlog::CRASH_POINT_ENV, crash_points::MID_FRAME);
+    let b = WalOptions::default();
+    assert!(
+        !b.crash_points.should_crash(crash_points::MID_FRAME),
+        "the env var must not be re-read on later default() calls"
+    );
+    // Both handles share the same registry: arming through one is visible
+    // through the other (a probe name no real code path checks).
+    a.crash_points.arm("test::probe");
+    assert!(b.crash_points.should_crash("test::probe"));
+    assert_eq!(a.crash_points.fired(), Some("test::probe".to_string()));
+    // Leave the shared registry disarmed for any other user in this process.
+    a.crash_points.disarm();
+}
+
+/// The append-path crash matrix: arm each point, submit records, and check
 /// which records survive recovery. Invariant: every *acknowledged* record
 /// survives; the on-disk log is always a dense prefix of the submitted
 /// stream; recovery never panics.
 #[test]
 fn crash_points_kill_the_writer_and_preserve_acked_prefix() {
     with_default_watchdog(|| {
-        for point in crash_points::ALL {
+        for point in crash_points::APPEND {
             let dir = TempDir::new("txlog-wal-crash");
             let crash = CrashPoints::disabled();
-            let writer = LogWriter::open(
-                dir.path(),
-                &WalOptions {
-                    start_lsn: 0,
-                    fsync: FsyncPolicy::Always,
-                    crash_points: crash.clone(),
-                },
-            )
-            .unwrap();
+            let writer = LogWriter::open(dir.path(), &crash_options(&crash)).unwrap();
 
             // Phase 1: records 0..3 acknowledged before the point is armed.
             for lsn in 0..3 {
@@ -203,7 +423,9 @@ fn crash_points_kill_the_writer_and_preserve_acked_prefix() {
             match point {
                 // Died before any byte of record 3 hit the file.
                 crash_points::BEFORE_APPEND => assert_eq!(log.next_lsn, 3, "{point}"),
-                // Died mid-write: a torn final frame that recovery discards.
+                // Died mid-write: a torn final frame that recovery discards
+                // (the torn bytes make the tail non-zero, so it is reported
+                // as corruption, not as preallocation residue).
                 crash_points::MID_FRAME => {
                     assert_eq!(log.next_lsn, 3, "{point}");
                     assert!(
@@ -223,20 +445,70 @@ fn crash_points_kill_the_writer_and_preserve_acked_prefix() {
     });
 }
 
+/// The rotation-path crash matrix: arm each rotation point, crash inside
+/// `rotate()`, and check that every acknowledged record survives recovery —
+/// including across the repaired debris a mid-rotation crash leaves (an
+/// untrimmed outgoing segment, or an orphaned all-zero successor).
+#[test]
+fn rotation_crash_points_kill_the_writer_and_preserve_acked_records() {
+    with_default_watchdog(|| {
+        for point in crash_points::ROTATION {
+            let dir = TempDir::new("txlog-wal-rotate-crash");
+            let crash = CrashPoints::disabled();
+            let writer = LogWriter::open(dir.path(), &crash_options(&crash)).unwrap();
+            for lsn in 0..5 {
+                writer.append(lsn, payload(lsn)).unwrap().wait().unwrap();
+            }
+            crash.arm(point);
+            assert_eq!(writer.rotate(), Err(WalError::Crashed), "{point}");
+            assert!(writer.is_dead(), "{point}");
+            assert_eq!(crash.fired(), Some(point.to_string()), "{point}");
+            assert_eq!(
+                writer.append(5, payload(5)).map(|_| ()),
+                Err(WalError::Crashed),
+                "{point}: dead writers refuse appends"
+            );
+            drop(writer);
+
+            let log = recover(dir.path()).unwrap();
+            assert_eq!(
+                log.records,
+                (0..5).map(|l| (l, payload(l))).collect::<Vec<_>>(),
+                "{point}: acked records lost"
+            );
+            assert_eq!(log.next_lsn, 5, "{point}");
+            // The repair is complete: a second recovery scans clean.
+            let again = recover(dir.path()).unwrap();
+            assert_eq!(again.records, log.records, "{point}");
+            assert!(
+                again.diagnostics.is_empty(),
+                "{point}: second recovery not clean: {:?}",
+                again.diagnostics
+            );
+            // The repaired directory boots a fresh writer that appends on.
+            let writer = LogWriter::open(
+                dir.path(),
+                &WalOptions {
+                    start_lsn: log.next_lsn,
+                    ..options(FsyncPolicy::Always)
+                },
+            )
+            .unwrap();
+            writer.append(5, payload(5)).unwrap().wait().unwrap();
+            drop(writer);
+            let log = recover(dir.path()).unwrap();
+            assert_eq!(log.next_lsn, 6, "{point}");
+            assert_eq!(log.records.len(), 6, "{point}");
+        }
+    });
+}
+
 #[test]
 fn crash_with_waiters_behind_a_gap_fails_them_all() {
     with_default_watchdog(|| {
         let dir = TempDir::new("txlog-wal-crash");
         let crash = CrashPoints::disabled();
-        let writer = LogWriter::open(
-            dir.path(),
-            &WalOptions {
-                start_lsn: 0,
-                fsync: FsyncPolicy::Always,
-                crash_points: crash.clone(),
-            },
-        )
-        .unwrap();
+        let writer = LogWriter::open(dir.path(), &crash_options(&crash)).unwrap();
         // LSN 1 parks behind the missing 0; the crash on 0's append must
         // wake and fail it.
         let t1 = writer.append(1, payload(1)).unwrap();
