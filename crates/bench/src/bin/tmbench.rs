@@ -20,7 +20,8 @@ use std::time::Duration;
 
 use tlstm_bench::report::{diff_reports, BenchReport};
 use tlstm_bench::scenarios::{
-    build_scenarios, run_matrix, workload_selectors, MatrixSelection, RuntimeKind,
+    build_scenarios, find_runtime, run_matrix, runtime_names, workload_selectors, MatrixSelection,
+    RuntimeEntry,
 };
 use tlstm_bench::{cell, env_u32, env_u64, DEFAULT_BENCH_MS};
 use tlstm_workloads::kv::FsyncPolicy;
@@ -55,7 +56,9 @@ MEASUREMENT OPTIONS:
                          kv-a-durable-cN rows (N = 1, 8, 64) are the
                          multi-committer sweep: they pin N client threads on
                          one WAL and ignore --threads
-    --runtimes LIST      comma-separated runtimes: swisstm,tlstm (default: both)
+    --runtimes LIST      comma-separated runtimes from the registry:
+                         swisstm,tlstm,seqref (default: all registered;
+                         seqref is the sequential conformance reference)
     --fsync POLICY       WAL fsync policy of the kv-durable scenarios:
                          always, group, group:<ms>, none (default: group;
                          scenario names are unaffected, so reports stay
@@ -81,7 +84,7 @@ struct CliArgs {
     seed: Option<u64>,
     threads: Option<Vec<usize>>,
     workloads: Vec<String>,
-    runtimes: Vec<RuntimeKind>,
+    runtimes: Vec<&'static RuntimeEntry>,
     fsync: Option<FsyncPolicy>,
     out: Option<String>,
     baseline: Option<String>,
@@ -167,15 +170,13 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--runtimes" => {
                 let v = value_of(&mut i, arg)?;
                 for part in v.split(',') {
-                    let runtime = match part.trim().to_lowercase().as_str() {
-                        "swisstm" => RuntimeKind::Swisstm,
-                        "tlstm" => RuntimeKind::Tlstm,
-                        other => {
-                            return Err(format!(
-                                "unknown runtime '{other}' (want swisstm or tlstm)"
-                            ))
-                        }
-                    };
+                    let token = part.trim().to_lowercase();
+                    let runtime = find_runtime(&token).ok_or_else(|| {
+                        format!(
+                            "unknown runtime '{token}' (registered: {})",
+                            runtime_names().join(", ")
+                        )
+                    })?;
                     if !cli.runtimes.contains(&runtime) {
                         cli.runtimes.push(runtime);
                     }

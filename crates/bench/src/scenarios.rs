@@ -4,10 +4,17 @@
 //! The default matrix covers every workload of the paper's evaluation —
 //! the red-black-tree micro-benchmark (Figure 1a), both Vacation contention
 //! levels (Figure 1b) and both STMBench7 traversal mixes (Figures 2a/2b) —
-//! on both runtimes, at the task splits the figures use. The thread list is
-//! configurable so later scaling PRs can benchmark wider matrices with the
-//! same tool.
+//! on every registered runtime, at the task splits the figures use. The
+//! thread list is configurable so later scaling PRs can benchmark wider
+//! matrices with the same tool.
+//!
+//! Runtimes are not enumerated in scenario code: every [`TxRuntime`] that
+//! should appear in the matrix is one [`RuntimeEntry`] in
+//! [`RUNTIME_REGISTRY`], and scenario construction, CLI filters and reports
+//! pick it up from there.
 
+use swisstm::SwisstmRuntime;
+use tlstm::TlstmRuntime;
 use tlstm_workloads::harness::RunMetrics;
 use tlstm_workloads::kv::{self, FsyncPolicy, KvDurability, KvMix, KvParams};
 use tlstm_workloads::overhead::{self, OverheadParams};
@@ -15,29 +22,68 @@ use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
 use tlstm_workloads::stmbench7::{self, Stmbench7Params};
 use tlstm_workloads::vacation::{self, VacationParams};
 use tlstm_workloads::WorkloadConfig;
+use txmem::{SeqRefRuntime, TxRuntime};
 
 use crate::report::{BenchReport, LatencySummary, ScenarioResult, SCHEMA_VERSION};
 
-/// The runtime a scenario measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RuntimeKind {
-    /// The SwissTM baseline (plain word-based STM).
-    Swisstm,
-    /// The TLSTM unified STM+TLS runtime.
-    Tlstm,
+/// One registered runtime: its stable name, its task-execution mode, and the
+/// monomorphized entry point that measures any scenario on it.
+///
+/// Registering a new runtime is a single [`RuntimeEntry::of`] line in
+/// [`RUNTIME_REGISTRY`] — the matrix, the `--runtimes` CLI filter and the
+/// report rows all read the registry instead of matching on runtime names.
+#[derive(Debug)]
+pub struct RuntimeEntry {
+    /// The identifier used in scenario names, reports and CLI filters.
+    pub name: &'static str,
+    /// Whether the runtime executes task splits speculatively. Speculative
+    /// runtimes expand over each workload's figure-default task splits
+    /// (the k-axis); sequential runtimes always run the k1 row.
+    pub speculative: bool,
+    /// The monomorphized measure function (`measure_on::<R>`): generic
+    /// dispatch happens at registration, never on the hot path.
+    measure_fn: fn(&ScenarioSpec, &WorkloadConfig) -> RunMetrics,
 }
 
-impl RuntimeKind {
-    /// All runtimes, in report order.
-    pub const ALL: [RuntimeKind; 2] = [RuntimeKind::Swisstm, RuntimeKind::Tlstm];
-
-    /// The identifier used in scenario names, reports and CLI filters.
-    pub fn label(self) -> &'static str {
-        match self {
-            RuntimeKind::Swisstm => "swisstm",
-            RuntimeKind::Tlstm => "tlstm",
+impl RuntimeEntry {
+    /// Builds the registry entry for runtime `R`.
+    pub const fn of<R: TxRuntime>() -> RuntimeEntry {
+        RuntimeEntry {
+            name: R::LABEL,
+            speculative: R::SPECULATIVE,
+            measure_fn: measure_on::<R>,
         }
     }
+
+    /// Measures `spec` on this runtime.
+    pub fn measure(&self, spec: &ScenarioSpec, config: &WorkloadConfig) -> RunMetrics {
+        (self.measure_fn)(spec, config)
+    }
+}
+
+impl PartialEq for RuntimeEntry {
+    fn eq(&self, other: &RuntimeEntry) -> bool {
+        self.name == other.name
+    }
+}
+
+/// Every runtime `tmbench` can drive, in report order. The sequential
+/// `seqref` reference runtime rides in the matrix as the conformance
+/// baseline every speculative runtime is compared against.
+pub static RUNTIME_REGISTRY: &[RuntimeEntry] = &[
+    RuntimeEntry::of::<SwisstmRuntime>(),
+    RuntimeEntry::of::<TlstmRuntime>(),
+    RuntimeEntry::of::<SeqRefRuntime>(),
+];
+
+/// Looks a runtime up by its CLI/report name.
+pub fn find_runtime(name: &str) -> Option<&'static RuntimeEntry> {
+    RUNTIME_REGISTRY.iter().find(|entry| entry.name == name)
+}
+
+/// The registered runtime names, in report order.
+pub fn runtime_names() -> Vec<&'static str> {
+    RUNTIME_REGISTRY.iter().map(|entry| entry.name).collect()
 }
 
 /// The workload families `tmbench` can drive.
@@ -183,11 +229,11 @@ pub const KV_BATCH_GROUPS: usize = 4;
 pub struct ScenarioSpec {
     /// The workload to drive.
     pub workload: WorkloadKind,
-    /// The runtime to measure.
-    pub runtime: RuntimeKind,
+    /// The registry entry of the runtime to measure.
+    pub runtime: &'static RuntimeEntry,
     /// User-threads driving the workload.
     pub threads: usize,
-    /// Tasks per user-transaction (always 1 under SwissTM).
+    /// Tasks per user-transaction (always 1 on sequential runtimes).
     pub tasks_per_txn: usize,
 }
 
@@ -197,7 +243,7 @@ impl ScenarioSpec {
         format!(
             "{}/{}/t{}/k{}",
             self.workload.label(),
-            self.runtime.label(),
+            self.runtime.name,
             self.threads,
             self.tasks_per_txn
         )
@@ -205,12 +251,12 @@ impl ScenarioSpec {
 
     /// Runs the scenario and converts the metrics into a report row.
     pub fn run(&self, config: &WorkloadConfig) -> ScenarioResult {
-        let metrics = self.measure(config);
+        let metrics = self.runtime.measure(self, config);
         let latency = &metrics.latency;
         ScenarioResult {
             name: self.name(),
             workload: self.workload.label(),
-            runtime: self.runtime.label().to_string(),
+            runtime: self.runtime.name.to_string(),
             threads: self.threads,
             tasks_per_txn: self.tasks_per_txn,
             ops: metrics.throughput.ops,
@@ -226,94 +272,80 @@ impl ScenarioSpec {
             stats: metrics.stats,
         }
     }
+}
 
-    fn measure(&self, config: &WorkloadConfig) -> RunMetrics {
-        match &self.workload {
-            WorkloadKind::RbTree { ops_per_txn } => {
-                let params = RbTreeBenchParams {
-                    ops_per_txn: *ops_per_txn,
-                    tasks_per_txn: self.tasks_per_txn,
-                    threads: self.threads,
-                    ..Default::default()
-                };
-                match self.runtime {
-                    RuntimeKind::Swisstm => rbtree_bench::measure_swisstm(&params, config),
-                    RuntimeKind::Tlstm => rbtree_bench::measure_tlstm(&params, config),
-                }
-            }
-            WorkloadKind::VacationLow | WorkloadKind::VacationHigh => {
-                let mut params = if matches!(self.workload, WorkloadKind::VacationLow) {
-                    VacationParams::low_contention()
+/// Measures one scenario on runtime `R` — the single place the scenario
+/// matrix meets the [`TxRuntime`] API. Instantiated once per registered
+/// runtime as a [`RuntimeEntry`] fn pointer, so adding a runtime never
+/// touches this function.
+fn measure_on<R: TxRuntime>(spec: &ScenarioSpec, config: &WorkloadConfig) -> RunMetrics {
+    match &spec.workload {
+        WorkloadKind::RbTree { ops_per_txn } => {
+            let params = RbTreeBenchParams {
+                ops_per_txn: *ops_per_txn,
+                tasks_per_txn: spec.tasks_per_txn,
+                threads: spec.threads,
+                ..Default::default()
+            };
+            rbtree_bench::measure::<R>(&params, config)
+        }
+        WorkloadKind::VacationLow | WorkloadKind::VacationHigh => {
+            let mut params = if matches!(spec.workload, WorkloadKind::VacationLow) {
+                VacationParams::low_contention()
+            } else {
+                VacationParams::high_contention()
+            };
+            params.tasks_per_txn = spec.tasks_per_txn;
+            params.clients = spec.threads;
+            vacation::measure::<R>(&params, config)
+        }
+        WorkloadKind::Stmbench7 { read_pct } => {
+            let params = Stmbench7Params {
+                read_pct: *read_pct,
+                tasks_per_txn: spec.tasks_per_txn,
+                threads: spec.threads,
+                ..Default::default()
+            };
+            stmbench7::measure::<R>(&params, config)
+        }
+        WorkloadKind::OverheadRead { ops_per_txn }
+        | WorkloadKind::OverheadWrite { ops_per_txn } => {
+            let params = OverheadParams {
+                ops_per_txn: *ops_per_txn,
+                write_heavy: matches!(spec.workload, WorkloadKind::OverheadWrite { .. }),
+                tasks_per_txn: spec.tasks_per_txn,
+                threads: spec.threads,
+                ..Default::default()
+            };
+            overhead::measure::<R>(&params, config)
+        }
+        WorkloadKind::Kv { mix } | WorkloadKind::KvDurable { mix, .. } => {
+            // `tasks_per_txn` is the batch's shard-group count. Sequential
+            // runtimes carry k1 ("one task") in the matrix, but must plan
+            // with the same grouping as the speculative rows so every
+            // runtime executes identical op streams — derived from the
+            // workload's task-split list, which therefore must stay
+            // single-valued for kv (one k1 row cannot match two groupings).
+            let params = KvParams {
+                tasks_per_txn: if R::SPECULATIVE {
+                    spec.tasks_per_txn
                 } else {
-                    VacationParams::high_contention()
-                };
-                params.tasks_per_txn = self.tasks_per_txn;
-                params.clients = self.threads;
-                match self.runtime {
-                    RuntimeKind::Swisstm => vacation::measure_swisstm(&params, config),
-                    RuntimeKind::Tlstm => vacation::measure_tlstm(&params, config),
-                }
-            }
-            WorkloadKind::Stmbench7 { read_pct } => {
-                let params = Stmbench7Params {
-                    read_pct: *read_pct,
-                    tasks_per_txn: self.tasks_per_txn,
-                    threads: self.threads,
-                    ..Default::default()
-                };
-                match self.runtime {
-                    RuntimeKind::Swisstm => stmbench7::measure_swisstm(&params, config),
-                    RuntimeKind::Tlstm => stmbench7::measure_tlstm(&params, config),
-                }
-            }
-            WorkloadKind::OverheadRead { ops_per_txn }
-            | WorkloadKind::OverheadWrite { ops_per_txn } => {
-                let params = OverheadParams {
-                    ops_per_txn: *ops_per_txn,
-                    write_heavy: matches!(self.workload, WorkloadKind::OverheadWrite { .. }),
-                    tasks_per_txn: self.tasks_per_txn,
-                    threads: self.threads,
-                    ..Default::default()
-                };
-                match self.runtime {
-                    RuntimeKind::Swisstm => overhead::measure_swisstm(&params, config),
-                    RuntimeKind::Tlstm => overhead::measure_tlstm(&params, config),
-                }
-            }
-            WorkloadKind::Kv { mix } | WorkloadKind::KvDurable { mix, .. } => {
-                // `tasks_per_txn` is the batch's shard-group count. SwissTM
-                // scenarios carry k1 ("one task") in the matrix, but must
-                // plan with the same grouping as TLSTM so both runtimes
-                // execute identical op streams — derived from the workload's
-                // task-split list, which therefore must stay single-valued
-                // for kv (one SwissTM row cannot match two groupings).
-                let params = KvParams {
-                    tasks_per_txn: match self.runtime {
-                        RuntimeKind::Swisstm => {
-                            let splits = self.workload.default_task_splits();
-                            assert_eq!(
-                                splits,
-                                [KV_BATCH_GROUPS],
-                                "kv comparability requires a single task split"
-                            );
-                            splits[0]
-                        }
-                        RuntimeKind::Tlstm => self.tasks_per_txn,
-                    },
-                    threads: self.threads,
-                    durable: match &self.workload {
-                        WorkloadKind::KvDurable { fsync, .. } => {
-                            Some(KvDurability { fsync: *fsync })
-                        }
-                        _ => None,
-                    },
-                    ..KvParams::mix(*mix)
-                };
-                match self.runtime {
-                    RuntimeKind::Swisstm => kv::measure_swisstm(&params, config),
-                    RuntimeKind::Tlstm => kv::measure_tlstm(&params, config),
-                }
-            }
+                    let splits = spec.workload.default_task_splits();
+                    assert_eq!(
+                        splits,
+                        [KV_BATCH_GROUPS],
+                        "kv comparability requires a single task split"
+                    );
+                    splits[0]
+                },
+                threads: spec.threads,
+                durable: match &spec.workload {
+                    WorkloadKind::KvDurable { fsync, .. } => Some(KvDurability { fsync: *fsync }),
+                    _ => None,
+                },
+                ..KvParams::mix(*mix)
+            };
+            kv::measure::<R>(&params, config)
         }
     }
 }
@@ -327,8 +359,8 @@ pub struct MatrixSelection {
     /// `stmbench7`, `overhead`, `kv`) or a concrete workload label
     /// (`kv-a`, `rbtree-n16`, ...); empty means all.
     pub workload_families: Vec<String>,
-    /// Runtime filter; empty means both.
-    pub runtimes: Vec<RuntimeKind>,
+    /// Runtime filter; empty means every registered runtime.
+    pub runtimes: Vec<&'static RuntimeEntry>,
     /// Fsync-policy override for the `kv-durable` scenarios (`--fsync`);
     /// `None` keeps the default matrix's policy. Scenario names are not
     /// affected — the modifier exists to compare policies across runs.
@@ -413,13 +445,14 @@ pub fn workload_selectors() -> Vec<String> {
 
 /// Expands a matrix selection into the concrete scenario list.
 ///
-/// SwissTM always runs with one task per transaction (it has no task
-/// decomposition); TLSTM runs once per figure-default task split.
+/// Sequential runtimes always run with one task per transaction (they have
+/// no task decomposition); speculative runtimes run once per figure-default
+/// task split.
 pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
-    let runtimes: &[RuntimeKind] = if selection.runtimes.is_empty() {
-        &RuntimeKind::ALL
+    let runtimes: Vec<&'static RuntimeEntry> = if selection.runtimes.is_empty() {
+        RUNTIME_REGISTRY.iter().collect()
     } else {
-        &selection.runtimes
+        selection.runtimes.clone()
     };
     let mut scenarios = Vec::new();
     for workload in default_workloads() {
@@ -442,24 +475,23 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
             None => selection.threads.clone(),
         };
         for &threads in &thread_axis {
-            for &runtime in runtimes {
-                match runtime {
-                    RuntimeKind::Swisstm => scenarios.push(ScenarioSpec {
+            for &runtime in &runtimes {
+                if runtime.speculative {
+                    for &tasks in workload.default_task_splits() {
+                        scenarios.push(ScenarioSpec {
+                            workload: workload.clone(),
+                            runtime,
+                            threads,
+                            tasks_per_txn: tasks,
+                        });
+                    }
+                } else {
+                    scenarios.push(ScenarioSpec {
                         workload: workload.clone(),
                         runtime,
                         threads,
                         tasks_per_txn: 1,
-                    }),
-                    RuntimeKind::Tlstm => {
-                        for &tasks in workload.default_task_splits() {
-                            scenarios.push(ScenarioSpec {
-                                workload: workload.clone(),
-                                runtime,
-                                threads,
-                                tasks_per_txn: tasks,
-                            });
-                        }
-                    }
+                    });
                 }
             }
         }
@@ -498,12 +530,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_matrix_covers_both_runtimes_and_all_families() {
+    fn registry_names_every_runtime_exactly_once() {
+        let names = runtime_names();
+        assert_eq!(names, ["swisstm", "tlstm", "seqref"]);
+        for name in &names {
+            let entry = find_runtime(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(entry.name, *name);
+        }
+        assert!(find_runtime("blockstm").is_none(), "PR 8 scaffold slot");
+        assert!(find_runtime("").is_none());
+        // Speculation drives the k-axis: exactly tlstm today.
+        assert!(find_runtime("tlstm").unwrap().speculative);
+        assert!(!find_runtime("swisstm").unwrap().speculative);
+        assert!(!find_runtime("seqref").unwrap().speculative);
+    }
+
+    #[test]
+    fn default_matrix_covers_every_runtime_and_all_families() {
         let scenarios = build_scenarios(&MatrixSelection::default());
-        // 5 workloads × (1 swisstm + figure task splits for tlstm).
+        // 5 workloads × (k1 rows + figure task splits for speculative).
         assert!(scenarios.len() >= 10);
-        for runtime in RuntimeKind::ALL {
-            assert!(scenarios.iter().any(|s| s.runtime == runtime));
+        for runtime in RUNTIME_REGISTRY {
+            assert!(
+                scenarios.iter().any(|s| s.runtime == runtime),
+                "{} missing from the default matrix",
+                runtime.name
+            );
         }
         for family in [
             "rbtree",
@@ -519,10 +571,10 @@ mod tests {
         let names: std::collections::HashSet<String> =
             scenarios.iter().map(ScenarioSpec::name).collect();
         assert_eq!(names.len(), scenarios.len());
-        // SwissTM never claims a task split.
+        // Sequential runtimes never claim a task split.
         assert!(scenarios
             .iter()
-            .filter(|s| s.runtime == RuntimeKind::Swisstm)
+            .filter(|s| !s.runtime.speculative)
             .all(|s| s.tasks_per_txn == 1));
     }
 
@@ -531,7 +583,7 @@ mod tests {
         let selection = MatrixSelection {
             threads: vec![1, 2],
             workload_families: vec!["rbtree".to_string()],
-            runtimes: vec![RuntimeKind::Swisstm],
+            runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: None,
         };
         let scenarios = build_scenarios(&selection);
@@ -541,7 +593,7 @@ mod tests {
             "one rbtree swisstm scenario per thread count"
         );
         assert!(scenarios.iter().all(|s| s.workload.family() == "rbtree"));
-        assert!(scenarios.iter().all(|s| s.runtime == RuntimeKind::Swisstm));
+        assert!(scenarios.iter().all(|s| s.runtime.name == "swisstm"));
     }
 
     #[test]
@@ -617,7 +669,7 @@ mod tests {
         let selection = MatrixSelection {
             threads: vec![1],
             workload_families: vec!["kv-durable".to_string(), "kv-a".to_string()],
-            runtimes: vec![RuntimeKind::Swisstm],
+            runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: Some(FsyncPolicy::None),
         };
         let scenarios = build_scenarios(&selection);
@@ -642,7 +694,7 @@ mod tests {
         let selection = MatrixSelection {
             threads: vec![1, 2],
             workload_families: vec!["kv-durable".to_string()],
-            runtimes: vec![RuntimeKind::Swisstm],
+            runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: None,
         };
         let scenarios = build_scenarios(&selection);
@@ -687,10 +739,29 @@ mod tests {
     fn scenario_names_encode_the_axes() {
         let spec = ScenarioSpec {
             workload: WorkloadKind::Stmbench7 { read_pct: 90 },
-            runtime: RuntimeKind::Tlstm,
+            runtime: find_runtime("tlstm").unwrap(),
             threads: 2,
             tasks_per_txn: 3,
         };
         assert_eq!(spec.name(), "stmbench7-r90/tlstm/t2/k3");
+    }
+
+    #[test]
+    fn seqref_rows_measure_through_the_registry() {
+        // A registry-dispatched seqref scenario actually runs: the matrix
+        // picks new runtimes up from the registry with zero scenario-code
+        // changes, and the call path is the same fn-pointer dispatch the
+        // real matrix uses.
+        let spec = ScenarioSpec {
+            workload: WorkloadKind::RbTree { ops_per_txn: 4 },
+            runtime: find_runtime("seqref").unwrap(),
+            threads: 1,
+            tasks_per_txn: 1,
+        };
+        assert_eq!(spec.name(), "rbtree-n4/seqref/t1/k1");
+        let config = WorkloadConfig::quick();
+        let result = spec.run(&config);
+        assert!(result.ops > 0, "seqref made no progress");
+        assert_eq!(result.runtime, "seqref");
     }
 }

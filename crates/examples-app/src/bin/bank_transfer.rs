@@ -1,11 +1,11 @@
-//! Concurrent bank-account transfers on both runtimes.
+//! Concurrent bank-account transfers on every registered runtime.
 //!
 //! Several user-threads transfer money between random accounts; the total
 //! balance must be conserved no matter how many conflicts and rollbacks
-//! happen. The example prints throughput and the abort breakdown for the
-//! SwissTM baseline and for TLSTM with 2-task transactions (each transfer is
-//! split into a withdraw task and a deposit task that communicates through a
-//! speculatively-written scratch word).
+//! happen. One generic driver runs unchanged on the SwissTM baseline, on
+//! TLSTM (where each transfer is split into a withdraw task and a deposit
+//! task that communicate through a speculatively-written scratch word), and
+//! on the sequential `seqref` reference runtime.
 //!
 //! ```text
 //! cargo run -p tlstm-examples --release --bin bank_transfer
@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use swisstm::SwisstmRuntime;
-use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
-use txmem::{TxConfig, TxMem, WordAddr};
+use tlstm::TlstmRuntime;
+use txmem::{Abort, SeqRefRuntime, TxConfig, TxMem, TxRuntime, TxSession, WordAddr};
 
 const ACCOUNTS: u64 = 64;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -59,8 +59,55 @@ fn report(label: &str, transfers: u64, elapsed: std::time::Duration, grand_total
     assert_eq!(grand_total, ACCOUNTS * INITIAL_BALANCE);
 }
 
-fn run_swisstm() {
-    let runtime = SwisstmRuntime::new(TxConfig::default());
+/// One transfer as a 2-task speculative user-transaction: the withdraw task
+/// parks the amount in a per-thread scratch word, the deposit task reads it
+/// back speculatively.
+fn transfer_tasks<S: TxSession>(
+    session: &mut S,
+    accounts: WordAddr,
+    scratch: WordAddr,
+    from: u64,
+    to: u64,
+) {
+    let mut withdraw = |mem: &mut dyn TxMem| -> Result<(), Abort> {
+        let f = mem.read(accounts.offset(from))?;
+        let amount = if f > 0 { 1 + f % 10 } else { 0 };
+        mem.write(accounts.offset(from), f - amount)?;
+        mem.write(scratch, amount)?;
+        Ok(())
+    };
+    let mut deposit = |mem: &mut dyn TxMem| -> Result<(), Abort> {
+        // Reads the speculative value written by the withdraw task of the
+        // same user-transaction.
+        let amount = mem.read(scratch)?;
+        let bal = mem.read(accounts.offset(to))?;
+        mem.write(accounts.offset(to), bal + amount)?;
+        Ok(())
+    };
+    session.run_tasks(&mut [&mut withdraw, &mut deposit]);
+}
+
+/// One transfer as a single flat transaction (non-speculative runtimes).
+fn transfer_flat<S: TxSession>(session: &mut S, accounts: WordAddr, from: u64, to: u64) {
+    session.run(|mem| {
+        let f = mem.read(accounts.offset(from))?;
+        if f > 0 {
+            let amount = 1 + f % 10;
+            let bal = mem.read(accounts.offset(to))?;
+            mem.write(accounts.offset(from), f - amount)?;
+            mem.write(accounts.offset(to), bal + amount)?;
+        }
+        Ok(())
+    });
+}
+
+/// The whole benchmark, generic over the runtime: the same driver code runs
+/// on SwissTM, TLSTM and the sequential reference.
+fn run<R: TxRuntime>() {
+    let runtime = R::new(TxConfig {
+        spec_depth: 2,
+        ..TxConfig::default()
+    });
     let accounts = runtime.heap().alloc(ACCOUNTS).unwrap();
     for i in 0..ACCOUNTS {
         runtime
@@ -72,26 +119,29 @@ fn run_swisstm() {
         for t in 0..THREADS {
             let runtime = Arc::clone(&runtime);
             scope.spawn(move || {
-                let mut thread = runtime.register_thread();
+                let mut session = runtime.session();
                 let mut seed = 0x1234_5678 + t as u64;
+                // A scratch word per user-thread carries the withdrawn amount
+                // from the first task to the second on speculative runtimes.
+                let scratch = runtime.heap().alloc(1).unwrap();
                 for _ in 0..TRANSFERS_PER_THREAD {
                     let (from, to) = pick_accounts(&mut seed);
-                    thread.atomic(|tx| {
-                        let f = tx.read(accounts.offset(from))?;
-                        if f > 0 {
-                            let amount = 1 + f % 10;
-                            let bal = tx.read(accounts.offset(to))?;
-                            tx.write(accounts.offset(from), f - amount)?;
-                            tx.write(accounts.offset(to), bal + amount)?;
-                        }
-                        Ok(())
-                    });
+                    if R::SPECULATIVE {
+                        transfer_tasks(&mut session, accounts, scratch, from, to);
+                    } else {
+                        transfer_flat(&mut session, accounts, from, to);
+                    }
                 }
             });
         }
     });
+    let label = if R::SPECULATIVE {
+        format!("{} (2 tasks per transfer)", R::LABEL)
+    } else {
+        R::LABEL.to_string()
+    };
     report(
-        "SwissTM",
+        &label,
         THREADS as u64 * TRANSFERS_PER_THREAD,
         started.elapsed(),
         total(runtime.heap(), accounts),
@@ -99,56 +149,8 @@ fn run_swisstm() {
     println!("{}\n", runtime.stats());
 }
 
-fn run_tlstm() {
-    let runtime = TlstmRuntime::new(TxConfig::default());
-    let accounts = runtime.heap().alloc(ACCOUNTS).unwrap();
-    for i in 0..ACCOUNTS {
-        runtime
-            .heap()
-            .store_committed(accounts.offset(i), INITIAL_BALANCE);
-    }
-    let started = Instant::now();
-    std::thread::scope(|scope| {
-        for t in 0..THREADS {
-            let runtime = Arc::clone(&runtime);
-            scope.spawn(move || {
-                let uthread = runtime.register_uthread(2);
-                let mut seed = 0x1234_5678 + t as u64;
-                // A scratch word per user-thread carries the withdrawn amount
-                // from the first task to the second, speculatively.
-                let scratch = runtime.heap().alloc(1).unwrap();
-                for _ in 0..TRANSFERS_PER_THREAD {
-                    let (from, to) = pick_accounts(&mut seed);
-                    let withdraw = task(move |ctx: &mut TaskCtx<'_>| {
-                        let f = ctx.read(accounts.offset(from))?;
-                        let amount = if f > 0 { 1 + f % 10 } else { 0 };
-                        ctx.write(accounts.offset(from), f - amount)?;
-                        ctx.write(scratch, amount)?;
-                        Ok(())
-                    });
-                    let deposit = task(move |ctx: &mut TaskCtx<'_>| {
-                        // Reads the speculative value written by the withdraw
-                        // task of the same user-transaction.
-                        let amount = ctx.read(scratch)?;
-                        let bal = ctx.read(accounts.offset(to))?;
-                        ctx.write(accounts.offset(to), bal + amount)?;
-                        Ok(())
-                    });
-                    uthread.execute(vec![TxnSpec::new(vec![withdraw, deposit])]);
-                }
-            });
-        }
-    });
-    report(
-        "TLSTM (2 tasks per transfer)",
-        THREADS as u64 * TRANSFERS_PER_THREAD,
-        started.elapsed(),
-        total(runtime.heap(), accounts),
-    );
-    println!("{}", runtime.stats());
-}
-
 fn main() {
-    run_swisstm();
-    run_tlstm();
+    run::<SwisstmRuntime>();
+    run::<TlstmRuntime>();
+    run::<SeqRefRuntime>();
 }

@@ -1,16 +1,21 @@
-//! Quickstart: one user-thread, one user-transaction, two speculative tasks.
+//! Quickstart: one user-thread, one user-transaction, two speculative tasks —
+//! written against the runtime-agnostic [`TxRuntime`]/[`TxSession`] API.
 //!
 //! ```text
 //! cargo run -p tlstm-examples --release --bin quickstart
 //! ```
 
-use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
-use txmem::{TxConfig, TxMem};
+use tlstm::TlstmRuntime;
+use txmem::{Abort, TxConfig, TxMem, TxRuntime, TxSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A runtime owns the transactional heap, the global lock table and the
-    // commit clock.
-    let runtime = TlstmRuntime::new(TxConfig::default());
+    // commit clock. `spec_depth` bounds how many tasks of one user-thread
+    // may run speculatively in parallel.
+    let runtime = TlstmRuntime::new(TxConfig {
+        spec_depth: 2,
+        ..TxConfig::default()
+    });
 
     // Allocate two shared words non-transactionally (setup phase).
     let account_a = runtime.heap().alloc(1)?;
@@ -18,27 +23,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     runtime.heap().store_committed(account_a, 100);
     runtime.heap().store_committed(account_b, 0);
 
-    // One user-thread with speculative depth 2: up to two of its tasks run in
-    // parallel, yet behave exactly as if they ran one after the other.
-    let uthread = runtime.register_uthread(2);
+    // A per-thread session is the handle transactions run through. On TLSTM
+    // it registers a user-thread; other runtimes (SwissTM, seqref) hand out
+    // sessions from the same method — the code below runs on any of them.
+    let mut session = runtime.session();
 
     // A user-transaction decomposed into two tasks: the first withdraws from
     // account A, the second deposits into account B *reading the speculative
-    // state left by the first*.
-    let withdraw = task(move |ctx: &mut TaskCtx<'_>| {
-        let a = ctx.read(account_a)?;
-        ctx.write(account_a, a - 40)?;
+    // state left by the first*. On sequential runtimes the same bodies run
+    // in order inside one transaction.
+    let mut withdraw = |mem: &mut dyn TxMem| -> Result<(), Abort> {
+        let a = mem.read(account_a)?;
+        mem.write(account_a, a - 40)?;
         Ok(())
-    });
-    let deposit = task(move |ctx: &mut TaskCtx<'_>| {
-        let a = ctx.read(account_a)?; // sees 60, the speculative value
-        let b = ctx.read(account_b)?;
-        ctx.write(account_b, b + (100 - a))?;
+    };
+    let mut deposit = |mem: &mut dyn TxMem| -> Result<(), Abort> {
+        let a = mem.read(account_a)?; // sees 60, the speculative value
+        let b = mem.read(account_b)?;
+        mem.write(account_b, b + (100 - a))?;
         Ok(())
-    });
-    let outcome = uthread.execute(vec![TxnSpec::new(vec![withdraw, deposit])]);
+    };
+    session.run_tasks(&mut [&mut withdraw, &mut deposit]);
 
-    println!("transaction committed: {:?}", outcome[0]);
     println!(
         "account A = {}, account B = {}",
         runtime.heap().load_committed(account_a),

@@ -7,6 +7,11 @@
 //! and (b) the batch completes faster than strictly serial submission when the
 //! transactions contain exploitable parallelism.
 //!
+//! The serial half runs through the portable [`TxSession`] API; the pipelined
+//! half uses TLSTM's inherent batch-submission interface, which is the one
+//! capability that deliberately stays *outside* the runtime-agnostic trait
+//! (cross-transaction speculation has no meaning on non-speculative runtimes).
+//!
 //! ```text
 //! cargo run -p tlstm-examples --release --bin speculative_pipeline
 //! ```
@@ -14,31 +19,57 @@
 use std::time::Instant;
 
 use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
-use txmem::{TxConfig, TxMem};
+use txmem::{Abort, TxConfig, TxMem, TxRuntime, TxSession};
 
 const BATCH: u64 = 200;
 const WORK_PER_TASK: u64 = 400;
 
-fn busy_reads(ctx: &mut TaskCtx<'_>, base: txmem::WordAddr, n: u64) -> Result<u64, tlstm::Abort> {
+fn busy_reads<M: TxMem + ?Sized>(mem: &mut M, base: txmem::WordAddr, n: u64) -> Result<u64, Abort> {
     let mut acc = 0u64;
     for i in 0..n {
-        acc = acc.wrapping_add(ctx.read(base.offset(i % 64))?);
+        acc = acc.wrapping_add(mem.read(base.offset(i % 64))?);
     }
     Ok(acc)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = TlstmRuntime::new(TxConfig::default());
+    let runtime = TlstmRuntime::new(TxConfig {
+        spec_depth: 2,
+        ..TxConfig::default()
+    });
     let log = runtime.heap().alloc(BATCH)?;
     let cursor = runtime.heap().alloc(1)?;
     let scratch = runtime.heap().alloc(64)?;
 
-    let make_txn = |id: u64| {
+    // Serial submission through the portable session API: one transaction at
+    // a time (no pipelining across transactions — the speculative depth still
+    // parallelises the two tasks *inside* each transaction).
+    let mut session = runtime.session();
+    let started = Instant::now();
+    for id in 0..BATCH {
         // Task 1: CPU/read-heavy prologue (independent work, parallelisable).
-        let prologue =
-            task(move |ctx: &mut TaskCtx<'_>| busy_reads(ctx, scratch, WORK_PER_TASK).map(|_| ()));
+        let mut prologue =
+            |mem: &mut dyn TxMem| busy_reads(mem, scratch, WORK_PER_TASK).map(|_| ());
         // Task 2: appends the transaction id to the log (carries the true
         // data dependency between transactions).
+        let mut append = |mem: &mut dyn TxMem| -> Result<(), Abort> {
+            let pos = mem.read(cursor)?;
+            mem.write(log.offset(pos), id)?;
+            mem.write(cursor, pos + 1)?;
+            Ok(())
+        };
+        session.run_tasks(&mut [&mut prologue, &mut append]);
+    }
+    let serial = started.elapsed();
+    drop(session);
+    runtime.heap().store_committed(cursor, 0);
+
+    // Pipelined submission: the whole batch is handed to the runtime at once
+    // via TLSTM's inherent interface, so tasks of future transactions run
+    // speculatively while earlier transactions are still committing.
+    let make_txn = |id: u64| {
+        let prologue =
+            task(move |ctx: &mut TaskCtx<'_>| busy_reads(ctx, scratch, WORK_PER_TASK).map(|_| ()));
         let append = task(move |ctx: &mut TaskCtx<'_>| {
             let pos = ctx.read(cursor)?;
             ctx.write(log.offset(pos), id)?;
@@ -47,21 +78,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         TxnSpec::new(vec![prologue, append])
     };
-
-    // Serial submission: one transaction at a time (no pipelining across
-    // transactions — the speculative depth still parallelises the two tasks
-    // *inside* each transaction).
-    let uthread = runtime.register_uthread(2);
-    let started = Instant::now();
-    for id in 0..BATCH {
-        uthread.execute(vec![make_txn(id)]);
-    }
-    let serial = started.elapsed();
-    runtime.heap().store_committed(cursor, 0);
-
-    // Pipelined submission: the whole batch is handed to the runtime at once,
-    // so tasks of future transactions run speculatively while earlier
-    // transactions are still committing.
     let uthread = runtime.register_uthread(4);
     let started = Instant::now();
     let batch: Vec<TxnSpec> = (0..BATCH).map(make_txn).collect();

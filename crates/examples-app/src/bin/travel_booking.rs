@@ -9,13 +9,17 @@
 
 use std::sync::Arc;
 
-use tlstm::{task, TaskCtx, TlstmRuntime, TxnSpec};
-use tlstm_workloads::harness::DetRng;
+use tlstm::TlstmRuntime;
+use tlstm_workloads::harness::{chunk_ranges, DetRng};
 use tlstm_workloads::vacation::{execute_ops, generate_txn, Manager, VacationParams};
+use txmem::{run_boxed_tasks, BoxedTaskBody, TxMem, TxRuntime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = VacationParams::low_contention();
-    let runtime = TlstmRuntime::new(txmem::TxConfig::default());
+    let runtime = TlstmRuntime::new(txmem::TxConfig {
+        spec_depth: params.tasks_per_txn,
+        ..txmem::TxConfig::default()
+    });
     let manager = Manager::populate(&mut runtime.direct(), &params)
         .expect("populating the reservation system cannot abort");
 
@@ -28,23 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let runtime = Arc::clone(&runtime);
             let params = params.clone();
             scope.spawn(move || {
-                let uthread = runtime.register_uthread(params.tasks_per_txn);
+                let mut session = runtime.session();
                 let mut rng = DetRng::new(0xB00C + server);
                 for _ in 0..clients_per_server {
-                    let ops = Arc::new(generate_txn(&mut rng, &params));
-                    let tasks = params.tasks_per_txn;
-                    let chunk = ops.len().div_ceil(tasks);
-                    let bodies = (0..tasks)
-                        .map(|t| {
-                            let ops = Arc::clone(&ops);
-                            let lo = (t * chunk).min(ops.len());
-                            let hi = ((t + 1) * chunk).min(ops.len());
-                            task(move |ctx: &mut TaskCtx<'_>| {
-                                execute_ops(ctx, &manager, &ops[lo..hi])
+                    let ops = generate_txn(&mut rng, &params);
+                    let mut bodies: Vec<BoxedTaskBody<'_>> =
+                        chunk_ranges(ops.len(), params.tasks_per_txn)
+                            .into_iter()
+                            .map(|(lo, hi)| {
+                                let ops = &ops[lo..hi];
+                                let manager = &manager;
+                                Box::new(move |mem: &mut dyn TxMem| execute_ops(mem, manager, ops))
+                                    as BoxedTaskBody<'_>
                             })
-                        })
-                        .collect();
-                    uthread.execute(vec![TxnSpec::new(bodies)]);
+                            .collect();
+                    run_boxed_tasks(&mut session, &mut bodies);
                 }
             });
         }

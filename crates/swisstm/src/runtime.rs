@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use txmem::{
-    Abort, DirectMem, OwnerHandle, OwnerToken, StatsSnapshot, ThreadIdAllocator, TxConfig, TxHeap,
-    TxSubstrate,
+    Abort, DirectMem, OwnerHandle, OwnerToken, StatsSnapshot, TaskBody, ThreadIdAllocator,
+    TxConfig, TxHeap, TxRuntime, TxSession, TxSubstrate,
 };
 
 use crate::cm::{GreedyCm, GreedyTicket, TIMID};
@@ -229,6 +229,56 @@ impl Drop for SwisstmThread {
         // Retire this thread's descriptor from the owner registry; late
         // contenders then simply wait for (already released) locks.
         self.runtime.owners.unregister(self.id);
+    }
+}
+
+impl TxRuntime for SwisstmRuntime {
+    type Session = SwisstmThread;
+
+    const LABEL: &'static str = "swisstm";
+    const SPECULATIVE: bool = false;
+
+    fn new(config: TxConfig) -> Arc<Self> {
+        SwisstmRuntime::new(config)
+    }
+
+    fn with_substrate(substrate: Arc<TxSubstrate>) -> Arc<Self> {
+        SwisstmRuntime::with_substrate(substrate)
+    }
+
+    fn substrate(&self) -> &Arc<TxSubstrate> {
+        SwisstmRuntime::substrate(self)
+    }
+
+    fn session(self: &Arc<Self>) -> SwisstmThread {
+        self.register_thread()
+    }
+}
+
+impl TxSession for SwisstmThread {
+    type Mem<'t> = Transaction<'t>;
+
+    fn run<T, F>(&mut self, body: F) -> T
+    where
+        T: Send,
+        F: for<'t> Fn(&mut Transaction<'t>) -> Result<T, Abort> + Send + Sync,
+    {
+        self.atomic(|tx| body(tx))
+    }
+
+    /// Executes the ordered bodies sequentially inside *one* transaction —
+    /// SwissTM has no task decomposition, so a task group degenerates to a
+    /// single transaction applying the bodies in program order.
+    fn run_tasks(&mut self, tasks: &mut [TaskBody<'_>]) {
+        if tasks.is_empty() {
+            return;
+        }
+        self.atomic(|tx| {
+            for body in tasks.iter_mut() {
+                body(tx)?;
+            }
+            Ok(())
+        });
     }
 }
 

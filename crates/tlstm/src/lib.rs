@@ -56,6 +56,7 @@
 
 pub mod cm;
 pub mod runtime;
+pub mod session;
 pub mod task;
 pub mod txn_state;
 pub mod uthread_state;

@@ -14,7 +14,7 @@ impl TxCounter {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M) -> Result<Self, Abort> {
         let addr = mem.alloc(1)?;
         mem.write(addr, 0)?;
         Ok(TxCounter { addr })
@@ -35,7 +35,7 @@ impl TxCounter {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn get<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.addr)
     }
 
@@ -44,7 +44,7 @@ impl TxCounter {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn set<M: TxMem>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
+    pub fn set<M: TxMem + ?Sized>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
         mem.write(self.addr, value)
     }
 
@@ -53,7 +53,7 @@ impl TxCounter {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn add<M: TxMem>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
+    pub fn add<M: TxMem + ?Sized>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
         let v = mem.read(self.addr)?.wrapping_add(delta);
         mem.write(self.addr, v)?;
         Ok(v)
@@ -64,7 +64,7 @@ impl TxCounter {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn sub<M: TxMem>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
+    pub fn sub<M: TxMem + ?Sized>(&self, mem: &mut M, delta: u64) -> Result<u64, Abort> {
         let v = mem.read(self.addr)?.saturating_sub(delta);
         mem.write(self.addr, v)?;
         Ok(v)

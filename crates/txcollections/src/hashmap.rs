@@ -27,7 +27,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M, n_buckets: u64) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M, n_buckets: u64) -> Result<Self, Abort> {
         let n_buckets = n_buckets.max(1);
         let header = mem.alloc(HDR_TABLE + n_buckets)?;
         mem.write(header.offset(HDR_BUCKETS), n_buckets)?;
@@ -46,7 +46,10 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn with_capacity<M: TxMem>(mem: &mut M, expected_entries: u64) -> Result<Self, Abort> {
+    pub fn with_capacity<M: TxMem + ?Sized>(
+        mem: &mut M,
+        expected_entries: u64,
+    ) -> Result<Self, Abort> {
         // Cap the pre-allocation at 2^24 buckets (128 MiB of heads) so an
         // absurd capacity request degrades into longer chains, not OOM.
         let buckets = expected_entries
@@ -67,7 +70,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn bucket_count<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn bucket_count<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.header.offset(HDR_BUCKETS))
     }
 
@@ -76,7 +79,7 @@ impl TxHashMap {
         self.header
     }
 
-    fn bucket_slot<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<WordAddr, Abort> {
+    fn bucket_slot<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<WordAddr, Abort> {
         let n = mem.read(self.header.offset(HDR_BUCKETS))?;
         // Fibonacci hashing, taking the product's *high* bits: the low bits
         // of `key * C mod 2^k` depend only on the key's low bits, which are
@@ -91,7 +94,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn len<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.header.offset(HDR_SIZE))
     }
 
@@ -100,7 +103,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+    pub fn is_empty<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<bool, Abort> {
         Ok(self.len(mem)? == 0)
     }
 
@@ -110,7 +113,12 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn insert<M: TxMem>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, Abort> {
+    pub fn insert<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
         let slot = self.bucket_slot(mem, key)?;
         let head = mem.read_ref(slot)?;
         let mut cur = head;
@@ -136,7 +144,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+    pub fn get<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
         let slot = self.bucket_slot(mem, key)?;
         let mut cur = mem.read_ref(slot)?;
         while let Some(node) = cur {
@@ -153,7 +161,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn contains<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn contains<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         Ok(self.get(mem, key)?.is_some())
     }
 
@@ -162,7 +170,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn remove<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn remove<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         let slot = self.bucket_slot(mem, key)?;
         let mut prev: Option<WordAddr> = None;
         let mut cur = mem.read_ref(slot)?;
@@ -191,7 +199,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn for_each<M: TxMem, F>(&self, mem: &mut M, mut visit: F) -> Result<(), Abort>
+    pub fn for_each<M: TxMem + ?Sized, F>(&self, mem: &mut M, mut visit: F) -> Result<(), Abort>
     where
         F: FnMut(u64, u64),
     {
@@ -214,7 +222,7 @@ impl TxHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
+    pub fn to_vec<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
         let mut out = Vec::new();
         self.for_each(mem, |k, v| out.push((k, v)))?;
         Ok(out)

@@ -26,7 +26,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M) -> Result<Self, Abort> {
         let header = mem.alloc(HDR_WORDS)?;
         mem.write_ref(header.offset(HDR_HEAD), None)?;
         mem.write(header.offset(HDR_SIZE), 0)?;
@@ -48,7 +48,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn len<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.header.offset(HDR_SIZE))
     }
 
@@ -57,7 +57,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+    pub fn is_empty<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<bool, Abort> {
         Ok(self.len(mem)? == 0)
     }
 
@@ -67,7 +67,12 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn insert<M: TxMem>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, Abort> {
+    pub fn insert<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
         let mut prev: Option<WordAddr> = None;
         let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
         while let Some(node) = cur {
@@ -100,7 +105,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+    pub fn get<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
         let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
         while let Some(node) = cur {
             let nkey = mem.read(node.offset(OFF_KEY))?;
@@ -120,7 +125,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn contains<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn contains<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         Ok(self.get(mem, key)?.is_some())
     }
 
@@ -129,7 +134,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn remove<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn remove<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         let mut prev: Option<WordAddr> = None;
         let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
         while let Some(node) = cur {
@@ -158,7 +163,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
+    pub fn to_vec<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
         let mut out = Vec::new();
         let mut cur = mem.read_ref(self.header.offset(HDR_HEAD))?;
         while let Some(node) = cur {
@@ -176,7 +181,7 @@ impl TxSortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts (including aborts raised by `f`).
-    pub fn for_each<M: TxMem>(
+    pub fn for_each<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         mut f: impl FnMut(&mut M, u64, u64) -> Result<(), Abort>,

@@ -26,7 +26,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M) -> Result<Self, Abort> {
         let header = mem.alloc(HDR_WORDS)?;
         mem.write_ref(header.offset(HDR_HEAD), None)?;
         mem.write_ref(header.offset(HDR_TAIL), None)?;
@@ -49,7 +49,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn len<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.header.offset(HDR_SIZE))
     }
 
@@ -58,7 +58,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+    pub fn is_empty<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<bool, Abort> {
         Ok(self.len(mem)? == 0)
     }
 
@@ -67,7 +67,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn enqueue<M: TxMem>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
+    pub fn enqueue<M: TxMem + ?Sized>(&self, mem: &mut M, value: u64) -> Result<(), Abort> {
         let node = mem.alloc(NODE_WORDS)?;
         mem.write(node.offset(OFF_VALUE), value)?;
         mem.write_ref(node.offset(OFF_NEXT), None)?;
@@ -90,7 +90,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn dequeue<M: TxMem>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
+    pub fn dequeue<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
         let head = match mem.read_ref(self.header.offset(HDR_HEAD))? {
             None => return Ok(None),
             Some(h) => h,
@@ -111,7 +111,7 @@ impl TxQueue {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn peek<M: TxMem>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
+    pub fn peek<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Option<u64>, Abort> {
         match mem.read_ref(self.header.offset(HDR_HEAD))? {
             None => Ok(None),
             Some(head) => Ok(Some(mem.read(head.offset(OFF_VALUE))?)),

@@ -37,7 +37,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M) -> Result<Self, Abort> {
         let header = mem.alloc(HDR_WORDS)?;
         mem.write_ref(header.offset(HDR_ROOT), None)?;
         mem.write(header.offset(HDR_SIZE), 0)?;
@@ -60,7 +60,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn len<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         mem.read(self.header.offset(HDR_SIZE))
     }
 
@@ -69,15 +69,19 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn is_empty<M: TxMem>(&self, mem: &mut M) -> Result<bool, Abort> {
+    pub fn is_empty<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<bool, Abort> {
         Ok(self.len(mem)? == 0)
     }
 
-    fn root<M: TxMem>(&self, mem: &mut M) -> Result<Option<WordAddr>, Abort> {
+    fn root<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Option<WordAddr>, Abort> {
         mem.read_ref(self.header.offset(HDR_ROOT))
     }
 
-    fn set_root<M: TxMem>(&self, mem: &mut M, node: Option<WordAddr>) -> Result<(), Abort> {
+    fn set_root<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: Option<WordAddr>,
+    ) -> Result<(), Abort> {
         mem.write_ref(self.header.offset(HDR_ROOT), node)
     }
 
@@ -86,7 +90,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+    pub fn get<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, Abort> {
         let mut cur = self.root(mem)?;
         while let Some(node) = cur {
             let nkey = mem.read(node.offset(OFF_KEY))?;
@@ -107,7 +111,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn contains<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn contains<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         Ok(self.get(mem, key)?.is_some())
     }
 
@@ -117,7 +121,12 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn insert<M: TxMem>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, Abort> {
+    pub fn insert<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
         // Standard BST descent.
         let mut parent: Option<WordAddr> = None;
         let mut cur = self.root(mem)?;
@@ -158,30 +167,47 @@ impl TxRbTree {
         Ok(true)
     }
 
-    fn color<M: TxMem>(&self, mem: &mut M, node: Option<WordAddr>) -> Result<u64, Abort> {
+    fn color<M: TxMem + ?Sized>(&self, mem: &mut M, node: Option<WordAddr>) -> Result<u64, Abort> {
         match node {
             None => Ok(BLACK),
             Some(n) => mem.read(n.offset(OFF_COLOR)),
         }
     }
 
-    fn set_color<M: TxMem>(&self, mem: &mut M, node: WordAddr, color: u64) -> Result<(), Abort> {
+    fn set_color<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: WordAddr,
+        color: u64,
+    ) -> Result<(), Abort> {
         mem.write(node.offset(OFF_COLOR), color)
     }
 
-    fn parent_of<M: TxMem>(&self, mem: &mut M, node: WordAddr) -> Result<Option<WordAddr>, Abort> {
+    fn parent_of<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: WordAddr,
+    ) -> Result<Option<WordAddr>, Abort> {
         mem.read_ref(node.offset(OFF_PARENT))
     }
 
-    fn left_of<M: TxMem>(&self, mem: &mut M, node: WordAddr) -> Result<Option<WordAddr>, Abort> {
+    fn left_of<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: WordAddr,
+    ) -> Result<Option<WordAddr>, Abort> {
         mem.read_ref(node.offset(OFF_LEFT))
     }
 
-    fn right_of<M: TxMem>(&self, mem: &mut M, node: WordAddr) -> Result<Option<WordAddr>, Abort> {
+    fn right_of<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: WordAddr,
+    ) -> Result<Option<WordAddr>, Abort> {
         mem.read_ref(node.offset(OFF_RIGHT))
     }
 
-    fn rotate_left<M: TxMem>(&self, mem: &mut M, x: WordAddr) -> Result<(), Abort> {
+    fn rotate_left<M: TxMem + ?Sized>(&self, mem: &mut M, x: WordAddr) -> Result<(), Abort> {
         let y = self
             .right_of(mem, x)?
             .expect("rotate_left requires a right child");
@@ -207,7 +233,7 @@ impl TxRbTree {
         Ok(())
     }
 
-    fn rotate_right<M: TxMem>(&self, mem: &mut M, x: WordAddr) -> Result<(), Abort> {
+    fn rotate_right<M: TxMem + ?Sized>(&self, mem: &mut M, x: WordAddr) -> Result<(), Abort> {
         let y = self
             .left_of(mem, x)?
             .expect("rotate_right requires a left child");
@@ -233,7 +259,7 @@ impl TxRbTree {
         Ok(())
     }
 
-    fn insert_fixup<M: TxMem>(&self, mem: &mut M, mut z: WordAddr) -> Result<(), Abort> {
+    fn insert_fixup<M: TxMem + ?Sized>(&self, mem: &mut M, mut z: WordAddr) -> Result<(), Abort> {
         loop {
             let parent = match self.parent_of(mem, z)? {
                 Some(p) if self.color(mem, Some(p))? == RED => p,
@@ -290,7 +316,11 @@ impl TxRbTree {
         Ok(())
     }
 
-    fn find_node<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<WordAddr>, Abort> {
+    fn find_node<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+    ) -> Result<Option<WordAddr>, Abort> {
         let mut cur = self.root(mem)?;
         while let Some(node) = cur {
             let nkey = mem.read(node.offset(OFF_KEY))?;
@@ -306,7 +336,11 @@ impl TxRbTree {
         Ok(None)
     }
 
-    fn minimum<M: TxMem>(&self, mem: &mut M, mut node: WordAddr) -> Result<WordAddr, Abort> {
+    fn minimum<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        mut node: WordAddr,
+    ) -> Result<WordAddr, Abort> {
         while let Some(left) = self.left_of(mem, node)? {
             node = left;
         }
@@ -315,7 +349,7 @@ impl TxRbTree {
 
     /// Replaces the subtree rooted at `u` with the subtree rooted at `v`
     /// (CLRS `RB-TRANSPLANT`); `v` may be absent.
-    fn transplant<M: TxMem>(
+    fn transplant<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         u: WordAddr,
@@ -346,7 +380,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn remove<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn remove<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         let z = match self.find_node(mem, key)? {
             Some(z) => z,
             None => return Ok(false),
@@ -408,7 +442,7 @@ impl TxRbTree {
 
     /// CLRS `RB-DELETE-FIXUP`, tracking a possibly-absent `x` through its
     /// parent.
-    fn remove_fixup<M: TxMem>(
+    fn remove_fixup<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         mut x: Option<WordAddr>,
@@ -515,7 +549,11 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn ceiling<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<(u64, u64)>, Abort> {
+    pub fn ceiling<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+    ) -> Result<Option<(u64, u64)>, Abort> {
         let mut cur = self.root(mem)?;
         let mut best: Option<(u64, u64)> = None;
         while let Some(node) = cur {
@@ -543,7 +581,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn range_into<M: TxMem>(
+    pub fn range_into<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         lo: u64,
@@ -589,7 +627,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn to_vec<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
+    pub fn to_vec<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Vec<(u64, u64)>, Abort> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
         let mut cur = self.root(mem)?;
@@ -622,13 +660,13 @@ impl TxRbTree {
     /// # Panics
     ///
     /// Panics if an invariant is violated.
-    pub fn check_invariants<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn check_invariants<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         let root = self.root(mem)?;
         assert_eq!(self.color(mem, root)?, BLACK, "root must be black");
         self.check_subtree(mem, root, None, None)
     }
 
-    fn check_subtree<M: TxMem>(
+    fn check_subtree<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         node: Option<WordAddr>,

@@ -37,9 +37,11 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use swisstm::SwisstmRuntime;
+use tlstm::TlstmRuntime;
 use txlog::codec::Cursor;
 use txlog::{CrashPoints, FsyncPolicy, LogWriter, WalError, WalHandle, WalOptions};
-use txmem::{TxMem, WordAddr};
+use txmem::{SeqRefRuntime, TxMem, TxRuntime, WordAddr};
 
 use crate::ops::{KvOp, KvReply};
 use crate::server::{KvServer, KvServerConfig, KvSession};
@@ -77,15 +79,15 @@ pub struct RecoveryReport {
 
 /// A crash-safe [`KvServer`]: acknowledged writes survive process death.
 #[derive(Debug)]
-pub struct DurableKvStore {
-    server: KvServer,
+pub struct DurableKvStore<R: TxRuntime> {
+    server: KvServer<R>,
     seq: WordAddr,
     writer: LogWriter,
     dir: PathBuf,
     recovery: RecoveryReport,
 }
 
-impl DurableKvStore {
+impl DurableKvStore<SwisstmRuntime> {
     /// Boots a durable store on the SwissTM runtime, recovering whatever the
     /// log directory holds (an empty/missing directory boots a fresh store).
     ///
@@ -94,27 +96,46 @@ impl DurableKvStore {
     /// Propagates file-system failures and undecodable (version-mismatched)
     /// log content. Torn/corrupt tails are *not* errors — they are discarded
     /// per the recovery invariants.
-    pub fn swisstm(dir: &Path, config: &DurableKvConfig) -> io::Result<DurableKvStore> {
-        Self::boot(dir, config, KvServer::swisstm)
+    pub fn swisstm(dir: &Path, config: &DurableKvConfig) -> io::Result<Self> {
+        Self::boot(dir, config)
     }
+}
 
+impl DurableKvStore<TlstmRuntime> {
     /// Boots a durable store on the TLSTM runtime (batches split into
     /// speculative tasks; the log stream is identical to SwissTM's).
     ///
     /// # Errors
     ///
-    /// See [`Self::swisstm`].
-    pub fn tlstm(dir: &Path, config: &DurableKvConfig) -> io::Result<DurableKvStore> {
-        Self::boot(dir, config, KvServer::tlstm)
+    /// See [`DurableKvStore::swisstm`].
+    pub fn tlstm(dir: &Path, config: &DurableKvConfig) -> io::Result<Self> {
+        Self::boot(dir, config)
     }
+}
 
-    fn boot(
-        dir: &Path,
-        config: &DurableKvConfig,
-        make: fn(&KvServerConfig) -> KvServer,
-    ) -> io::Result<DurableKvStore> {
+impl DurableKvStore<SeqRefRuntime> {
+    /// Boots a durable store on the sequential global-lock reference runtime
+    /// (the log stream is identical to the transactional runtimes').
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableKvStore::swisstm`].
+    pub fn seqref(dir: &Path, config: &DurableKvConfig) -> io::Result<Self> {
+        Self::boot(dir, config)
+    }
+}
+
+impl<R: TxRuntime> DurableKvStore<R> {
+    /// Boots a durable store on runtime `R`, recovering whatever the log
+    /// directory holds. Recovery replays snapshot and records through
+    /// [`DirectMem`](txmem::DirectMem) and is therefore runtime-agnostic.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableKvStore::swisstm`].
+    pub fn boot(dir: &Path, config: &DurableKvConfig) -> io::Result<Self> {
         let recovered = txlog::recover(dir)?;
-        let server = make(&config.server);
+        let server = KvServer::<R>::new(&config.server);
         let store = server.store();
         let mut mem = server.direct();
         let seq = mem
@@ -168,7 +189,7 @@ impl DurableKvStore {
     }
 
     /// The wrapped server (store handle, stats, direct access for tests).
-    pub fn server(&self) -> &KvServer {
+    pub fn server(&self) -> &KvServer<R> {
         &self.server
     }
 
@@ -207,7 +228,7 @@ impl DurableKvStore {
     }
 
     /// Opens a durable session. Each client thread needs its own.
-    pub fn session(&self) -> DurableKvSession {
+    pub fn session(&self) -> DurableKvSession<R> {
         DurableKvSession {
             inner: self.server.session(),
             seq: self.seq,
@@ -264,8 +285,8 @@ impl DurableKvStore {
 /// A per-client durable session: batches are atomic *and* — once the call
 /// returns `Ok` — durable per the store's fsync policy.
 #[derive(Debug)]
-pub struct DurableKvSession {
-    inner: KvSession,
+pub struct DurableKvSession<R: TxRuntime> {
+    inner: KvSession<R>,
     seq: WordAddr,
     wal: WalHandle,
     shards: u64,
@@ -280,7 +301,7 @@ fn op_writes(op: &KvOp) -> bool {
     )
 }
 
-impl DurableKvSession {
+impl<R: TxRuntime> DurableKvSession<R> {
     /// Executes `ops` as one atomic transaction; if the batch contains any
     /// write, parks until its redo record is durable before returning.
     /// Read-only batches skip the log entirely.

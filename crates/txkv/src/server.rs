@@ -1,25 +1,31 @@
 //! The in-process serving front-end.
 //!
-//! A [`KvServer`] owns one runtime (SwissTM or TLSTM) and one [`KvStore`];
-//! each client obtains a [`KvSession`] (one per client thread) and submits
-//! single operations or multi-operation batches. A batch executes as **one
-//! atomic transaction** regardless of how many shards it touches.
+//! A [`KvServer`] owns one [`TxRuntime`] and one [`KvStore`]; each client
+//! obtains a [`KvSession`] (one per client thread) and submits single
+//! operations or multi-operation batches. A batch executes as **one atomic
+//! transaction** regardless of how many shards it touches.
 //!
-//! Under TLSTM a batch is additionally *split into speculative tasks*, one
-//! per shard-group (see [`crate::ops::plan_batch`]): the paper's
+//! The server is generic over the runtime: every non-empty shard-group of a
+//! batch plan (see [`crate::ops::plan_batch`]) becomes one task body of a
+//! [`TxSession::run_tasks`] group. Under TLSTM those bodies run as
+//! speculative tasks that commit in plan order — the paper's
 //! TLS-inside-transactions model applied to the canonical middleware
-//! long-transaction — a multi-key read-modify-write batch. The tasks run out
-//! of order on the worker pool and commit in plan order, so the batch keeps
-//! transactional atomicity while its per-shard work overlaps. SwissTM
-//! executes the identical plan sequentially inside one transaction, which is
-//! what makes the two runtimes directly comparable (and conformance-testable
-//! against [`crate::RefStore::batch`]).
+//! long-transaction, a multi-key read-modify-write batch. Sequential
+//! runtimes (SwissTM, `seqref`) execute the identical plan in order inside
+//! one transaction, which is what makes the runtimes directly comparable
+//! (and conformance-testable against [`crate::RefStore::batch`]).
+//!
+//! [`KvServer::swisstm`], [`KvServer::tlstm`] and [`KvServer::seqref`] are
+//! thin aliases of the generic [`KvServer::new`] for the registered runtimes.
 
-use std::sync::{Arc, Mutex};
+use swisstm::SwisstmRuntime;
+use tlstm::TlstmRuntime;
+use txmem::{
+    run_boxed_tasks, Abort, BoxedTaskBody, DirectMem, SeqRefRuntime, StatsSnapshot, TxConfig,
+    TxHeap, TxMem, TxRuntime, TxSession, WordAddr,
+};
 
-use swisstm::{SwisstmRuntime, SwisstmThread};
-use tlstm::{TaskCtx, TlstmRuntime, TxnSpec, UThread};
-use txmem::{Abort, DirectMem, StatsSnapshot, TxConfig, TxHeap, TxMem, WordAddr};
+use std::sync::Arc;
 
 use crate::ops::{plan_batch, KvOp, KvReply};
 use crate::store::{KvStore, KvStoreParams};
@@ -29,9 +35,9 @@ use crate::store::{KvStore, KvStoreParams};
 pub struct KvServerConfig {
     /// Store sizing (shards, expected keys).
     pub store: KvStoreParams,
-    /// Shard-groups a batch is planned into. Under TLSTM each non-empty
-    /// group becomes one speculative task; under SwissTM the plan executes
-    /// sequentially. Both runtimes must use the same value to produce
+    /// Shard-groups a batch is planned into. Under a speculative runtime
+    /// each non-empty group becomes one task; sequential runtimes execute
+    /// the plan in order. All runtimes must use the same value to produce
     /// identical batch semantics.
     pub batch_tasks: usize,
     /// Substrate configuration (heap size, lock table, spin limits).
@@ -57,41 +63,24 @@ impl KvServerConfig {
     }
 }
 
-#[derive(Debug)]
-enum ServerInner {
-    Swisstm(Arc<SwisstmRuntime>),
-    Tlstm(Arc<TlstmRuntime>),
-}
-
 /// A transactional key-value server: one runtime, one store, many sessions.
 #[derive(Debug)]
-pub struct KvServer {
-    inner: ServerInner,
+pub struct KvServer<R: TxRuntime> {
+    runtime: Arc<R>,
     store: KvStore,
     batch_tasks: usize,
 }
 
-impl KvServer {
-    /// Boots a server on the SwissTM baseline runtime.
-    pub fn swisstm(config: &KvServerConfig) -> Self {
-        let runtime = SwisstmRuntime::new(config.substrate());
+impl<R: TxRuntime> KvServer<R> {
+    /// Boots a server on runtime `R`. The substrate's speculative depth is
+    /// raised to at least [`KvServerConfig::batch_tasks`], so sessions can
+    /// always run a full batch plan as one task group.
+    pub fn new(config: &KvServerConfig) -> Self {
+        let runtime = R::new(config.substrate());
         let store = KvStore::create(&mut runtime.direct(), &config.store)
             .expect("KV store allocation failed");
         KvServer {
-            inner: ServerInner::Swisstm(runtime),
-            store,
-            batch_tasks: config.batch_tasks.max(1),
-        }
-    }
-
-    /// Boots a server on the TLSTM runtime (batches split into speculative
-    /// tasks).
-    pub fn tlstm(config: &KvServerConfig) -> Self {
-        let runtime = TlstmRuntime::new(config.substrate());
-        let store = KvStore::create(&mut runtime.direct(), &config.store)
-            .expect("KV store allocation failed");
-        KvServer {
-            inner: ServerInner::Tlstm(runtime),
+            runtime,
             store,
             batch_tasks: config.batch_tasks.max(1),
         }
@@ -107,29 +96,20 @@ impl KvServer {
         self.batch_tasks
     }
 
-    /// The runtime this server measures (`"swisstm"` or `"tlstm"`).
+    /// The runtime this server runs on (`"swisstm"`, `"tlstm"`, `"seqref"`).
     pub fn runtime_label(&self) -> &'static str {
-        match &self.inner {
-            ServerInner::Swisstm(_) => "swisstm",
-            ServerInner::Tlstm(_) => "tlstm",
-        }
+        R::LABEL
     }
 
     /// The shared transactional heap.
     pub fn heap(&self) -> &TxHeap {
-        match &self.inner {
-            ServerInner::Swisstm(rt) => rt.heap(),
-            ServerInner::Tlstm(rt) => rt.heap(),
-        }
+        self.runtime.heap()
     }
 
     /// Non-transactional direct access (initialisation and test inspection
     /// only — never while sessions are running).
     pub fn direct(&self) -> DirectMem<'_> {
-        match &self.inner {
-            ServerInner::Swisstm(rt) => rt.direct(),
-            ServerInner::Tlstm(rt) => rt.direct(),
-        }
+        self.runtime.direct()
     }
 
     /// Loads `entries` into the store non-transactionally (pre-measurement
@@ -145,43 +125,55 @@ impl KvServer {
 
     /// The runtime's statistics counters accumulated so far.
     pub fn stats(&self) -> StatsSnapshot {
-        match &self.inner {
-            ServerInner::Swisstm(rt) => rt.stats(),
-            ServerInner::Tlstm(rt) => rt.stats(),
-        }
+        self.runtime.stats()
+    }
+
+    /// Per-shard statistics snapshots (see [`TxRuntime::stats_per_shard`]).
+    pub fn stats_per_shard(&self) -> Vec<StatsSnapshot> {
+        self.runtime.stats_per_shard()
     }
 
     /// Opens a session. Each client thread needs its own.
-    pub fn session(&self) -> KvSession {
-        let inner = match &self.inner {
-            ServerInner::Swisstm(rt) => SessionInner::Swisstm(rt.register_thread()),
-            ServerInner::Tlstm(rt) => {
-                SessionInner::Tlstm(rt.register_uthread(self.batch_tasks.max(1)))
-            }
-        };
+    pub fn session(&self) -> KvSession<R> {
         KvSession {
-            inner,
+            session: self.runtime.session(),
             store: self.store,
             batch_tasks: self.batch_tasks,
         }
     }
 }
 
-#[derive(Debug)]
-enum SessionInner {
-    Swisstm(SwisstmThread),
-    Tlstm(UThread),
+impl KvServer<SwisstmRuntime> {
+    /// Boots a server on the SwissTM baseline runtime.
+    pub fn swisstm(config: &KvServerConfig) -> Self {
+        Self::new(config)
+    }
+}
+
+impl KvServer<TlstmRuntime> {
+    /// Boots a server on the TLSTM runtime (batches split into speculative
+    /// tasks).
+    pub fn tlstm(config: &KvServerConfig) -> Self {
+        Self::new(config)
+    }
+}
+
+impl KvServer<SeqRefRuntime> {
+    /// Boots a server on the sequential global-lock reference runtime.
+    pub fn seqref(config: &KvServerConfig) -> Self {
+        Self::new(config)
+    }
 }
 
 /// A per-client handle: submits operations and batches to the server.
 #[derive(Debug)]
-pub struct KvSession {
-    inner: SessionInner,
+pub struct KvSession<R: TxRuntime> {
+    session: R::Session,
     store: KvStore,
     batch_tasks: usize,
 }
 
-impl KvSession {
+impl<R: TxRuntime> KvSession<R> {
     /// Reads `key` in its own transaction.
     pub fn get(&mut self, key: u64) -> Option<Vec<u64>> {
         match self.batch_one(KvOp::Get { key }) {
@@ -231,8 +223,8 @@ impl KvSession {
 
     /// Executes `ops` as one atomic transaction and returns one reply per
     /// operation, in submission order. Execution follows the batch plan (see
-    /// [`crate::ops::plan_batch`]); under TLSTM each non-empty shard-group
-    /// runs as its own speculative task.
+    /// [`crate::ops::plan_batch`]); under a speculative runtime each
+    /// non-empty shard-group runs as its own task.
     pub fn batch(&mut self, ops: Vec<KvOp>) -> Vec<KvReply> {
         self.batch_inner(ops, None).0
     }
@@ -264,122 +256,117 @@ impl KvSession {
             return (Vec::new(), None);
         }
         let store = self.store;
-        let plan = plan_batch(&ops, store.shards(), self.batch_tasks);
-        match &mut self.inner {
-            SessionInner::Swisstm(thread) => {
-                let (replies, lsn) = thread.atomic(|tx| {
-                    let lsn = match seq {
-                        Some(seq) => {
-                            let lsn = tx.read(seq)?;
-                            tx.write(seq, lsn + 1)?;
-                            Some(lsn)
-                        }
-                        None => None,
-                    };
-                    let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
-                    for group in &plan {
-                        for &index in group {
-                            replies[index] = Some(store.apply(tx, &ops[index])?);
-                        }
+        let groups: Vec<Vec<usize>> = plan_batch(&ops, store.shards(), self.batch_tasks)
+            .into_iter()
+            .filter(|group| !group.is_empty())
+            .collect();
+        if !R::SPECULATIVE {
+            // Sequential runtimes apply the plan's groups in order inside one
+            // monomorphized transaction: the memory operations inline into
+            // the runtime's transaction loop instead of going through the
+            // task group's `&mut dyn TxMem` erasure.
+            let ops_ref = &ops;
+            let groups_ref = &groups;
+            let (filled, lsn) = self.session.run(|mem| {
+                let lsn = match seq {
+                    Some(seq) => {
+                        let lsn = mem.read(seq)?;
+                        mem.write(seq, lsn + 1)?;
+                        Some(lsn)
                     }
-                    Ok((replies, lsn))
-                });
-                (
-                    replies
-                        .into_iter()
-                        .map(|r| r.expect("plan covers every op"))
-                        .collect(),
-                    lsn,
-                )
+                    None => None,
+                };
+                let mut filled: Vec<(usize, KvReply)> = Vec::with_capacity(ops_ref.len());
+                for group in groups_ref {
+                    for &index in group {
+                        filled.push((index, store.apply(mem, &ops_ref[index])?));
+                    }
+                }
+                Ok((filled, lsn))
+            });
+            debug_assert_eq!(lsn.is_some(), seq.is_some());
+            let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
+            for (index, reply) in filled {
+                replies[index] = Some(reply);
             }
-            SessionInner::Tlstm(uthread) => {
-                let ops = Arc::new(ops);
-                let mut bodies = Vec::new();
-                let mut slots = Vec::new();
-                let lsn_slot: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
-                // The sequence bump rides in the first non-empty group's
-                // task; its position inside the transaction is irrelevant
-                // for the commit order the stamp captures.
-                let mut pending_seq = seq;
-                for group in plan {
-                    if group.is_empty() {
-                        continue;
-                    }
-                    let slot: Arc<Mutex<Vec<(usize, KvReply)>>> =
-                        Arc::new(Mutex::new(Vec::with_capacity(group.len())));
-                    let ops = Arc::clone(&ops);
-                    let task_slot = Arc::clone(&slot);
+            return (
+                replies
+                    .into_iter()
+                    .map(|r| r.expect("plan covers every op"))
+                    .collect(),
+                lsn,
+            );
+        }
+        // One reply vector per group, filled inside the transaction. The
+        // sequence stamp rides in the first group's body; its position inside
+        // the transaction is irrelevant for the commit order it captures.
+        let mut group_replies: Vec<Vec<(usize, KvReply)>> =
+            groups.iter().map(|g| Vec::with_capacity(g.len())).collect();
+        let mut lsn_out: Option<u64> = None;
+        {
+            let mut lsn_slot = Some(&mut lsn_out);
+            let mut pending_seq = seq;
+            let ops = &ops;
+            let mut bodies: Vec<BoxedTaskBody<'_>> = groups
+                .iter()
+                .zip(group_replies.iter_mut())
+                .map(|(group, replies)| {
                     let task_seq = pending_seq.take();
-                    let task_lsn_slot = Arc::clone(&lsn_slot);
-                    bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
+                    let mut task_lsn = if task_seq.is_some() {
+                        lsn_slot.take()
+                    } else {
+                        None
+                    };
+                    let body = move |mem: &mut dyn TxMem| -> Result<(), Abort> {
                         if let Some(seq) = task_seq {
+                            let lsn = mem.read(seq)?;
+                            mem.write(seq, lsn + 1)?;
                             // Re-executions overwrite the slot, so only the
                             // committed execution's stamp survives (same
                             // idiom as the reply slots below).
-                            let lsn = ctx.read(seq)?;
-                            ctx.write(seq, lsn + 1)?;
-                            *task_lsn_slot.lock().expect("lsn slot poisoned") = Some(lsn);
+                            **task_lsn.as_mut().expect("stamping body owns the slot") = Some(lsn);
                         }
-                        // A task may re-execute after a conflict; start each
+                        // A body may re-execute after a conflict; start each
                         // execution from an empty reply slot so only the
                         // committed execution's replies survive.
-                        let mut filled = Vec::with_capacity(group.len());
-                        for &index in &group {
-                            filled.push((index, store.apply(ctx, &ops[index])?));
+                        replies.clear();
+                        for &index in group {
+                            replies.push((index, store.apply(mem, &ops[index])?));
                         }
-                        *task_slot.lock().expect("reply slot poisoned") = filled;
                         Ok(())
-                    }));
-                    slots.push(slot);
-                }
-                uthread.execute(vec![TxnSpec::new(bodies)]);
-                let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
-                for slot in slots {
-                    for (index, reply) in slot.lock().expect("reply slot poisoned").drain(..) {
-                        replies[index] = Some(reply);
-                    }
-                }
-                let lsn = lsn_slot.lock().expect("lsn slot poisoned").take();
-                debug_assert_eq!(lsn.is_some(), seq.is_some());
-                (
-                    replies
-                        .into_iter()
-                        .map(|r| r.expect("every task filled its slot"))
-                        .collect(),
-                    lsn,
-                )
+                    };
+                    Box::new(body) as BoxedTaskBody<'_>
+                })
+                .collect();
+            run_boxed_tasks(&mut self.session, &mut bodies);
+        }
+        debug_assert_eq!(lsn_out.is_some(), seq.is_some());
+        let mut replies: Vec<Option<KvReply>> = vec![None; ops.len()];
+        for filled in group_replies {
+            for (index, reply) in filled {
+                replies[index] = Some(reply);
             }
         }
+        (
+            replies
+                .into_iter()
+                .map(|r| r.expect("plan covers every op"))
+                .collect(),
+            lsn_out,
+        )
     }
 
-    /// Runs `body` as one atomic transaction (a single task under TLSTM) and
-    /// returns its committed result. The closure receives a `&mut dyn TxMem`,
-    /// so store code generic over the memory can run inside it on either
-    /// runtime; like any transaction body it may re-execute and must be
-    /// side-effect free apart from its return value.
+    /// Runs `body` as one atomic transaction (a single task under a
+    /// speculative runtime) and returns its committed result. The closure
+    /// receives a `&mut dyn TxMem`, so store code generic over the memory
+    /// runs inside it on any runtime; like any transaction body it may
+    /// re-execute and must be side-effect free apart from its return value.
     pub fn transact<T, F>(&mut self, body: F) -> T
     where
-        F: Fn(&mut dyn TxMem) -> Result<T, Abort> + Send + Sync + 'static,
-        T: Send + 'static,
+        F: Fn(&mut dyn TxMem) -> Result<T, Abort> + Send + Sync,
+        T: Send,
     {
-        match &mut self.inner {
-            SessionInner::Swisstm(thread) => thread.atomic(|tx| body(tx)),
-            SessionInner::Tlstm(uthread) => {
-                let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
-                let task_slot = Arc::clone(&slot);
-                uthread.execute(vec![TxnSpec::single(move |ctx: &mut TaskCtx<'_>| {
-                    let value = body(ctx)?;
-                    *task_slot.lock().expect("transact slot poisoned") = Some(value);
-                    Ok(())
-                })]);
-                let value = slot
-                    .lock()
-                    .expect("transact slot poisoned")
-                    .take()
-                    .expect("committed transaction filled its slot");
-                value
-            }
-        }
+        self.session.run(move |mem| body(mem as &mut dyn TxMem))
     }
 }
 
@@ -401,18 +388,48 @@ mod tests {
         }
     }
 
-    fn servers(batch_tasks: usize) -> [KvServer; 2] {
-        [
-            KvServer::swisstm(&test_config(batch_tasks)),
-            KvServer::tlstm(&test_config(batch_tasks)),
-        ]
+    /// Runs `check` once per registered runtime (the pluggability the
+    /// [`TxRuntime`] redesign exists to guarantee).
+    fn on_every_runtime(batch_tasks: usize, check: impl Fn(&dyn ServerUnderTest)) {
+        check(&KvServer::swisstm(&test_config(batch_tasks)));
+        check(&KvServer::tlstm(&test_config(batch_tasks)));
+        check(&KvServer::seqref(&test_config(batch_tasks)));
     }
 
-    #[test]
-    fn single_op_api_round_trips_on_both_runtimes() {
-        for server in servers(2) {
-            let label = server.runtime_label();
-            let mut session = server.session();
+    /// Object-safe view of a server used to iterate heterogeneous
+    /// `KvServer<R>` instantiations in tests.
+    trait ServerUnderTest {
+        fn label(&self) -> &'static str;
+        fn groups(&self) -> usize;
+        fn populate_range(&self, n: u64);
+        fn run_batch(&self, ops: Vec<KvOp>) -> Vec<KvReply>;
+        fn dump(&self) -> Vec<(u64, Vec<u64>)>;
+        fn check(&self);
+        fn single_op_round_trip(&self);
+    }
+
+    impl<R: TxRuntime> ServerUnderTest for KvServer<R> {
+        fn label(&self) -> &'static str {
+            self.runtime_label()
+        }
+        fn groups(&self) -> usize {
+            self.batch_tasks()
+        }
+        fn populate_range(&self, n: u64) {
+            self.populate((0..n).map(|k| (k, vec![k, k + 1])));
+        }
+        fn run_batch(&self, ops: Vec<KvOp>) -> Vec<KvReply> {
+            self.session().batch(ops)
+        }
+        fn dump(&self) -> Vec<(u64, Vec<u64>)> {
+            self.store().dump(&mut self.direct()).unwrap()
+        }
+        fn check(&self) {
+            self.store().check_consistency(&mut self.direct()).unwrap();
+        }
+        fn single_op_round_trip(&self) {
+            let label = self.runtime_label();
+            let mut session = self.session();
             assert!(session.put(1, vec![10, 20]), "{label}");
             assert_eq!(session.get(1), Some(vec![10, 20]), "{label}");
             assert!(session.cas(1, vec![10, 20], vec![30, 40]), "{label}");
@@ -428,15 +445,19 @@ mod tests {
     }
 
     #[test]
+    fn single_op_api_round_trips_on_every_runtime() {
+        on_every_runtime(2, |server| server.single_op_round_trip());
+    }
+
+    #[test]
     fn batches_are_atomic_and_match_the_oracle() {
-        for server in servers(4) {
-            let label = server.runtime_label();
-            server.populate((0..32u64).map(|k| (k, vec![k, k + 1])));
+        on_every_runtime(4, |server| {
+            let label = server.label();
+            server.populate_range(32);
             let mut oracle = RefStore::new(8);
             for k in 0..32u64 {
                 oracle.put(k, &[k, k + 1]);
             }
-            let mut session = server.session();
             let ops: Vec<KvOp> = (0..16u64)
                 .map(|i| match i % 4 {
                     0 => KvOp::Get { key: i * 2 },
@@ -456,27 +477,27 @@ mod tests {
                     },
                 })
                 .collect();
-            let got = session.batch(ops.clone());
-            let want = oracle.batch(&ops, server.batch_tasks());
+            let got = server.run_batch(ops.clone());
+            let want = oracle.batch(&ops, server.groups());
             assert_eq!(got, want, "{label} replies diverge from oracle");
             assert_eq!(
-                server.store().dump(&mut server.direct()).unwrap(),
+                server.dump(),
                 oracle.dump(),
                 "{label} committed state diverges from oracle"
             );
-            server
-                .store()
-                .check_consistency(&mut server.direct())
-                .unwrap();
-        }
+            server.check();
+        });
     }
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        for server in servers(2) {
-            let mut session = server.session();
-            assert!(session.batch(Vec::new()).is_empty());
-        }
+        on_every_runtime(2, |server| {
+            assert!(
+                server.run_batch(Vec::new()).is_empty(),
+                "{}",
+                server.label()
+            );
+        });
     }
 
     #[test]
@@ -496,5 +517,15 @@ mod tests {
             stats.task_commits,
             stats.tx_commits
         );
+    }
+
+    #[test]
+    fn generic_servers_expose_runtime_labels() {
+        assert_eq!(
+            KvServer::swisstm(&test_config(1)).runtime_label(),
+            "swisstm"
+        );
+        assert_eq!(KvServer::tlstm(&test_config(1)).runtime_label(), "tlstm");
+        assert_eq!(KvServer::seqref(&test_config(1)).runtime_label(), "seqref");
     }
 }

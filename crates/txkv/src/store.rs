@@ -63,7 +63,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates allocation failure from the underlying memory.
-    pub fn create<M: TxMem>(mem: &mut M, params: &KvStoreParams) -> Result<Self, Abort> {
+    pub fn create<M: TxMem + ?Sized>(mem: &mut M, params: &KvStoreParams) -> Result<Self, Abort> {
         let n_shards = params.shards.clamp(1, MAX_SHARDS);
         let dir = mem.alloc(DIR_TABLE + n_shards)?;
         mem.write(dir.offset(DIR_SHARDS), n_shards)?;
@@ -83,7 +83,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn open<M: TxMem>(mem: &mut M, dir: WordAddr) -> Result<Self, Abort> {
+    pub fn open<M: TxMem + ?Sized>(mem: &mut M, dir: WordAddr) -> Result<Self, Abort> {
         let n_shards = mem.read(dir.offset(DIR_SHARDS))?;
         Ok(KvStore { dir, n_shards })
     }
@@ -103,17 +103,17 @@ impl KvStore {
         shard_of(key, self.n_shards)
     }
 
-    fn shard<M: TxMem>(&self, mem: &mut M, shard: u64) -> Result<TxHashMap, Abort> {
+    fn shard<M: TxMem + ?Sized>(&self, mem: &mut M, shard: u64) -> Result<TxHashMap, Abort> {
         let header = mem.read(self.dir.offset(DIR_TABLE + shard))?;
         Ok(TxHashMap::from_header(WordAddr::new(header)))
     }
 
-    fn shard_for_key<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<TxHashMap, Abort> {
+    fn shard_for_key<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<TxHashMap, Abort> {
         let shard = self.shard_of(key);
         self.shard(mem, shard)
     }
 
-    fn index<M: TxMem>(&self, mem: &mut M) -> Result<TxRbTree, Abort> {
+    fn index<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<TxRbTree, Abort> {
         let header = mem.read(self.dir.offset(DIR_INDEX))?;
         Ok(TxRbTree::from_header(WordAddr::new(header)))
     }
@@ -123,7 +123,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn len<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         let mut total = 0;
         for s in 0..self.n_shards {
             total += self.shard(mem, s)?.len(mem)?;
@@ -138,7 +138,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get_into<M: TxMem>(
+    pub fn get_into<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         key: u64,
@@ -165,7 +165,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<Option<Vec<u64>>, Abort> {
+    pub fn get<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<Option<Vec<u64>>, Abort> {
         let mut buf = Vec::new();
         Ok(self.get_into(mem, key, &mut buf)?.then_some(buf))
     }
@@ -177,7 +177,12 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn put<M: TxMem>(&self, mem: &mut M, key: u64, value: &[u64]) -> Result<bool, Abort> {
+    pub fn put<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        value: &[u64],
+    ) -> Result<bool, Abort> {
         let map = self.shard_for_key(mem, key)?;
         if let Some(record) = map.get(mem, key)? {
             let record = WordAddr::new(record);
@@ -195,7 +200,11 @@ impl KvStore {
         index.insert(mem, key, record.index())
     }
 
-    fn write_record<M: TxMem>(&self, mem: &mut M, value: &[u64]) -> Result<WordAddr, Abort> {
+    fn write_record<M: TxMem + ?Sized>(
+        &self,
+        mem: &mut M,
+        value: &[u64],
+    ) -> Result<WordAddr, Abort> {
         let record = mem.alloc(REC_WORDS + value.len() as u64)?;
         mem.write(record.offset(REC_LEN), value.len() as u64)?;
         for (i, &word) in value.iter().enumerate() {
@@ -210,7 +219,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn delete<M: TxMem>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
+    pub fn delete<M: TxMem + ?Sized>(&self, mem: &mut M, key: u64) -> Result<bool, Abort> {
         let map = self.shard_for_key(mem, key)?;
         if !map.remove(mem, key)? {
             return Ok(false);
@@ -227,7 +236,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn cas<M: TxMem>(
+    pub fn cas<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         key: u64,
@@ -268,7 +277,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn scan_into<M: TxMem>(
+    pub fn scan_into<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         lo: u64,
@@ -300,7 +309,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn scan<M: TxMem>(
+    pub fn scan<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         lo: u64,
@@ -317,7 +326,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn apply<M: TxMem>(&self, mem: &mut M, op: &KvOp) -> Result<KvReply, Abort> {
+    pub fn apply<M: TxMem + ?Sized>(&self, mem: &mut M, op: &KvOp) -> Result<KvReply, Abort> {
         match op {
             KvOp::Get { key } => Ok(KvReply::Value(self.get(mem, *key)?)),
             KvOp::Put { key, value } => Ok(KvReply::Inserted(self.put(mem, *key, value)?)),
@@ -335,7 +344,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn dump<M: TxMem>(&self, mem: &mut M) -> Result<Vec<(u64, Vec<u64>)>, Abort> {
+    pub fn dump<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<Vec<(u64, Vec<u64>)>, Abort> {
         let index = self.index(mem)?;
         let mut out = Vec::new();
         for (key, record) in index.to_vec(mem)? {
@@ -356,7 +365,7 @@ impl KvStore {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn dump_shard<M: TxMem>(
+    pub fn dump_shard<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         shard: u64,
@@ -387,7 +396,7 @@ impl KvStore {
     /// # Panics
     ///
     /// Panics if an invariant is violated (test/diagnostic helper).
-    pub fn check_consistency<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn check_consistency<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         let mut shard_entries = Vec::new();
         for s in 0..self.n_shards {
             let map = self.shard(mem, s)?;

@@ -5,7 +5,7 @@
 
 use tlstm_testutil::{bounded_threads, with_default_watchdog, TestRng};
 use txkv::{shard_of, KvOp, KvReply, KvServer, KvServerConfig, KvStoreParams};
-use txmem::TxConfig;
+use txmem::{SeqRefRuntime, TxConfig, TxRuntime};
 
 const SHARDS: u64 = 8;
 
@@ -39,7 +39,7 @@ fn keys_on_distinct_shards(n: usize) -> Vec<u64> {
 /// Writers advance every key of a cross-shard group from `v` to `v+1` with
 /// one multi-key cas batch; readers assert all keys always agree. A torn
 /// commit (some cas applied, some not) would break both sides.
-fn torn_state_hunt(server: &KvServer, batch_tasks: usize) {
+fn torn_state_hunt<R: TxRuntime>(server: &KvServer<R>, batch_tasks: usize) {
     let label = server.runtime_label();
     let keys = keys_on_distinct_shards(4);
     server.populate(keys.iter().map(|&k| (k, vec![0])));
@@ -155,69 +155,80 @@ fn tlstm_task_split_multi_key_cas_is_never_torn() {
 }
 
 #[test]
-fn write_skew_style_cross_shard_invariant_holds() {
-    // Classic write-skew shape, spread across shards: two keys must always
-    // sum to a constant. Transfers move value between them in one batch;
-    // auditors assert the invariant inside their own transactions.
+fn seqref_multi_key_cas_is_never_torn() {
+    // The sequential reference runtime serializes batches behind a global
+    // lock, so tearing is impossible by construction — this pins that the
+    // shared harness agrees.
     with_default_watchdog(|| {
-        for make in [KvServer::swisstm, KvServer::tlstm] {
-            let server = make(&config(2));
-            let label = server.runtime_label();
-            let keys = keys_on_distinct_shards(2);
-            let (a, b) = (keys[0], keys[1]);
-            const TOTAL: u64 = 1000;
-            server.populate([(a, vec![TOTAL / 2]), (b, vec![TOTAL / 2])]);
+        let server = KvServer::seqref(&config(2));
+        torn_state_hunt(&server, 2);
+    });
+}
 
-            std::thread::scope(|scope| {
-                for t in 0..2u64 {
-                    let server = &server;
-                    scope.spawn(move || {
-                        let mut session = server.session();
-                        let mut rng = TestRng::new(0x7AB5 ^ t);
-                        for _ in 0..200 {
-                            // Snapshot both balances…
-                            let replies =
-                                session.batch(vec![KvOp::Get { key: a }, KvOp::Get { key: b }]);
-                            let (va, vb) = match (&replies[0], &replies[1]) {
-                                (KvReply::Value(Some(va)), KvReply::Value(Some(vb))) => {
-                                    (va[0], vb[0])
-                                }
-                                other => panic!("{label}: unexpected replies {other:?}"),
-                            };
-                            assert_eq!(va + vb, TOTAL, "{label}: snapshot is torn");
-                            // …and move a random amount with a guarded batch:
-                            // both cas-es must see the same snapshot or fail
-                            // together.
-                            let amount = rng.below(va + 1);
-                            let replies = session.batch(vec![
-                                KvOp::Cas {
-                                    key: a,
-                                    expected: vec![va],
-                                    new: vec![va - amount],
-                                },
-                                KvOp::Cas {
-                                    key: b,
-                                    expected: vec![vb],
-                                    new: vec![vb + amount],
-                                },
-                            ]);
-                            let applied: Vec<bool> = replies
-                                .iter()
-                                .map(|r| matches!(r, KvReply::Swapped(true)))
-                                .collect();
-                            assert!(
-                                applied.iter().all(|&s| s) || applied.iter().all(|&s| !s),
-                                "{label}: half-applied transfer {applied:?}"
-                            );
-                        }
-                    });
+/// Classic write-skew shape, spread across shards: two keys must always
+/// sum to a constant. Transfers move value between them in one batch;
+/// auditors assert the invariant inside their own transactions.
+fn write_skew_hunt<R: TxRuntime>() {
+    let server = KvServer::<R>::new(&config(2));
+    let label = server.runtime_label();
+    let keys = keys_on_distinct_shards(2);
+    let (a, b) = (keys[0], keys[1]);
+    const TOTAL: u64 = 1000;
+    server.populate([(a, vec![TOTAL / 2]), (b, vec![TOTAL / 2])]);
+
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let server = &server;
+            scope.spawn(move || {
+                let mut session = server.session();
+                let mut rng = TestRng::new(0x7AB5 ^ t);
+                for _ in 0..200 {
+                    // Snapshot both balances…
+                    let replies = session.batch(vec![KvOp::Get { key: a }, KvOp::Get { key: b }]);
+                    let (va, vb) = match (&replies[0], &replies[1]) {
+                        (KvReply::Value(Some(va)), KvReply::Value(Some(vb))) => (va[0], vb[0]),
+                        other => panic!("{label}: unexpected replies {other:?}"),
+                    };
+                    assert_eq!(va + vb, TOTAL, "{label}: snapshot is torn");
+                    // …and move a random amount with a guarded batch: both
+                    // cas-es must see the same snapshot or fail together.
+                    let amount = rng.below(va + 1);
+                    let replies = session.batch(vec![
+                        KvOp::Cas {
+                            key: a,
+                            expected: vec![va],
+                            new: vec![va - amount],
+                        },
+                        KvOp::Cas {
+                            key: b,
+                            expected: vec![vb],
+                            new: vec![vb + amount],
+                        },
+                    ]);
+                    let applied: Vec<bool> = replies
+                        .iter()
+                        .map(|r| matches!(r, KvReply::Swapped(true)))
+                        .collect();
+                    assert!(
+                        applied.iter().all(|&s| s) || applied.iter().all(|&s| !s),
+                        "{label}: half-applied transfer {applied:?}"
+                    );
                 }
             });
-
-            let mut mem = server.direct();
-            let va = server.store().get(&mut mem, a).unwrap().unwrap()[0];
-            let vb = server.store().get(&mut mem, b).unwrap().unwrap()[0];
-            assert_eq!(va + vb, TOTAL, "{label}: invariant broken at rest");
         }
+    });
+
+    let mut mem = server.direct();
+    let va = server.store().get(&mut mem, a).unwrap().unwrap()[0];
+    let vb = server.store().get(&mut mem, b).unwrap().unwrap()[0];
+    assert_eq!(va + vb, TOTAL, "{label}: invariant broken at rest");
+}
+
+#[test]
+fn write_skew_style_cross_shard_invariant_holds() {
+    with_default_watchdog(|| {
+        write_skew_hunt::<swisstm::SwisstmRuntime>();
+        write_skew_hunt::<tlstm::TlstmRuntime>();
+        write_skew_hunt::<SeqRefRuntime>();
     });
 }

@@ -1,11 +1,14 @@
 //! Conformance: identical seeded operation streams through `KvStore` on
-//! SwissTM and TLSTM (including the batched task-split mode) must produce
+//! every registered runtime — SwissTM, TLSTM (including the batched
+//! task-split mode), and the sequential `seqref` reference — must produce
 //! exactly the replies and final contents of the sequential `RefStore`
-//! oracle.
+//! oracle, and must agree with each other pairwise.
 
+use swisstm::SwisstmRuntime;
+use tlstm::TlstmRuntime;
 use tlstm_testutil::{with_default_watchdog, TestRng};
 use txkv::{KvOp, KvServer, KvServerConfig, KvStoreParams, RefStore};
-use txmem::TxConfig;
+use txmem::{SeqRefRuntime, TxConfig, TxRuntime};
 
 const SHARDS: u64 = 8;
 
@@ -54,7 +57,12 @@ fn gen_batch(rng: &mut TestRng, ops: usize) -> Vec<KvOp> {
 
 /// Runs `batches` seeded batches through a server and the oracle, asserting
 /// reply-for-reply and state-for-state equality.
-fn run_stream_against_oracle(server: &KvServer, seed: u64, batches: usize, batch_len: usize) {
+fn run_stream_against_oracle<R: TxRuntime>(
+    server: &KvServer<R>,
+    seed: u64,
+    batches: usize,
+    batch_len: usize,
+) {
     let label = server.runtime_label();
     let tasks = server.batch_tasks();
     let mut oracle = RefStore::new(SHARDS);
@@ -113,59 +121,85 @@ fn tlstm_task_split_batches_match_oracle() {
 }
 
 #[test]
-fn both_runtimes_agree_with_each_other_on_the_same_stream() {
-    // SwissTM and TLSTM servers with the same batch grouping execute the
-    // same plan, so they must agree reply-for-reply, not just with the
-    // oracle.
+fn seqref_store_matches_oracle_on_seeded_streams() {
+    // The sequential reference runtime runs the same batch plans with a
+    // global lock; it is the conformance floor every other runtime is
+    // compared against.
     with_default_watchdog(|| {
-        let tasks = 4;
-        let swisstm = KvServer::swisstm(&config(tasks));
-        let tlstm = KvServer::tlstm(&config(tasks));
-        let mut sw_session = swisstm.session();
-        let mut tl_session = tlstm.session();
-        let mut rng = TestRng::new(7);
-        for _ in 0..30 {
-            let ops = gen_batch(&mut rng, 10);
-            assert_eq!(sw_session.batch(ops.clone()), tl_session.batch(ops));
+        for (seed, tasks) in [(1u64, 1usize), (0xBEEF, 4), (42, 2)] {
+            let server = KvServer::seqref(&config(tasks));
+            run_stream_against_oracle(&server, seed, 40, 12);
         }
-        assert_eq!(
-            swisstm.store().dump(&mut swisstm.direct()).unwrap(),
-            tlstm.store().dump(&mut tlstm.direct()).unwrap()
-        );
     });
+}
+
+/// A stream's observable outcome: per-batch replies plus the final committed
+/// contents, so runtimes can be compared pairwise.
+type StreamOutcome = (Vec<Vec<txkv::KvReply>>, Vec<(u64, Vec<u64>)>);
+
+/// Replays one seeded stream on a server and returns its [`StreamOutcome`].
+fn replay_stream<R: TxRuntime>(tasks: usize, seed: u64, batches: usize) -> StreamOutcome {
+    let server = KvServer::<R>::new(&config(tasks));
+    let mut session = server.session();
+    let mut rng = TestRng::new(seed);
+    let replies = (0..batches)
+        .map(|_| session.batch(gen_batch(&mut rng, 10)))
+        .collect();
+    drop(session);
+    let dump = server.store().dump(&mut server.direct()).unwrap();
+    (replies, dump)
+}
+
+#[test]
+fn all_runtimes_agree_with_each_other_on_the_same_stream() {
+    // Servers with the same batch grouping execute the same plan, so every
+    // runtime pair must agree reply-for-reply and state-for-state, not just
+    // with the oracle.
+    with_default_watchdog(|| {
+        let (tasks, seed, batches) = (4, 7, 30);
+        let swisstm = replay_stream::<SwisstmRuntime>(tasks, seed, batches);
+        let tlstm = replay_stream::<TlstmRuntime>(tasks, seed, batches);
+        let seqref = replay_stream::<SeqRefRuntime>(tasks, seed, batches);
+        assert_eq!(swisstm, tlstm, "swisstm vs tlstm diverged");
+        assert_eq!(swisstm, seqref, "swisstm vs seqref diverged");
+        assert_eq!(tlstm, seqref, "tlstm vs seqref diverged");
+    });
+}
+
+/// Hammers one server from several client threads, then checks structural
+/// invariants. (Reply conformance is single-threaded by nature; this pins
+/// shard-map/index integrity under real concurrency.)
+fn hammer_concurrently<R: TxRuntime>() {
+    let server = KvServer::<R>::new(&config(2));
+    server.populate((0..64u64).map(|k| (k, vec![k])));
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let server = &server;
+            scope.spawn(move || {
+                let mut session = server.session();
+                let mut rng = TestRng::new(0x5EED ^ t);
+                for _ in 0..60 {
+                    let ops = gen_batch(&mut rng, 8);
+                    session.batch(ops);
+                }
+            });
+        }
+    });
+    let keys = server
+        .store()
+        .check_consistency(&mut server.direct())
+        .unwrap();
+    assert_eq!(keys, server.store().len(&mut server.direct()).unwrap());
+    let label = server.runtime_label();
+    let stats = server.stats();
+    assert!(stats.tx_commits >= 180, "{label}: all batches committed");
 }
 
 #[test]
 fn concurrent_sessions_preserve_store_invariants() {
-    // Multiple client threads hammer one server; afterwards the shard maps
-    // and the ordered index must still agree exactly. (Reply conformance is
-    // single-threaded by nature; this pins structural integrity under real
-    // concurrency.)
     with_default_watchdog(|| {
-        for make in [KvServer::swisstm, KvServer::tlstm] {
-            let server = make(&config(2));
-            server.populate((0..64u64).map(|k| (k, vec![k])));
-            std::thread::scope(|scope| {
-                for t in 0..3u64 {
-                    let server = &server;
-                    scope.spawn(move || {
-                        let mut session = server.session();
-                        let mut rng = TestRng::new(0x5EED ^ t);
-                        for _ in 0..60 {
-                            let ops = gen_batch(&mut rng, 8);
-                            session.batch(ops);
-                        }
-                    });
-                }
-            });
-            let keys = server
-                .store()
-                .check_consistency(&mut server.direct())
-                .unwrap();
-            assert_eq!(keys, server.store().len(&mut server.direct()).unwrap());
-            let label = server.runtime_label();
-            let stats = server.stats();
-            assert!(stats.tx_commits >= 180, "{label}: all batches committed");
-        }
+        hammer_concurrently::<SwisstmRuntime>();
+        hammer_concurrently::<TlstmRuntime>();
+        hammer_concurrently::<SeqRefRuntime>();
     });
 }

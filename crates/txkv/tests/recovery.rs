@@ -6,25 +6,27 @@
 //! submitted stream, and no write acknowledged under `fsync=always`/`group`
 //! is ever lost.
 
-use std::path::Path;
-
+use swisstm::SwisstmRuntime;
+use tlstm::TlstmRuntime;
 use tlstm_testutil::{with_default_watchdog, TempDir, TestRng};
 use txkv::{
     CrashPoints, DurableKvConfig, DurableKvStore, FsyncPolicy, KvOp, KvServerConfig, KvStoreParams,
     RefStore, WalError,
 };
 use txlog::crash_points;
-use txmem::TxConfig;
+use txmem::{SeqRefRuntime, TxConfig, TxRuntime};
 
 const SHARDS: u64 = 8;
 const GROUPS: usize = 4;
 
-type Boot = fn(&Path, &DurableKvConfig) -> std::io::Result<DurableKvStore>;
-
-const RUNTIMES: [(&str, Boot); 2] = [
-    ("swisstm", DurableKvStore::swisstm as Boot),
-    ("tlstm", DurableKvStore::tlstm as Boot),
-];
+/// Boots a durable store on runtime `R` (turbofish-friendly shorthand for
+/// the generic constructor the tests instantiate per runtime).
+fn boot<R: TxRuntime>(
+    dir: &std::path::Path,
+    cfg: &DurableKvConfig,
+) -> std::io::Result<DurableKvStore<R>> {
+    DurableKvStore::boot(dir, cfg)
+}
 
 fn config(fsync: FsyncPolicy, crash_points: CrashPoints) -> DurableKvConfig {
     DurableKvConfig {
@@ -71,7 +73,7 @@ fn gen_batch(rng: &mut TestRng, ops: usize) -> Vec<KvOp> {
     batch
 }
 
-fn dump(store: &DurableKvStore) -> Vec<(u64, Vec<u64>)> {
+fn dump<R: TxRuntime>(store: &DurableKvStore<R>) -> Vec<(u64, Vec<u64>)> {
     store
         .store()
         .dump(&mut store.server().direct())
@@ -87,195 +89,205 @@ fn oracle_prefix(batches: &[Vec<KvOp>], n: usize) -> Vec<(u64, Vec<u64>)> {
     oracle.dump()
 }
 
-/// The crash matrix (satellite 1): a seeded op stream "crashes" at each
-/// named WAL point; the recovered store must equal the oracle replay of a
-/// batch-boundary prefix that contains every acknowledged write.
-#[test]
-fn crash_matrix_recovers_an_acked_prefix_on_both_runtimes() {
-    with_default_watchdog(|| {
-        for (label, boot) in RUNTIMES {
-            // Only the append-path points can fire from `session.batch`; the
-            // rotation-path points are exercised by the rotation matrix below.
-            for point in crash_points::APPEND {
-                let context = format!("{label}/{point}");
-                let dir = TempDir::new("txkv-crash");
-                let crash = CrashPoints::disabled();
-                let store = boot(dir.path(), &config(FsyncPolicy::Always, crash.clone()))
-                    .unwrap_or_else(|e| panic!("{context}: boot failed: {e}"));
-                let mut session = store.session();
-                let mut rng = TestRng::new(0xD00D ^ point.len() as u64);
-                let mut batches = Vec::new();
-                let mut acked = 0usize;
+/// The crash matrix: a seeded op stream "crashes" at each named WAL point;
+/// the recovered store must equal the oracle replay of a batch-boundary
+/// prefix that contains every acknowledged write.
+fn crash_matrix_on<R: TxRuntime>() {
+    let label = R::LABEL;
+    // Only the append-path points can fire from `session.batch`; the
+    // rotation-path points are exercised by the rotation matrix below.
+    for point in crash_points::APPEND {
+        let context = format!("{label}/{point}");
+        let dir = TempDir::new("txkv-crash");
+        let crash = CrashPoints::disabled();
+        let store = boot::<R>(dir.path(), &config(FsyncPolicy::Always, crash.clone()))
+            .unwrap_or_else(|e| panic!("{context}: boot failed: {e}"));
+        let mut session = store.session();
+        let mut rng = TestRng::new(0xD00D ^ point.len() as u64);
+        let mut batches = Vec::new();
+        let mut acked = 0usize;
 
-                // Phase 1: a healthy prefix, every batch acknowledged.
-                for _ in 0..8 {
-                    let ops = gen_batch(&mut rng, 10);
-                    batches.push(ops.clone());
-                    session
-                        .batch(ops)
-                        .unwrap_or_else(|e| panic!("{context}: {e}"));
-                    acked += 1;
-                }
-                assert_eq!(store.durable_lsn(), acked as u64, "{context}");
-
-                // Phase 2: arm the crash point; the next logged batch dies
-                // at exactly that pipeline stage.
-                crash.arm(point);
-                let ops = gen_batch(&mut rng, 10);
-                batches.push(ops.clone());
-                assert_eq!(
-                    session.batch(ops).unwrap_err(),
-                    WalError::Crashed,
-                    "{context}"
-                );
-                assert!(store.is_dead(), "{context}");
-                assert_eq!(crash.fired(), Some(point.to_string()), "{context}");
-                drop(session);
-                drop(store);
-
-                // Phase 3: recover and compare against the oracle.
-                let recovered = boot(
-                    dir.path(),
-                    &config(FsyncPolicy::Always, CrashPoints::disabled()),
-                )
-                .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
-                let report = recovered.recovery().clone();
-                let n = report.next_lsn as usize;
-                assert!(n >= acked, "{context}: acknowledged writes lost");
-                assert!(n <= batches.len(), "{context}");
-                // The exact prefix is deterministic per crash point: before
-                // the bytes hit the file the record is gone, after that the
-                // in-process file keeps it even though it was never acked.
-                let want_n = match point {
-                    crash_points::BEFORE_APPEND | crash_points::MID_FRAME => acked,
-                    _ => acked + 1,
-                };
-                assert_eq!(n, want_n, "{context}");
-                assert_eq!(
-                    dump(&recovered),
-                    oracle_prefix(&batches, n),
-                    "{context}: recovered state diverges from the oracle prefix"
-                );
-                recovered
-                    .store()
-                    .check_consistency(&mut recovered.server().direct())
-                    .unwrap();
-                if point == crash_points::MID_FRAME {
-                    assert!(
-                        report.diagnostics.iter().any(|d| d.contains("torn tail")),
-                        "{context}: expected a torn-tail diagnostic, got {:?}",
-                        report.diagnostics
-                    );
-                }
-
-                // The recovered store keeps serving and logging.
-                let mut session = recovered.session();
-                let ops = gen_batch(&mut rng, 6);
-                batches.truncate(n);
-                batches.push(ops.clone());
-                session
-                    .batch(ops)
-                    .unwrap_or_else(|e| panic!("{context}: {e}"));
-                assert_eq!(
-                    dump(&recovered),
-                    oracle_prefix(&batches, batches.len()),
-                    "{context}: post-recovery writes diverge"
-                );
-            }
+        // Phase 1: a healthy prefix, every batch acknowledged.
+        for _ in 0..8 {
+            let ops = gen_batch(&mut rng, 10);
+            batches.push(ops.clone());
+            session
+                .batch(ops)
+                .unwrap_or_else(|e| panic!("{context}: {e}"));
+            acked += 1;
         }
+        assert_eq!(store.durable_lsn(), acked as u64, "{context}");
+
+        // Phase 2: arm the crash point; the next logged batch dies
+        // at exactly that pipeline stage.
+        crash.arm(point);
+        let ops = gen_batch(&mut rng, 10);
+        batches.push(ops.clone());
+        assert_eq!(
+            session.batch(ops).unwrap_err(),
+            WalError::Crashed,
+            "{context}"
+        );
+        assert!(store.is_dead(), "{context}");
+        assert_eq!(crash.fired(), Some(point.to_string()), "{context}");
+        drop(session);
+        drop(store);
+
+        // Phase 3: recover and compare against the oracle.
+        let recovered = boot::<R>(
+            dir.path(),
+            &config(FsyncPolicy::Always, CrashPoints::disabled()),
+        )
+        .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
+        let report = recovered.recovery().clone();
+        let n = report.next_lsn as usize;
+        assert!(n >= acked, "{context}: acknowledged writes lost");
+        assert!(n <= batches.len(), "{context}");
+        // The exact prefix is deterministic per crash point: before
+        // the bytes hit the file the record is gone, after that the
+        // in-process file keeps it even though it was never acked.
+        let want_n = match point {
+            crash_points::BEFORE_APPEND | crash_points::MID_FRAME => acked,
+            _ => acked + 1,
+        };
+        assert_eq!(n, want_n, "{context}");
+        assert_eq!(
+            dump(&recovered),
+            oracle_prefix(&batches, n),
+            "{context}: recovered state diverges from the oracle prefix"
+        );
+        recovered
+            .store()
+            .check_consistency(&mut recovered.server().direct())
+            .unwrap();
+        if point == crash_points::MID_FRAME {
+            assert!(
+                report.diagnostics.iter().any(|d| d.contains("torn tail")),
+                "{context}: expected a torn-tail diagnostic, got {:?}",
+                report.diagnostics
+            );
+        }
+
+        // The recovered store keeps serving and logging.
+        let mut session = recovered.session();
+        let ops = gen_batch(&mut rng, 6);
+        batches.truncate(n);
+        batches.push(ops.clone());
+        session
+            .batch(ops)
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        assert_eq!(
+            dump(&recovered),
+            oracle_prefix(&batches, batches.len()),
+            "{context}: post-recovery writes diverge"
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_recovers_an_acked_prefix_on_every_runtime() {
+    with_default_watchdog(|| {
+        crash_matrix_on::<SwisstmRuntime>();
+        crash_matrix_on::<TlstmRuntime>();
+        crash_matrix_on::<SeqRefRuntime>();
     });
 }
 
 /// The rotation crash matrix (the rotation path previously had zero crash
 /// coverage): arm each rotation point, crash inside the log-truncation
-/// rotate that follows a snapshot, and recover on both runtimes. The
+/// rotate that follows a snapshot, and recover on every runtime. The
 /// snapshot itself is written durably *before* the rotation, so recovery
 /// must come back through it — never losing an acknowledged batch, whether
 /// the crash left an untrimmed outgoing segment or an orphaned all-zero
 /// successor segment.
-#[test]
-fn rotation_crash_matrix_recovers_every_acked_batch_on_both_runtimes() {
-    with_default_watchdog(|| {
-        for (label, boot) in RUNTIMES {
-            for point in crash_points::ROTATION {
-                let context = format!("{label}/{point}");
-                let dir = TempDir::new("txkv-rotate-crash");
-                let crash = CrashPoints::disabled();
-                let store = boot(dir.path(), &config(FsyncPolicy::Always, crash.clone()))
-                    .unwrap_or_else(|e| panic!("{context}: boot failed: {e}"));
-                let mut session = store.session();
-                let mut rng = TestRng::new(0x0707 ^ point.len() as u64);
-                let mut batches = Vec::new();
-                for _ in 0..8 {
-                    let ops = gen_batch(&mut rng, 10);
-                    batches.push(ops.clone());
-                    session
-                        .batch(ops)
-                        .unwrap_or_else(|e| panic!("{context}: {e}"));
-                }
-                assert_eq!(store.durable_lsn(), 8, "{context}");
-
-                crash.arm(point);
-                assert!(store.snapshot().is_err(), "{context}: rotation must fail");
-                assert!(store.is_dead(), "{context}");
-                assert_eq!(crash.fired(), Some(point.to_string()), "{context}");
-                // No premature prune: the crashed rotation must leave the
-                // pre-snapshot log segment in place (it is still the only
-                // home of records the orphaned successor never received).
-                assert!(
-                    !txlog::list_segments(dir.path()).unwrap().is_empty(),
-                    "{context}: segments pruned after a failed rotation"
-                );
-                let ops = gen_batch(&mut rng, 10);
-                assert_eq!(
-                    session.batch(ops).unwrap_err(),
-                    WalError::Crashed,
-                    "{context}: dead stores must refuse writes"
-                );
-                drop(session);
-                drop(store);
-
-                let recovered = boot(
-                    dir.path(),
-                    &config(FsyncPolicy::Always, CrashPoints::disabled()),
-                )
-                .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
-                let report = recovered.recovery().clone();
-                assert_eq!(report.next_lsn, 8, "{context}: acked batches lost");
-                assert_eq!(
-                    report.snapshot_lsn,
-                    Some(8),
-                    "{context}: the pre-rotation snapshot must be used"
-                );
-                assert_eq!(report.replayed_records, 0, "{context}");
-                assert_eq!(
-                    dump(&recovered),
-                    oracle_prefix(&batches, 8),
-                    "{context}: recovered state diverges from the oracle"
-                );
-                recovered
-                    .store()
-                    .check_consistency(&mut recovered.server().direct())
-                    .unwrap();
-
-                // The recovered store serves, logs, and can rotate again.
-                let mut session = recovered.session();
-                let ops = gen_batch(&mut rng, 6);
-                batches.push(ops.clone());
-                session
-                    .batch(ops)
-                    .unwrap_or_else(|e| panic!("{context}: {e}"));
-                let snap = recovered
-                    .snapshot()
-                    .unwrap_or_else(|e| panic!("{context}: post-recovery snapshot failed: {e}"));
-                assert_eq!(snap, 9, "{context}");
-                assert_eq!(
-                    dump(&recovered),
-                    oracle_prefix(&batches, batches.len()),
-                    "{context}: post-recovery writes diverge"
-                );
-            }
+fn rotation_crash_matrix_on<R: TxRuntime>() {
+    let label = R::LABEL;
+    for point in crash_points::ROTATION {
+        let context = format!("{label}/{point}");
+        let dir = TempDir::new("txkv-rotate-crash");
+        let crash = CrashPoints::disabled();
+        let store = boot::<R>(dir.path(), &config(FsyncPolicy::Always, crash.clone()))
+            .unwrap_or_else(|e| panic!("{context}: boot failed: {e}"));
+        let mut session = store.session();
+        let mut rng = TestRng::new(0x0707 ^ point.len() as u64);
+        let mut batches = Vec::new();
+        for _ in 0..8 {
+            let ops = gen_batch(&mut rng, 10);
+            batches.push(ops.clone());
+            session
+                .batch(ops)
+                .unwrap_or_else(|e| panic!("{context}: {e}"));
         }
+        assert_eq!(store.durable_lsn(), 8, "{context}");
+
+        crash.arm(point);
+        assert!(store.snapshot().is_err(), "{context}: rotation must fail");
+        assert!(store.is_dead(), "{context}");
+        assert_eq!(crash.fired(), Some(point.to_string()), "{context}");
+        // No premature prune: the crashed rotation must leave the
+        // pre-snapshot log segment in place (it is still the only
+        // home of records the orphaned successor never received).
+        assert!(
+            !txlog::list_segments(dir.path()).unwrap().is_empty(),
+            "{context}: segments pruned after a failed rotation"
+        );
+        let ops = gen_batch(&mut rng, 10);
+        assert_eq!(
+            session.batch(ops).unwrap_err(),
+            WalError::Crashed,
+            "{context}: dead stores must refuse writes"
+        );
+        drop(session);
+        drop(store);
+
+        let recovered = boot::<R>(
+            dir.path(),
+            &config(FsyncPolicy::Always, CrashPoints::disabled()),
+        )
+        .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
+        let report = recovered.recovery().clone();
+        assert_eq!(report.next_lsn, 8, "{context}: acked batches lost");
+        assert_eq!(
+            report.snapshot_lsn,
+            Some(8),
+            "{context}: the pre-rotation snapshot must be used"
+        );
+        assert_eq!(report.replayed_records, 0, "{context}");
+        assert_eq!(
+            dump(&recovered),
+            oracle_prefix(&batches, 8),
+            "{context}: recovered state diverges from the oracle"
+        );
+        recovered
+            .store()
+            .check_consistency(&mut recovered.server().direct())
+            .unwrap();
+
+        // The recovered store serves, logs, and can rotate again.
+        let mut session = recovered.session();
+        let ops = gen_batch(&mut rng, 6);
+        batches.push(ops.clone());
+        session
+            .batch(ops)
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        let snap = recovered
+            .snapshot()
+            .unwrap_or_else(|e| panic!("{context}: post-recovery snapshot failed: {e}"));
+        assert_eq!(snap, 9, "{context}");
+        assert_eq!(
+            dump(&recovered),
+            oracle_prefix(&batches, batches.len()),
+            "{context}: post-recovery writes diverge"
+        );
+    }
+}
+
+#[test]
+fn rotation_crash_matrix_recovers_every_acked_batch_on_every_runtime() {
+    with_default_watchdog(|| {
+        rotation_crash_matrix_on::<SwisstmRuntime>();
+        rotation_crash_matrix_on::<TlstmRuntime>();
+        rotation_crash_matrix_on::<SeqRefRuntime>();
     });
 }
 
@@ -323,12 +335,12 @@ fn group_fsync_acks_are_never_lost() {
 
 /// Snapshot + truncation: recovery loads the snapshot and replays only the
 /// suffix; covered segments and older snapshots are pruned.
-#[test]
-fn snapshot_truncates_the_log_and_recovery_uses_it() {
-    with_default_watchdog(|| {
-        for (label, boot) in RUNTIMES {
+fn snapshot_truncation_on<R: TxRuntime>() {
+    {
+        {
+            let label = R::LABEL;
             let dir = TempDir::new("txkv-snap");
-            let store = boot(
+            let store = boot::<R>(
                 dir.path(),
                 &config(FsyncPolicy::Always, CrashPoints::disabled()),
             )
@@ -365,7 +377,7 @@ fn snapshot_truncates_the_log_and_recovery_uses_it() {
             drop(session);
             drop(store);
 
-            let recovered = boot(
+            let recovered = boot::<R>(
                 dir.path(),
                 &config(FsyncPolicy::Always, CrashPoints::disabled()),
             )
@@ -383,19 +395,29 @@ fn snapshot_truncates_the_log_and_recovery_uses_it() {
                 "{label}: snapshot+suffix recovery diverges"
             );
         }
+    }
+}
+
+#[test]
+fn snapshot_truncates_the_log_and_recovery_uses_it() {
+    with_default_watchdog(|| {
+        snapshot_truncation_on::<SwisstmRuntime>();
+        snapshot_truncation_on::<TlstmRuntime>();
+        snapshot_truncation_on::<SeqRefRuntime>();
     });
 }
 
 /// Clean shutdown → reopen: nothing is lost, LSNs continue densely, and a
-/// log written under one runtime recovers under the other (the record
+/// log written under one runtime recovers under any other (the record
 /// stream is runtime-agnostic).
-#[test]
-fn clean_restart_and_cross_runtime_recovery() {
-    with_default_watchdog(|| {
-        for (label, boot) in RUNTIMES {
-            for (other_label, other_boot) in RUNTIMES {
+fn restart_pair<A: TxRuntime, B: TxRuntime>() {
+    {
+        let label = A::LABEL;
+        {
+            let other_label = B::LABEL;
+            {
                 let dir = TempDir::new("txkv-restart");
-                let store = boot(
+                let store = boot::<A>(
                     dir.path(),
                     &config(FsyncPolicy::Always, CrashPoints::disabled()),
                 )
@@ -412,7 +434,7 @@ fn clean_restart_and_cross_runtime_recovery() {
                 drop(session);
                 drop(store);
 
-                let reopened = other_boot(
+                let reopened = boot::<B>(
                     dir.path(),
                     &config(FsyncPolicy::Always, CrashPoints::disabled()),
                 )
@@ -437,18 +459,33 @@ fn clean_restart_and_cross_runtime_recovery() {
                 assert_eq!(reopened.durable_lsn(), 13, "{context}");
             }
         }
+    }
+}
+
+#[test]
+fn clean_restart_and_cross_runtime_recovery() {
+    with_default_watchdog(|| {
+        restart_pair::<SwisstmRuntime, SwisstmRuntime>();
+        restart_pair::<SwisstmRuntime, TlstmRuntime>();
+        restart_pair::<SwisstmRuntime, SeqRefRuntime>();
+        restart_pair::<TlstmRuntime, SwisstmRuntime>();
+        restart_pair::<TlstmRuntime, TlstmRuntime>();
+        restart_pair::<TlstmRuntime, SeqRefRuntime>();
+        restart_pair::<SeqRefRuntime, SwisstmRuntime>();
+        restart_pair::<SeqRefRuntime, TlstmRuntime>();
+        restart_pair::<SeqRefRuntime, SeqRefRuntime>();
     });
 }
 
 /// Concurrent durable sessions: the WAL re-sequences racing post-commit
 /// appends into LSN order, so a clean restart reproduces the exact
 /// committed state.
-#[test]
-fn concurrent_sessions_survive_a_restart() {
-    with_default_watchdog(|| {
-        for (label, boot) in RUNTIMES {
+fn concurrent_restart_on<R: TxRuntime>() {
+    {
+        {
+            let label = R::LABEL;
             let dir = TempDir::new("txkv-concurrent");
-            let store = boot(
+            let store = boot::<R>(
                 dir.path(),
                 &config(
                     FsyncPolicy::Group(std::time::Duration::from_millis(1)),
@@ -473,7 +510,7 @@ fn concurrent_sessions_survive_a_restart() {
             assert_eq!(store.durable_lsn(), 60, "{label}: every batch acked");
             drop(store);
 
-            let reopened = boot(
+            let reopened = boot::<R>(
                 dir.path(),
                 &config(FsyncPolicy::Always, CrashPoints::disabled()),
             )
@@ -489,6 +526,15 @@ fn concurrent_sessions_survive_a_restart() {
                 .check_consistency(&mut reopened.server().direct())
                 .unwrap();
         }
+    }
+}
+
+#[test]
+fn concurrent_sessions_survive_a_restart() {
+    with_default_watchdog(|| {
+        concurrent_restart_on::<SwisstmRuntime>();
+        concurrent_restart_on::<TlstmRuntime>();
+        concurrent_restart_on::<SeqRefRuntime>();
     });
 }
 

@@ -26,6 +26,13 @@
 //!   transaction/task handles, so that transactional data structures
 //!   (`txcollections`) and benchmarks (`tlstm-workloads`) are written once and
 //!   run unchanged on either runtime.
+//! * [`TxRuntime`] / [`TxSession`] — the *inter*-transaction counterpart to
+//!   [`TxMem`]: construction from a config or shared substrate, per-thread
+//!   sessions with a commit-retry loop ([`TxSession::run`]) and ordered
+//!   task-group submission ([`TxSession::run_tasks`]), and statistics access.
+//!   Implemented by the `swisstm` and `tlstm` runtimes and by the in-crate
+//!   sequential reference runtime [`SeqRefRuntime`], so servers, workloads
+//!   and the benchmark matrix are generic over the runtime.
 //! * [`StatsCollector`] — cheap atomic counters for commits, aborts and
 //!   conflict classes, sharded per user-thread into cache-line-aligned
 //!   [`StatsShard`]s and used by the evaluation harness and by tests.
@@ -61,6 +68,8 @@ pub mod heap;
 pub mod lock_table;
 pub mod owner;
 pub mod pause;
+pub mod runtime;
+pub mod seqref;
 pub mod stats;
 pub mod traits;
 pub mod write_set;
@@ -74,6 +83,10 @@ pub use heap::TxHeap;
 pub use lock_table::{LockEntry, LockIndex, LockTable, LOCKED};
 pub use owner::OwnerHandle;
 pub use owner::{CmDecision, LockOwner, OwnerToken};
+pub use runtime::{
+    assert_txmem_object_safe, run_boxed_tasks, BoxedTaskBody, TaskBody, TxRuntime, TxSession,
+};
+pub use seqref::{SeqRefRuntime, SeqRefSession};
 pub use stats::{StatsCollector, StatsShard, StatsSnapshot};
 pub use traits::{DirectMem, TxMem};
 pub use write_set::{WriteEntry, WriteSet};

@@ -1,0 +1,186 @@
+//! The uniform *inter*-transaction runtime interface.
+//!
+//! [`TxMem`] (see [`crate::traits`]) is the intra-transaction surface: how a
+//! body reads and writes words once a transaction is running. This module adds
+//! the missing counterpart — how transactions are *started, retried, split
+//! into speculative tasks and accounted* — so that code generic over a
+//! runtime can be written once:
+//!
+//! ```text
+//! TxRuntime  — construction (TxConfig / shared TxSubstrate), stats access
+//!    └─ TxSession  — one per driving thread: `run` (retry loop) and
+//!       │           `run_tasks` (one transaction split into ordered tasks)
+//!       └─ &mut dyn TxMem — what a body sees while it executes
+//! ```
+//!
+//! Three runtimes implement the interface:
+//!
+//! * `swisstm::SwisstmRuntime` — the SwissTM baseline; `run_tasks` executes
+//!   the bodies sequentially inside one transaction;
+//! * `tlstm::TlstmRuntime` — the unified STM+TLS runtime; `run_tasks` turns
+//!   every body into one speculative task of one user-transaction;
+//! * [`crate::SeqRefRuntime`] — a global-lock sequential reference runtime
+//!   used as the conformance baseline of the benchmark matrix.
+//!
+//! Bodies must obey the usual STM contract: they may be re-executed any
+//! number of times (aborted attempts roll back), so they must be idempotent
+//! apart from their transactional reads/writes, and any side buffer they fill
+//! must be cleared at the start of each execution.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Abort;
+use crate::stats::StatsSnapshot;
+use crate::traits::{DirectMem, TxMem};
+use crate::{TxConfig, TxHeap, TxSubstrate};
+
+/// One ordered task body of a [`TxSession::run_tasks`] group.
+///
+/// The bodies of a group together form *one* atomic transaction; sequential
+/// runtimes execute them in order inside a single transaction, speculative
+/// runtimes run one task per body. A body may be re-executed (speculation or
+/// retry), so it must reset any captured output buffer when it starts.
+pub type TaskBody<'a> = &'a mut (dyn FnMut(&mut dyn TxMem) -> Result<(), Abort> + Send);
+
+/// An owned task body; see [`TaskBody`]. Callers that build a group
+/// dynamically collect `BoxedTaskBody`s and submit them with
+/// [`run_boxed_tasks`].
+pub type BoxedTaskBody<'a> = Box<dyn FnMut(&mut dyn TxMem) -> Result<(), Abort> + Send + 'a>;
+
+/// Submits a dynamically built group of owned bodies as one transaction
+/// (the [`TxSession::run_tasks`] contract applies unchanged).
+pub fn run_boxed_tasks<S: TxSession + ?Sized>(session: &mut S, bodies: &mut [BoxedTaskBody<'_>]) {
+    // Shortens the box's trait-object lifetime bound to the borrow's (a
+    // built-in coercion, but one the closure-return position won't apply).
+    fn shorten<'s, 'a>(
+        body: &'s mut (dyn FnMut(&mut dyn TxMem) -> Result<(), Abort> + Send + 'a),
+    ) -> TaskBody<'s> {
+        body
+    }
+    let mut group: Vec<TaskBody<'_>> = bodies.iter_mut().map(|body| shorten(&mut **body)).collect();
+    session.run_tasks(&mut group);
+}
+
+/// A per-thread session handle of a [`TxRuntime`].
+///
+/// Sessions are `Send` but not `Sync`: each driving OS thread opens its own
+/// session (exactly the paper's user-thread model).
+pub trait TxSession {
+    /// The concrete [`TxMem`] handle bodies of [`TxSession::run`] receive.
+    ///
+    /// Exposing the concrete type (rather than `&mut dyn TxMem`) keeps the
+    /// single-body fast path fully monomorphized: the memory operations of a
+    /// `run` body inline into the transaction loop exactly as the runtimes'
+    /// inherent APIs do. Task groups ([`TxSession::run_tasks`]) still use
+    /// `&mut dyn TxMem` bodies — heterogeneous groups need the erasure.
+    type Mem<'t>: TxMem;
+
+    /// Runs `body` as one atomic transaction, retrying until it commits, and
+    /// returns the body's result.
+    ///
+    /// The body accesses shared state exclusively through the [`TxMem`]
+    /// handle it receives and may be re-executed an arbitrary number of
+    /// times.
+    fn run<T, F>(&mut self, body: F) -> T
+    where
+        T: Send,
+        F: for<'t> Fn(&mut Self::Mem<'t>) -> Result<T, Abort> + Send + Sync;
+
+    /// Runs an ordered group of task bodies as *one* atomic transaction.
+    ///
+    /// Sequential runtimes apply the bodies in order inside a single
+    /// transaction; the TLSTM runtime executes one speculative task per body
+    /// (program order is preserved by the task serials). An empty group is a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group exceeds the session's speculative depth on a
+    /// runtime with bounded depth (such a transaction could never commit).
+    fn run_tasks(&mut self, tasks: &mut [TaskBody<'_>]);
+}
+
+/// A pluggable transactional runtime over the shared [`TxSubstrate`].
+///
+/// The trait captures what `txkv`, the workload suite and the benchmark
+/// matrix need from a runtime: construction, per-thread sessions
+/// ([`TxSession`]), and statistics access. Concrete runtimes keep their richer
+/// inherent APIs (explicit speculative depth, task specs, ...); generic
+/// consumers only rely on this surface.
+pub trait TxRuntime: Send + Sync + fmt::Debug + 'static {
+    /// The per-thread session handle.
+    type Session: TxSession + Send + fmt::Debug;
+
+    /// Identifier used in benchmark reports, CLI selectors and scenario
+    /// names (`"swisstm"`, `"tlstm"`, `"seqref"`).
+    const LABEL: &'static str;
+
+    /// `true` if the runtime executes the bodies of a [`TxSession::run_tasks`]
+    /// group as parallel speculative tasks (so the benchmark matrix expands
+    /// it over the task-split axis); `false` for sequential runtimes.
+    const SPECULATIVE: bool;
+
+    /// Creates a runtime with a fresh substrate built from `config`.
+    fn new(config: TxConfig) -> Arc<Self>;
+
+    /// Creates a runtime over an existing substrate (shared with other
+    /// runtimes or with non-transactional initialisation code).
+    fn with_substrate(substrate: Arc<TxSubstrate>) -> Arc<Self>;
+
+    /// The shared substrate.
+    fn substrate(&self) -> &Arc<TxSubstrate>;
+
+    /// Opens a session for the calling thread.
+    ///
+    /// Runtimes with a speculative-depth notion size the session from the
+    /// substrate's [`TxConfig::spec_depth`].
+    fn session(self: &Arc<Self>) -> Self::Session;
+
+    /// The transactional heap (for non-transactional setup of data).
+    fn heap(&self) -> &TxHeap {
+        &self.substrate().heap
+    }
+
+    /// A [`DirectMem`] handle for non-transactional initialisation.
+    fn direct(&self) -> DirectMem<'_> {
+        DirectMem::new(&self.substrate().heap)
+    }
+
+    /// Snapshot of the global statistics counters.
+    fn stats(&self) -> StatsSnapshot {
+        self.substrate().stats.snapshot()
+    }
+
+    /// Per-shard statistics snapshots: entry `i` aggregates the activity of
+    /// the sessions whose thread id is `i` modulo the shard count.
+    fn stats_per_shard(&self) -> Vec<StatsSnapshot> {
+        self.substrate().stats.shard_snapshots()
+    }
+
+    /// Resets the global statistics counters.
+    fn reset_stats(&self) {
+        self.substrate().stats.reset();
+    }
+}
+
+/// Statically asserts that [`TxMem`] stays object-safe: the `txkv` durable
+/// front-end (and every [`TxSession::run`] body) works through
+/// `&mut dyn TxMem` trait objects, so losing object safety is an API break.
+pub fn assert_txmem_object_safe(mem: &mut dyn TxMem) -> Result<u64, Abort> {
+    let word = mem.alloc(1)?;
+    mem.write(word, 1)?;
+    mem.read(word)
+}
+
+/// Convenience: runs `body` through a session of a freshly constructed
+/// runtime (tests and examples). The body takes `&mut dyn TxMem`, so one
+/// closure works for every `R`.
+pub fn run_once<R, T, F>(config: TxConfig, body: F) -> T
+where
+    R: TxRuntime,
+    T: Send,
+    F: Fn(&mut dyn TxMem) -> Result<T, Abort> + Send + Sync,
+{
+    R::new(config).session().run(move |mem| body(mem))
+}

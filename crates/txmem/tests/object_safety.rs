@@ -1,0 +1,36 @@
+//! Regression pin: [`TxMem`] must stay object-safe. Every portable
+//! transaction body runs through `&mut dyn TxMem` (see [`TxSession::run`]),
+//! and the `txkv` durable front-end stores boxed bodies — adding a generic
+//! method or a `Self: Sized` requirement to `TxMem` would silently break
+//! every consumer. This test fails to *compile* if object safety is lost.
+
+use txmem::{
+    assert_txmem_object_safe, Abort, DirectMem, SeqRefRuntime, TxConfig, TxMem, TxSession,
+    TxSubstrate,
+};
+
+// Compile-time pins: `dyn TxMem` must be a valid type and the helper must
+// keep its trait-object signature.
+const _PIN: fn(&mut dyn TxMem) -> Result<u64, Abort> = assert_txmem_object_safe;
+
+fn _dyn_boxes_are_constructible(substrate: &TxSubstrate) -> Box<dyn TxMem + '_> {
+    Box::new(DirectMem::new(&substrate.heap))
+}
+
+#[test]
+fn direct_mem_works_through_a_trait_object() {
+    let substrate = TxSubstrate::new(TxConfig::small());
+    let mut direct = DirectMem::new(&substrate.heap);
+    let mem: &mut dyn TxMem = &mut direct;
+    assert_eq!(assert_txmem_object_safe(mem).unwrap(), 1);
+}
+
+#[test]
+fn session_bodies_receive_a_trait_object() {
+    let runtime = SeqRefRuntime::new(TxConfig::small());
+    let mut session = runtime.session();
+    // The body parameter *is* `&mut dyn TxMem`; passing it straight to the
+    // object-safety helper pins the signature.
+    let value = session.run(|mem| assert_txmem_object_safe(mem));
+    assert_eq!(value, 1);
+}

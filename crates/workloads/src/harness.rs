@@ -331,6 +331,18 @@ pub fn average_metrics(
     }
 }
 
+/// Splits `len` items into `tasks` contiguous `[lo, hi)` ranges — the task
+/// decomposition the workloads use when a speculative runtime splits one
+/// transaction into tasks. Ranges are contiguous and cover all items; later
+/// ranges are empty when `tasks` exceeds `len`.
+pub fn chunk_ranges(len: usize, tasks: usize) -> Vec<(usize, usize)> {
+    let tasks = tasks.max(1);
+    let chunk = len.div_ceil(tasks).max(1);
+    (0..tasks)
+        .map(|t| ((t * chunk).min(len), ((t + 1) * chunk).min(len)))
+        .collect()
+}
+
 /// A small, fast, deterministic PRNG (xorshift*), used by the workload
 /// generators so that runs are reproducible and re-executed tasks see the
 /// same operation stream.

@@ -26,7 +26,7 @@ use std::sync::atomic::Ordering;
 
 use tlstm_testutil::TempDir;
 use txkv::{DurableKvConfig, DurableKvStore, KvOp, KvServer, KvServerConfig, KvStoreParams};
-use txmem::TxConfig;
+use txmem::{TxConfig, TxRuntime};
 
 use crate::harness::{average_metrics, run_threads_metrics, DetRng, RunMetrics, WorkloadConfig};
 
@@ -295,11 +295,16 @@ pub fn generate_batch(rng: &mut DetRng, dist: &KeyDist, params: &KvParams) -> Ve
         .collect()
 }
 
-fn populate(server: &KvServer, params: &KvParams) {
+fn populate<R: TxRuntime>(server: &KvServer<R>, params: &KvParams) {
     server.populate((0..params.records).map(|k| (k, initial_value(k, params.value_words))));
 }
 
-fn measure(server: KvServer, params: &KvParams, config: &WorkloadConfig, rep: u32) -> RunMetrics {
+fn measure_server<R: TxRuntime>(
+    server: KvServer<R>,
+    params: &KvParams,
+    config: &WorkloadConfig,
+    rep: u32,
+) -> RunMetrics {
     populate(&server, params);
     let dist = KeyDist::new(params);
     let (throughput, latency) = run_threads_metrics(
@@ -327,15 +332,14 @@ fn measure(server: KvServer, params: &KvParams, config: &WorkloadConfig, rep: u3
 /// realistic durable state), then every client batch is write-ahead logged
 /// and waits for its durability acknowledgement. The scratch directory is
 /// removed when the run ends.
-fn measure_durable(
-    boot: fn(&std::path::Path, &DurableKvConfig) -> std::io::Result<DurableKvStore>,
+fn measure_durable<R: TxRuntime>(
     params: &KvParams,
     config: &WorkloadConfig,
     rep: u32,
     fsync: FsyncPolicy,
 ) -> RunMetrics {
     let dir = TempDir::new("tmbench-kv-durable");
-    let store = boot(
+    let store = DurableKvStore::<R>::boot(
         dir.path(),
         &DurableKvConfig {
             server: params.server_config(),
@@ -369,36 +373,15 @@ fn measure_durable(
     RunMetrics::new(throughput, latency, store.server().stats())
 }
 
-/// Measures the KV workload on the SwissTM baseline (durably, through the
-/// write-ahead log, when [`KvParams::durable`] is set).
-pub fn measure_swisstm(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
+/// Measures the KV workload on any [`TxRuntime`] (durably, through the
+/// write-ahead log, when [`KvParams::durable`] is set). On a speculative
+/// runtime each batch executes as `params.tasks_per_txn` shard-group tasks;
+/// sequential runtimes execute the identical batch plan in order.
+pub fn measure<R: TxRuntime>(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
     average_metrics(config.repetitions, |rep| match params.durable {
-        Some(durability) => measure_durable(
-            DurableKvStore::swisstm,
-            params,
-            config,
-            rep,
-            durability.fsync,
-        ),
-        None => measure(
-            KvServer::swisstm(&params.server_config()),
-            params,
-            config,
-            rep,
-        ),
-    })
-}
-
-/// Measures the KV workload on TLSTM with `params.tasks_per_txn` speculative
-/// tasks per batch (durably, through the write-ahead log, when
-/// [`KvParams::durable`] is set).
-pub fn measure_tlstm(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| match params.durable {
-        Some(durability) => {
-            measure_durable(DurableKvStore::tlstm, params, config, rep, durability.fsync)
-        }
-        None => measure(
-            KvServer::tlstm(&params.server_config()),
+        Some(durability) => measure_durable::<R>(params, config, rep, durability.fsync),
+        None => measure_server(
+            KvServer::<R>::new(&params.server_config()),
             params,
             config,
             rep,
@@ -409,6 +392,9 @@ pub fn measure_tlstm(params: &KvParams, config: &WorkloadConfig) -> RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swisstm::SwisstmRuntime;
+    use tlstm::TlstmRuntime;
+    use txmem::SeqRefRuntime;
 
     #[test]
     fn mix_percentages_sum_to_100() {
@@ -532,15 +518,17 @@ mod tests {
         let config = WorkloadConfig::quick();
         for mix in [KvMix::A, KvMix::B, KvMix::C, KvMix::ScanHeavy] {
             let params = KvParams::tiny(mix);
-            let m = measure_swisstm(&params, &config);
+            let m = measure::<SwisstmRuntime>(&params, &config);
             assert!(m.throughput.ops > 0, "swisstm {mix:?} made no progress");
             assert!(m.stats.tx_commits > 0);
-            let m = measure_tlstm(&params, &config);
+            let m = measure::<TlstmRuntime>(&params, &config);
             assert!(m.throughput.ops > 0, "tlstm {mix:?} made no progress");
             assert!(
                 m.stats.task_commits >= m.stats.tx_commits,
                 "tlstm must run tasks"
             );
+            let m = measure::<SeqRefRuntime>(&params, &config);
+            assert!(m.throughput.ops > 0, "seqref {mix:?} made no progress");
         }
     }
 
@@ -552,12 +540,14 @@ mod tests {
                 durable: Some(KvDurability { fsync }),
                 ..KvParams::tiny(KvMix::A)
             };
-            let m = measure_swisstm(&params, &config);
+            let m = measure::<SwisstmRuntime>(&params, &config);
             assert!(m.throughput.ops > 0, "swisstm durable {fsync:?}");
             assert!(m.stats.tx_commits > 0);
-            let m = measure_tlstm(&params, &config);
+            let m = measure::<TlstmRuntime>(&params, &config);
             assert!(m.throughput.ops > 0, "tlstm durable {fsync:?}");
             assert!(m.stats.task_commits >= m.stats.tx_commits);
+            let m = measure::<SeqRefRuntime>(&params, &config);
+            assert!(m.throughput.ops > 0, "seqref durable {fsync:?}");
         }
     }
 
@@ -565,7 +555,7 @@ mod tests {
     fn read_only_mix_never_writes() {
         let config = WorkloadConfig::quick();
         let params = KvParams::tiny(KvMix::C);
-        let m = measure_swisstm(&params, &config);
+        let m = measure::<SwisstmRuntime>(&params, &config);
         assert_eq!(m.stats.writes, 0, "mix C is read-only");
         assert!(m.stats.reads > 0);
     }

@@ -20,9 +20,9 @@
 
 use std::sync::atomic::Ordering;
 
-use swisstm::SwisstmRuntime;
-use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
-use txmem::{Abort, TxConfig, TxMem, WordAddr};
+use txmem::{
+    run_boxed_tasks, Abort, BoxedTaskBody, TxConfig, TxMem, TxRuntime, TxSession, WordAddr,
+};
 
 use crate::harness::{average_metrics, run_threads_metrics, DetRng, RunMetrics, WorkloadConfig};
 
@@ -87,7 +87,7 @@ impl OverheadParams {
 /// aborted attempts replay the identical operation sequence and the driver
 /// never materialises a per-transaction key buffer (the measurement stays a
 /// pure fast-path measurement).
-fn run_ops<M: TxMem>(
+fn run_ops<M: TxMem + ?Sized>(
     mem: &mut M,
     region: WordAddr,
     params: &OverheadParams,
@@ -121,62 +121,50 @@ fn regions(heap: &txmem::TxHeap, params: &OverheadParams) -> Vec<WordAddr> {
         .collect()
 }
 
-/// Measures the microworkload on the SwissTM baseline.
-pub fn measure_swisstm(params: &OverheadParams, config: &WorkloadConfig) -> RunMetrics {
+/// Measures the microworkload on any [`TxRuntime`].
+///
+/// On a speculative runtime each transaction is split into
+/// `tasks_per_txn` tasks covering disjoint ranges of the same deterministic
+/// op stream; sequential runtimes always run the whole stream as one body
+/// (and the single-body path goes through [`TxSession::run`], which keeps
+/// the steady state allocation-free).
+pub fn measure<R: TxRuntime>(params: &OverheadParams, config: &WorkloadConfig) -> RunMetrics {
     average_metrics(config.repetitions, |rep| {
-        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let runtime = R::new(params.substrate_config());
         let regions = regions(runtime.heap(), params);
         let (throughput, latency) = run_threads_metrics(
             params.threads.max(1),
             config.duration,
             |thread_index, stop, ops, hist| {
-                let mut thread = runtime.register_thread();
-                let region = regions[thread_index];
-                let mut seeds =
-                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
-                while !stop.load(Ordering::Relaxed) {
-                    let txn_seed = seeds.next_u64();
-                    let t0 = std::time::Instant::now();
-                    thread
-                        .atomic(|tx| run_ops(tx, region, params, txn_seed, 0, params.ops_per_txn));
-                    hist.record(t0.elapsed());
-                    ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
-                }
-            },
-        );
-        RunMetrics::new(throughput, latency, runtime.stats())
-    })
-}
-
-/// Measures the microworkload on TLSTM with `tasks_per_txn` tasks per
-/// transaction.
-pub fn measure_tlstm(params: &OverheadParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        let runtime = TlstmRuntime::new(params.substrate_config());
-        let regions = regions(runtime.heap(), params);
-        let (throughput, latency) = run_threads_metrics(
-            params.threads.max(1),
-            config.duration,
-            |thread_index, stop, ops, hist| {
-                let tasks = params.tasks_per_txn.max(1);
-                let uthread = runtime.register_uthread(tasks);
+                let tasks = if R::SPECULATIVE {
+                    params.tasks_per_txn.max(1)
+                } else {
+                    1
+                };
+                let mut session = runtime.session();
                 let region = regions[thread_index];
                 let mut seeds =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 let chunk = params.ops_per_txn.div_ceil(tasks as u64).max(1);
                 while !stop.load(Ordering::Relaxed) {
                     let txn_seed = seeds.next_u64();
-                    let mut bodies = Vec::with_capacity(tasks);
-                    for t in 0..tasks as u64 {
-                        let lo = (t * chunk).min(params.ops_per_txn);
-                        let hi = ((t + 1) * chunk).min(params.ops_per_txn);
-                        let params = params.clone();
-                        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
-                            run_ops(ctx, region, &params, txn_seed, lo, hi)
-                        }));
-                    }
                     let t0 = std::time::Instant::now();
-                    uthread.execute(vec![TxnSpec::new(bodies)]);
+                    if tasks <= 1 {
+                        session.run(|mem| {
+                            run_ops(mem, region, params, txn_seed, 0, params.ops_per_txn)
+                        });
+                    } else {
+                        let mut bodies: Vec<BoxedTaskBody<'_>> = (0..tasks as u64)
+                            .map(|t| {
+                                let lo = (t * chunk).min(params.ops_per_txn);
+                                let hi = ((t + 1) * chunk).min(params.ops_per_txn);
+                                Box::new(move |mem: &mut dyn TxMem| {
+                                    run_ops(mem, region, params, txn_seed, lo, hi)
+                                }) as BoxedTaskBody<'_>
+                            })
+                            .collect();
+                        run_boxed_tasks(&mut session, &mut bodies);
+                    }
                     hist.record(t0.elapsed());
                     ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
                 }
@@ -189,6 +177,8 @@ pub fn measure_tlstm(params: &OverheadParams, config: &WorkloadConfig) -> RunMet
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swisstm::SwisstmRuntime;
+    use txmem::SeqRefRuntime;
 
     fn tiny(write_heavy: bool) -> OverheadParams {
         OverheadParams {
@@ -204,11 +194,11 @@ mod tests {
     fn read_only_variant_makes_progress_without_writes() {
         let config = WorkloadConfig::quick();
         let params = tiny(false);
-        let m = measure_swisstm(&params, &config);
+        let m = measure::<SwisstmRuntime>(&params, &config);
         assert!(m.throughput.ops > 0);
         assert_eq!(m.stats.writes, 0, "read-only variant must not write");
         assert!(m.stats.reads > 0);
-        let m = measure_tlstm(&params, &config);
+        let m = measure::<tlstm::TlstmRuntime>(&params, &config);
         assert!(m.throughput.ops > 0);
         assert_eq!(m.stats.writes, 0);
     }
@@ -217,18 +207,26 @@ mod tests {
     fn write_heavy_variant_commits_writes() {
         let config = WorkloadConfig::quick();
         let params = tiny(true);
-        let m = measure_swisstm(&params, &config);
+        let m = measure::<SwisstmRuntime>(&params, &config);
         assert!(m.throughput.ops > 0);
         assert!(m.stats.writes > 0, "write-heavy variant must write");
-        let m = measure_tlstm(&params, &config);
+        let m = measure::<tlstm::TlstmRuntime>(&params, &config);
         assert!(m.throughput.ops > 0);
         assert!(m.stats.writes > 0);
     }
 
     #[test]
+    fn seqref_runs_the_same_workload_sequentially() {
+        let config = WorkloadConfig::quick();
+        let m = measure::<SeqRefRuntime>(&tiny(true), &config);
+        assert!(m.throughput.ops > 0);
+        assert_eq!(m.stats.tx_aborts, 0, "seqref can never abort");
+    }
+
+    #[test]
     fn uncontended_single_thread_runs_never_abort() {
         let config = WorkloadConfig::quick();
-        let m = measure_swisstm(&tiny(true), &config);
+        let m = measure::<SwisstmRuntime>(&tiny(true), &config);
         assert_eq!(m.stats.tx_aborts, 0, "single-thread run must be abort-free");
     }
 

@@ -5,17 +5,21 @@
 //! executed as-is; under TLSTM it is split into `k` tasks of `N / k` lookups
 //! each. The paper reports the speed-up of TLSTM-2 and TLSTM-4 over SwissTM
 //! for `N ∈ {2, 4, 8, 16, 32, 64}`.
+//!
+//! The whole benchmark is written once against [`TxRuntime`]: a speculative
+//! runtime receives the transaction as a task group (one task per key chunk),
+//! sequential runtimes run the whole lookup batch as one body.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
 
 use swisstm::SwisstmRuntime;
-use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
+use tlstm::TlstmRuntime;
 use txcollections::TxRbTree;
-use txmem::{Abort, TxConfig, TxMem};
+use txmem::{run_boxed_tasks, Abort, BoxedTaskBody, TxConfig, TxMem, TxRuntime, TxSession};
 
 use crate::harness::{
-    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+    average_metrics, chunk_ranges, run_threads_metrics, DetRng, RunMetrics, Throughput,
+    WorkloadConfig,
 };
 
 /// Parameters of the red-black-tree micro-benchmark.
@@ -28,7 +32,8 @@ pub struct RbTreeBenchParams {
     pub key_space: u64,
     /// Lookups per transaction (`N`, the x-axis of Figure 1a).
     pub ops_per_txn: u64,
-    /// Tasks the transaction is split into (1 = plain SwissTM behaviour).
+    /// Tasks the transaction is split into (1 = plain SwissTM behaviour;
+    /// ignored by non-speculative runtimes).
     pub tasks_per_txn: usize,
     /// Number of user-threads (Figure 1a uses one).
     pub threads: usize,
@@ -53,10 +58,19 @@ impl RbTreeBenchParams {
             ..TxConfig::default()
         }
     }
+
+    /// The task count a runtime actually uses for this parameter set.
+    fn tasks_for<R: TxRuntime>(&self) -> usize {
+        if R::SPECULATIVE {
+            self.tasks_per_txn.max(1)
+        } else {
+            1
+        }
+    }
 }
 
 /// Pre-loads a tree with `initial_keys` evenly spread keys.
-fn populate<M: TxMem>(mem: &mut M, params: &RbTreeBenchParams) -> Result<TxRbTree, Abort> {
+fn populate<M: TxMem + ?Sized>(mem: &mut M, params: &RbTreeBenchParams) -> Result<TxRbTree, Abort> {
     let tree = TxRbTree::create(mem)?;
     let stride = (params.key_space / params.initial_keys).max(1);
     for i in 0..params.initial_keys {
@@ -66,8 +80,8 @@ fn populate<M: TxMem>(mem: &mut M, params: &RbTreeBenchParams) -> Result<TxRbTre
 }
 
 /// The per-transaction lookup batch, written once against `TxMem` so the same
-/// code runs on both runtimes.
-fn lookup_batch<M: TxMem>(mem: &mut M, tree: TxRbTree, keys: &[u64]) -> Result<(), Abort> {
+/// code runs on every runtime.
+fn lookup_batch<M: TxMem + ?Sized>(mem: &mut M, tree: TxRbTree, keys: &[u64]) -> Result<(), Abort> {
     for &key in keys {
         let _ = tree.get(mem, key)?;
     }
@@ -81,23 +95,37 @@ fn txn_keys(rng: &mut DetRng, params: &RbTreeBenchParams) -> Vec<u64> {
         .collect()
 }
 
-/// Measures the benchmark on the SwissTM baseline, with per-transaction
+/// Measures the benchmark on any [`TxRuntime`], with per-transaction
 /// latencies and the runtime's statistics breakdown.
-pub fn measure_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> RunMetrics {
+pub fn measure<R: TxRuntime>(params: &RbTreeBenchParams, config: &WorkloadConfig) -> RunMetrics {
     average_metrics(config.repetitions, |rep| {
-        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let runtime = R::new(params.substrate_config());
         let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
         let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
             |thread_index, stop, ops, hist| {
-                let mut thread = runtime.register_thread();
+                let tasks = params.tasks_for::<R>();
+                let mut session = runtime.session();
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let keys = txn_keys(&mut rng, params);
                     let t0 = std::time::Instant::now();
-                    thread.atomic(|tx| lookup_batch(tx, tree, &keys));
+                    if tasks <= 1 {
+                        session.run(|mem| lookup_batch(mem, tree, &keys));
+                    } else {
+                        let keys = &keys;
+                        let mut bodies: Vec<BoxedTaskBody<'_>> = chunk_ranges(keys.len(), tasks)
+                            .into_iter()
+                            .map(|(lo, hi)| {
+                                Box::new(move |mem: &mut dyn TxMem| {
+                                    lookup_batch(mem, tree, &keys[lo..hi])
+                                }) as BoxedTaskBody<'_>
+                            })
+                            .collect();
+                        run_boxed_tasks(&mut session, &mut bodies);
+                    }
                     hist.record(t0.elapsed());
                     ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
                 }
@@ -107,57 +135,10 @@ pub fn measure_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> R
     })
 }
 
-/// Measures the benchmark on the SwissTM baseline.
-pub fn run_swisstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
-    measure_swisstm(params, config).throughput
-}
-
-/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction,
-/// with per-transaction latencies and the runtime's statistics breakdown.
-pub fn measure_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        let runtime = TlstmRuntime::new(params.substrate_config());
-        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let (throughput, latency) = run_threads_metrics(
-            params.threads,
-            config.duration,
-            |thread_index, stop, ops, hist| {
-                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-                let mut rng =
-                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
-                while !stop.load(Ordering::Relaxed) {
-                    let keys = Arc::new(txn_keys(&mut rng, params));
-                    let spec = split_into_tasks(tree, &keys, params.tasks_per_txn);
-                    let t0 = std::time::Instant::now();
-                    uthread.execute(vec![spec]);
-                    hist.record(t0.elapsed());
-                    ops.fetch_add(params.ops_per_txn, Ordering::Relaxed);
-                }
-            },
-        );
-        RunMetrics::new(throughput, latency, runtime.stats())
-    })
-}
-
-/// Measures the benchmark on TLSTM with `tasks_per_txn` tasks per transaction.
-pub fn run_tlstm(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
-    measure_tlstm(params, config).throughput
-}
-
-/// Splits the transaction's lookups into `tasks` equally sized tasks.
-fn split_into_tasks(tree: TxRbTree, keys: &Arc<Vec<u64>>, tasks: usize) -> TxnSpec {
-    let tasks = tasks.max(1);
-    let chunk = keys.len().div_ceil(tasks).max(1);
-    let mut bodies = Vec::with_capacity(tasks);
-    for t in 0..tasks {
-        let keys = Arc::clone(keys);
-        let lo = (t * chunk).min(keys.len());
-        let hi = ((t + 1) * chunk).min(keys.len());
-        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
-            lookup_batch(ctx, tree, &keys[lo..hi])
-        }));
-    }
-    TxnSpec::new(bodies)
+/// Measures the benchmark on any [`TxRuntime`], returning just the
+/// throughput.
+pub fn run<R: TxRuntime>(params: &RbTreeBenchParams, config: &WorkloadConfig) -> Throughput {
+    measure::<R>(params, config).throughput
 }
 
 /// One row of the Figure 1a series: lookups per transaction and the measured
@@ -198,14 +179,14 @@ pub fn fig1a_series(
                 tasks_per_txn,
                 ..Default::default()
             };
-            let swisstm = run_swisstm(
+            let swisstm = run::<SwisstmRuntime>(
                 &RbTreeBenchParams {
                     tasks_per_txn: 1,
                     ..params.clone()
                 },
                 config,
             );
-            let tlstm = run_tlstm(&params, config);
+            let tlstm = run::<TlstmRuntime>(&params, config);
             Fig1aPoint {
                 ops_per_txn,
                 swisstm_ops_per_sec: swisstm.ops_per_sec(),
@@ -215,74 +196,51 @@ pub fn fig1a_series(
         .collect()
 }
 
-/// Quick correctness cross-check used by tests: the same lookup stream returns
-/// the same hit count on both runtimes.
-pub fn crosscheck_hit_counts(params: &RbTreeBenchParams, txns: u64, seed: u64) -> (u64, u64) {
-    // SwissTM side.
-    let sw_hits = {
-        let runtime = SwisstmRuntime::new(params.substrate_config());
-        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let mut thread = runtime.register_thread();
-        let mut rng = DetRng::new(seed);
-        let mut hits = 0u64;
-        for _ in 0..txns {
-            let keys = txn_keys(&mut rng, params);
-            hits += thread.atomic(|tx| {
-                let mut h = 0u64;
-                for &k in &keys {
-                    if tree.get(tx, k)?.is_some() {
-                        h += 1;
-                    }
-                }
-                Ok(h)
-            });
-        }
-        hits
-    };
-    // TLSTM side: each task writes its hit count into a per-task result slot;
-    // the slot is *stored* (not added to) so re-executed attempts cannot
-    // over-count, and the driver sums the slots only after the transaction
-    // has committed.
-    let tl_hits = {
-        let runtime = TlstmRuntime::new(params.substrate_config());
-        let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-        let mut rng = DetRng::new(seed);
-        let mut total = 0u64;
-        for _ in 0..txns {
-            let keys = Arc::new(txn_keys(&mut rng, params));
-            let tasks = params.tasks_per_txn.max(1);
-            let chunk = keys.len().div_ceil(tasks).max(1);
-            let mut bodies = Vec::new();
-            let mut slots = Vec::new();
-            for t in 0..tasks {
-                let keys = Arc::clone(&keys);
-                let lo = (t * chunk).min(keys.len());
-                let hi = ((t + 1) * chunk).min(keys.len());
-                let slot = Arc::new(AtomicU64::new(0));
-                slots.push(Arc::clone(&slot));
-                bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
-                    let mut h = 0u64;
-                    for &k in &keys[lo..hi] {
-                        if tree.get(ctx, k)?.is_some() {
-                            h += 1;
+/// Correctness cross-check used by tests: runs `txns` deterministic lookup
+/// transactions and returns the total hit count. The same `(params, seed)`
+/// pair must produce the same count on every runtime — each task writes its
+/// hit count into a per-task result slot that is *stored* (not added to), so
+/// re-executed speculative attempts cannot over-count.
+pub fn hit_count<R: TxRuntime>(params: &RbTreeBenchParams, txns: u64, seed: u64) -> u64 {
+    let runtime = R::new(params.substrate_config());
+    let tree = populate(&mut runtime.direct(), params).expect("populate cannot abort");
+    let mut session = runtime.session();
+    let mut rng = DetRng::new(seed);
+    let tasks = params.tasks_for::<R>();
+    let mut total = 0u64;
+    for _ in 0..txns {
+        let keys = txn_keys(&mut rng, params);
+        let mut slots = vec![0u64; tasks];
+        {
+            let keys = &keys;
+            let ranges = chunk_ranges(keys.len(), tasks);
+            let mut bodies: Vec<BoxedTaskBody<'_>> = slots
+                .iter_mut()
+                .zip(ranges)
+                .map(|(slot, (lo, hi))| {
+                    Box::new(move |mem: &mut dyn TxMem| {
+                        let mut h = 0u64;
+                        for &k in &keys[lo..hi] {
+                            if tree.get(mem, k)?.is_some() {
+                                h += 1;
+                            }
                         }
-                    }
-                    slot.store(h, Ordering::Relaxed);
-                    Ok(())
-                }));
-            }
-            uthread.execute(vec![TxnSpec::new(bodies)]);
-            total += slots.iter().map(|s| s.load(Ordering::Relaxed)).sum::<u64>();
+                        *slot = h;
+                        Ok(())
+                    }) as BoxedTaskBody<'_>
+                })
+                .collect();
+            run_boxed_tasks(&mut session, &mut bodies);
         }
-        total
-    };
-    (sw_hits, tl_hits)
+        total += slots.iter().sum::<u64>();
+    }
+    total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use txmem::SeqRefRuntime;
 
     fn tiny() -> RbTreeBenchParams {
         RbTreeBenchParams {
@@ -295,20 +253,22 @@ mod tests {
     }
 
     #[test]
-    fn both_runtimes_make_progress() {
+    fn every_runtime_makes_progress() {
         let config = WorkloadConfig::quick();
         let params = tiny();
-        let sw = run_swisstm(&params, &config);
-        let tl = run_tlstm(&params, &config);
-        assert!(sw.ops > 0, "SwissTM made no progress");
-        assert!(tl.ops > 0, "TLSTM made no progress");
+        assert!(run::<SwisstmRuntime>(&params, &config).ops > 0);
+        assert!(run::<TlstmRuntime>(&params, &config).ops > 0);
+        assert!(run::<SeqRefRuntime>(&params, &config).ops > 0);
     }
 
     #[test]
-    fn identical_streams_return_identical_hit_counts() {
+    fn identical_streams_return_identical_hit_counts_on_all_runtimes() {
         let params = tiny();
-        let (sw, tl) = crosscheck_hit_counts(&params, 20, 99);
+        let sw = hit_count::<SwisstmRuntime>(&params, 20, 99);
+        let tl = hit_count::<TlstmRuntime>(&params, 20, 99);
+        let sq = hit_count::<SeqRefRuntime>(&params, 20, 99);
         assert_eq!(sw, tl);
+        assert_eq!(sw, sq);
         assert!(sw > 0, "the stream should hit at least once");
     }
 
@@ -325,14 +285,17 @@ mod tests {
     }
 
     #[test]
-    fn split_into_tasks_covers_all_keys() {
-        let cfg = TxConfig::small();
-        let rt = TlstmRuntime::new(cfg);
-        let tree = populate(&mut rt.direct(), &tiny()).unwrap();
-        let keys = Arc::new(vec![1u64, 2, 3, 4, 5]);
-        let spec = split_into_tasks(tree, &keys, 2);
-        assert_eq!(spec.len(), 2);
-        let spec = split_into_tasks(tree, &keys, 4);
-        assert_eq!(spec.len(), 4);
+    fn chunk_ranges_cover_all_keys_without_overlap() {
+        for (len, tasks) in [(5usize, 2usize), (5, 4), (8, 3), (1, 4), (6, 1)] {
+            let ranges = chunk_ranges(len, tasks);
+            assert_eq!(ranges.len(), tasks);
+            let mut covered = 0;
+            for &(lo, hi) in &ranges {
+                assert!(lo <= hi && hi <= len);
+                assert_eq!(lo, covered, "ranges must be contiguous");
+                covered = hi;
+            }
+            assert_eq!(covered, len, "ranges must cover every key");
+        }
     }
 }

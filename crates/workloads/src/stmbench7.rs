@@ -17,14 +17,16 @@
 //! or 9 tasks (one per depth-2 subtree).
 
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 use swisstm::SwisstmRuntime;
-use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
-use txmem::{Abort, TxConfig, TxMem, WordAddr};
+use tlstm::TlstmRuntime;
+use txmem::{
+    run_boxed_tasks, Abort, BoxedTaskBody, TxConfig, TxMem, TxRuntime, TxSession, WordAddr,
+};
 
 use crate::harness::{
-    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+    average_metrics, chunk_ranges, run_threads_metrics, DetRng, RunMetrics, Throughput,
+    WorkloadConfig,
 };
 
 // Complex assembly node: [kind=0, child0, child1, child2]
@@ -120,7 +122,10 @@ impl Stmbench7 {
     /// # Errors
     ///
     /// Propagates allocation failure.
-    pub fn populate<M: TxMem>(mem: &mut M, params: &Stmbench7Params) -> Result<Self, Abort> {
+    pub fn populate<M: TxMem + ?Sized>(
+        mem: &mut M,
+        params: &Stmbench7Params,
+    ) -> Result<Self, Abort> {
         let mut rng = DetRng::new(0x57B7);
         // Shared pool of composite parts.
         let mut pool = Vec::with_capacity(params.composite_pool as usize);
@@ -144,7 +149,7 @@ impl Stmbench7 {
         Ok(Stmbench7 { root })
     }
 
-    fn build_assembly<M: TxMem>(
+    fn build_assembly<M: TxMem + ?Sized>(
         mem: &mut M,
         params: &Stmbench7Params,
         rng: &mut DetRng,
@@ -178,7 +183,7 @@ impl Stmbench7 {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn subtree_roots<M: TxMem>(
+    pub fn subtree_roots<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         params: &Stmbench7Params,
@@ -212,7 +217,7 @@ impl Stmbench7 {
 /// # Errors
 ///
 /// Propagates transactional aborts.
-pub fn traverse<M: TxMem>(
+pub fn traverse<M: TxMem + ?Sized>(
     mem: &mut M,
     params: &Stmbench7Params,
     node: WordAddr,
@@ -246,92 +251,69 @@ pub fn traverse<M: TxMem>(
     Ok(sum)
 }
 
-/// Builds the TLSTM transaction for one long traversal, splitting the root's
-/// subtrees across `tasks_per_txn` tasks (3 → one root subtree per task,
-/// 9 → one depth-2 subtree per task).
-fn split_traversal(
-    bench: Stmbench7,
-    params: &Stmbench7Params,
-    subtrees: &Arc<Vec<WordAddr>>,
-    write: bool,
-) -> TxnSpec {
-    let tasks = params.tasks_per_txn.max(1);
-    let chunk = subtrees.len().div_ceil(tasks).max(1);
-    let mut bodies = Vec::with_capacity(tasks);
-    for t in 0..tasks {
-        let subtrees = Arc::clone(subtrees);
-        let params = params.clone();
-        let lo = (t * chunk).min(subtrees.len());
-        let hi = ((t + 1) * chunk).min(subtrees.len());
-        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
-            for &subtree in &subtrees[lo..hi] {
-                traverse(ctx, &params, subtree, write)?;
-            }
-            Ok(())
-        }));
+/// The task count a runtime actually uses for this parameter set.
+fn tasks_for<R: TxRuntime>(params: &Stmbench7Params) -> usize {
+    if R::SPECULATIVE {
+        params.tasks_per_txn.max(1)
+    } else {
+        1
     }
-    let _ = bench;
-    TxnSpec::new(bodies)
 }
 
-/// Measures the long-traversal workload on SwissTM, with per-transaction
-/// latencies and the runtime's statistics breakdown.
-pub fn measure_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        let runtime = SwisstmRuntime::new(params.substrate_config());
-        let bench =
-            Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let (throughput, latency) = run_threads_metrics(
-            params.threads,
-            config.duration,
-            |thread_index, stop, ops, hist| {
-                let mut thread = runtime.register_thread();
-                let mut rng =
-                    DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
-                while !stop.load(Ordering::Relaxed) {
-                    let write = !rng.percent(params.read_pct);
-                    let t0 = std::time::Instant::now();
-                    thread.atomic(|tx| traverse(tx, params, bench.root, write).map(|_| ()));
-                    hist.record(t0.elapsed());
-                    ops.fetch_add(1, Ordering::Relaxed);
-                }
-            },
-        );
-        RunMetrics::new(throughput, latency, runtime.stats())
-    })
+/// Runs one long traversal on an open session: whole-tree as a single body
+/// on a sequential runtime, or one task per subtree chunk on a speculative
+/// one (3 tasks → one root subtree each, 9 → one depth-2 subtree each).
+fn run_traversal<S: TxSession>(
+    session: &mut S,
+    params: &Stmbench7Params,
+    root: WordAddr,
+    subtrees: &[WordAddr],
+    tasks: usize,
+    write: bool,
+) {
+    if tasks <= 1 {
+        session.run(|mem| traverse(mem, params, root, write).map(|_| ()));
+    } else {
+        let mut bodies: Vec<BoxedTaskBody<'_>> = chunk_ranges(subtrees.len(), tasks)
+            .into_iter()
+            .map(|(lo, hi)| {
+                Box::new(move |mem: &mut dyn TxMem| {
+                    for &subtree in &subtrees[lo..hi] {
+                        traverse(mem, params, subtree, write)?;
+                    }
+                    Ok(())
+                }) as BoxedTaskBody<'_>
+            })
+            .collect();
+        run_boxed_tasks(session, &mut bodies);
+    }
 }
 
-/// Measures the long-traversal workload on SwissTM.
-pub fn run_swisstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
-    measure_swisstm(params, config).throughput
-}
-
-/// Measures the long-traversal workload on TLSTM with `params.tasks_per_txn`
-/// tasks per traversal, with per-transaction latencies and the runtime's
-/// statistics breakdown.
-pub fn measure_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMetrics {
+/// Measures the long-traversal workload on any [`TxRuntime`], with
+/// per-transaction latencies and the runtime's statistics breakdown. On a
+/// speculative runtime each traversal is split into `params.tasks_per_txn`
+/// per-subtree tasks.
+pub fn measure<R: TxRuntime>(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMetrics {
     let split_depth = if params.tasks_per_txn > 3 { 2 } else { 1 };
     average_metrics(config.repetitions, |rep| {
-        let runtime = TlstmRuntime::new(params.substrate_config());
+        let runtime = R::new(params.substrate_config());
         let bench =
             Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let subtrees = Arc::new(
-            bench
-                .subtree_roots(&mut runtime.direct(), params, split_depth)
-                .expect("subtree discovery cannot abort"),
-        );
+        let subtrees = bench
+            .subtree_roots(&mut runtime.direct(), params, split_depth)
+            .expect("subtree discovery cannot abort");
         let (throughput, latency) = run_threads_metrics(
             params.threads,
             config.duration,
             |thread_index, stop, ops, hist| {
-                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
+                let tasks = tasks_for::<R>(params);
+                let mut session = runtime.session();
                 let mut rng =
                     DetRng::new(config.seed ^ (thread_index as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let write = !rng.percent(params.read_pct);
-                    let spec = split_traversal(bench, params, &subtrees, write);
                     let t0 = std::time::Instant::now();
-                    uthread.execute(vec![spec]);
+                    run_traversal(&mut session, params, bench.root, &subtrees, tasks, write);
                     hist.record(t0.elapsed());
                     ops.fetch_add(1, Ordering::Relaxed);
                 }
@@ -341,10 +323,59 @@ pub fn measure_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> RunMe
     })
 }
 
-/// Measures the long-traversal workload on TLSTM with `params.tasks_per_txn`
-/// tasks per traversal.
-pub fn run_tlstm(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
-    measure_tlstm(params, config).throughput
+/// Measures the long-traversal workload on any [`TxRuntime`], returning just
+/// the throughput.
+pub fn run<R: TxRuntime>(params: &Stmbench7Params, config: &WorkloadConfig) -> Throughput {
+    measure::<R>(params, config).throughput
+}
+
+/// Conformance helper: applies `n` write traversals of the freshly populated
+/// graph and returns every atomic part's final `date`, keyed (and ordered)
+/// by atomic id. Sequential semantics make the result a pure function of
+/// `(params, n)` — identical on every runtime and task split.
+pub fn write_traversal_dates<R: TxRuntime>(params: &Stmbench7Params, n: u64) -> Vec<u64> {
+    let split_depth = if params.tasks_per_txn > 3 { 2 } else { 1 };
+    let runtime = R::new(params.substrate_config());
+    let bench = Stmbench7::populate(&mut runtime.direct(), params).expect("populate cannot abort");
+    let subtrees = bench
+        .subtree_roots(&mut runtime.direct(), params, split_depth)
+        .expect("subtree discovery cannot abort");
+    let tasks = tasks_for::<R>(params);
+    let mut session = runtime.session();
+    for _ in 0..n {
+        run_traversal(&mut session, params, bench.root, &subtrees, tasks, true);
+    }
+    drop(session);
+    let mut dates = std::collections::BTreeMap::new();
+    collect_dates_rec(&mut runtime.direct(), params, bench.root, &mut dates);
+    dates.into_values().collect()
+}
+
+fn collect_dates_rec<M: TxMem + ?Sized>(
+    mem: &mut M,
+    params: &Stmbench7Params,
+    node: WordAddr,
+    out: &mut std::collections::BTreeMap<u64, u64>,
+) {
+    let kind = mem.read(node).expect("direct reads cannot abort");
+    if kind == KIND_COMPLEX {
+        for c in 0..params.assembly_fanout {
+            let child = WordAddr::new(mem.read(node.offset(1 + c)).unwrap());
+            collect_dates_rec(mem, params, child, out);
+        }
+        return;
+    }
+    let n_comp = mem.read(node.offset(1)).unwrap();
+    for c in 0..n_comp {
+        let comp = WordAddr::new(mem.read(node.offset(2 + c)).unwrap());
+        let n_atomics = mem.read(comp).unwrap();
+        for a in 0..n_atomics {
+            let atomic = WordAddr::new(mem.read(comp.offset(1 + a)).unwrap());
+            let id = mem.read(atomic.offset(ATOMIC_ID)).unwrap();
+            let date = mem.read(atomic.offset(ATOMIC_DATE)).unwrap();
+            out.insert(id, date);
+        }
+    }
 }
 
 /// One Figure 2a data point: throughput at a given read-only percentage.
@@ -374,12 +405,12 @@ pub fn fig2a_series(
             params.read_pct = read_pct;
             params.threads = 1;
             params.tasks_per_txn = 1;
-            let swisstm_1 = run_swisstm(&params, config).ops_per_sec();
+            let swisstm_1 = run::<SwisstmRuntime>(&params, config).ops_per_sec();
             params.threads = 3;
-            let swisstm_3 = run_swisstm(&params, config).ops_per_sec();
+            let swisstm_3 = run::<SwisstmRuntime>(&params, config).ops_per_sec();
             params.threads = 1;
             params.tasks_per_txn = 3;
-            let tlstm_1_3 = run_tlstm(&params, config).ops_per_sec();
+            let tlstm_1_3 = run::<TlstmRuntime>(&params, config).ops_per_sec();
             Fig2aPoint {
                 read_pct,
                 swisstm_1,
@@ -422,11 +453,11 @@ pub fn fig2b_series(
             params.read_pct = read_pct;
             params.threads = threads;
             params.tasks_per_txn = 1;
-            let swisstm = run_swisstm(&params, config).ops_per_sec();
+            let swisstm = run::<SwisstmRuntime>(&params, config).ops_per_sec();
             params.tasks_per_txn = 3;
-            let tlstm_3 = run_tlstm(&params, config).ops_per_sec();
+            let tlstm_3 = run::<TlstmRuntime>(&params, config).ops_per_sec();
             params.tasks_per_txn = 9;
-            let tlstm_9 = run_tlstm(&params, config).ops_per_sec();
+            let tlstm_9 = run::<TlstmRuntime>(&params, config).ops_per_sec();
             out.push(Fig2bPoint {
                 read_pct,
                 threads,
@@ -501,94 +532,35 @@ mod tests {
     }
 
     #[test]
-    fn both_runtimes_complete_traversals() {
+    fn every_runtime_completes_traversals() {
         let mut params = Stmbench7Params::tiny();
         params.threads = 1;
         let config = WorkloadConfig::quick();
-        let sw = run_swisstm(&params, &config);
-        assert!(sw.ops > 0);
+        assert!(run::<SwisstmRuntime>(&params, &config).ops > 0);
+        assert!(run::<txmem::SeqRefRuntime>(&params, &config).ops > 0);
         params.tasks_per_txn = 3;
-        let tl = run_tlstm(&params, &config);
-        assert!(tl.ops > 0);
+        assert!(run::<TlstmRuntime>(&params, &config).ops > 0);
     }
 
     #[test]
     fn write_traversals_preserve_date_consistency_across_runtimes() {
-        // After N write traversals every atomic part's date must equal N,
-        // regardless of the runtime and task split (sequential semantics).
+        // After N write traversals every atomic part's date must equal N
+        // times its reference count, regardless of the runtime and task
+        // split (sequential semantics).
         let mut params = Stmbench7Params::tiny();
         params.read_pct = 0;
         let n = 5u64;
 
-        let sw_dates = {
-            let runtime = SwisstmRuntime::new(params.substrate_config());
-            let bench = Stmbench7::populate(&mut runtime.direct(), &params).unwrap();
-            let mut thread = runtime.register_thread();
-            for _ in 0..n {
-                thread.atomic(|tx| traverse(tx, &params, bench.root, true).map(|_| ()));
-            }
-            collect_dates(&mut runtime.direct(), &params, bench)
-        };
-        let tl_dates = {
-            let runtime = TlstmRuntime::new(params.substrate_config());
-            let bench = Stmbench7::populate(&mut runtime.direct(), &params).unwrap();
-            let subtrees = Arc::new(
-                bench
-                    .subtree_roots(&mut runtime.direct(), &params, 1)
-                    .unwrap(),
-            );
-            let uthread = runtime.register_uthread(3);
-            for _ in 0..n {
-                let spec = split_traversal(bench, &params, &subtrees, true);
-                uthread.execute(vec![spec]);
-            }
-            collect_dates(&mut runtime.direct(), &params, bench)
-        };
-        assert_eq!(sw_dates, tl_dates);
+        let sw_dates = write_traversal_dates::<SwisstmRuntime>(&params, n);
+        let tl_dates = write_traversal_dates::<TlstmRuntime>(&params, n);
+        let sq_dates = write_traversal_dates::<txmem::SeqRefRuntime>(&params, n);
+        assert_eq!(sw_dates, tl_dates, "swisstm and tlstm diverged");
+        assert_eq!(sw_dates, sq_dates, "swisstm and seqref diverged");
         // Shared composite parts are visited once per referencing base
         // assembly, so dates are multiples of the traversal count.
         for d in &sw_dates {
             assert!(*d >= n, "every atomic part must have been updated");
             assert_eq!(*d % n, 0, "date must be a multiple of the traversal count");
-        }
-    }
-
-    fn collect_dates<M: TxMem>(
-        mem: &mut M,
-        params: &Stmbench7Params,
-        bench: Stmbench7,
-    ) -> Vec<u64> {
-        // Walk the composite pool through the graph, collecting dates by
-        // atomic id so the comparison is order-independent.
-        let mut dates = std::collections::BTreeMap::new();
-        collect_dates_rec(mem, params, bench.root, &mut dates);
-        dates.into_values().collect()
-    }
-
-    fn collect_dates_rec<M: TxMem>(
-        mem: &mut M,
-        params: &Stmbench7Params,
-        node: WordAddr,
-        out: &mut std::collections::BTreeMap<u64, u64>,
-    ) {
-        let kind = mem.read(node).unwrap();
-        if kind == KIND_COMPLEX {
-            for c in 0..params.assembly_fanout {
-                let child = WordAddr::new(mem.read(node.offset(1 + c)).unwrap());
-                collect_dates_rec(mem, params, child, out);
-            }
-            return;
-        }
-        let n_comp = mem.read(node.offset(1)).unwrap();
-        for c in 0..n_comp {
-            let comp = WordAddr::new(mem.read(node.offset(2 + c)).unwrap());
-            let n_atomics = mem.read(comp).unwrap();
-            for a in 0..n_atomics {
-                let atomic = WordAddr::new(mem.read(comp.offset(1 + a)).unwrap());
-                let id = mem.read(atomic.offset(ATOMIC_ID)).unwrap();
-                let date = mem.read(atomic.offset(ATOMIC_DATE)).unwrap();
-                out.insert(id, date);
-            }
         }
     }
 }

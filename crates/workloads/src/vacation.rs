@@ -13,15 +13,17 @@
 //! SwissTM and TLSTM runs execute identical operation streams.
 
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 use swisstm::SwisstmRuntime;
-use tlstm::{TaskCtx, TlstmRuntime, TxnSpec};
+use tlstm::TlstmRuntime;
 use txcollections::{TxRbTree, TxSortedList};
-use txmem::{Abort, TxConfig, TxMem, WordAddr};
+use txmem::{
+    run_boxed_tasks, Abort, BoxedTaskBody, TxConfig, TxMem, TxRuntime, TxSession, WordAddr,
+};
 
 use crate::harness::{
-    average_metrics, run_threads_metrics, DetRng, RunMetrics, Throughput, WorkloadConfig,
+    average_metrics, chunk_ranges, run_threads_metrics, DetRng, RunMetrics, Throughput,
+    WorkloadConfig,
 };
 
 /// The three reservable resource kinds.
@@ -147,7 +149,10 @@ impl Manager {
     /// # Errors
     ///
     /// Propagates allocation failure.
-    pub fn populate<M: TxMem>(mem: &mut M, params: &VacationParams) -> Result<Self, Abort> {
+    pub fn populate<M: TxMem + ?Sized>(
+        mem: &mut M,
+        params: &VacationParams,
+    ) -> Result<Self, Abort> {
         let tables = [
             TxRbTree::create(mem)?,
             TxRbTree::create(mem)?,
@@ -177,7 +182,7 @@ impl Manager {
         self.tables[kind.index() as usize]
     }
 
-    fn record<M: TxMem>(
+    fn record<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         kind: ResKind,
@@ -187,7 +192,7 @@ impl Manager {
     }
 
     /// Total free units of `kind`/`id` (test helper).
-    pub fn free_units<M: TxMem>(
+    pub fn free_units<M: TxMem + ?Sized>(
         &self,
         mem: &mut M,
         kind: ResKind,
@@ -201,7 +206,7 @@ impl Manager {
 
     /// Sums `used` over every record of every table (test invariant helper:
     /// must equal the total number of reservations held by customers).
-    pub fn total_used<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn total_used<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         let mut sum = 0;
         for kind in ResKind::ALL {
             for (_, rec) in self.table(kind).to_vec(mem)? {
@@ -212,7 +217,7 @@ impl Manager {
     }
 
     /// Counts reservations across all customer lists (test invariant helper).
-    pub fn total_reservations<M: TxMem>(&self, mem: &mut M) -> Result<u64, Abort> {
+    pub fn total_reservations<M: TxMem + ?Sized>(&self, mem: &mut M) -> Result<u64, Abort> {
         let mut sum = 0;
         for (_, list_header) in self.customers.to_vec(mem)? {
             let list = TxSortedList::from_header(WordAddr::new(list_header));
@@ -282,7 +287,11 @@ pub fn generate_txn(rng: &mut DetRng, params: &VacationParams) -> Vec<VacationOp
 
 /// Executes one operation against the shared state. Written once over
 /// [`TxMem`], so SwissTM transactions and TLSTM tasks run identical code.
-pub fn execute_op<M: TxMem>(mem: &mut M, manager: &Manager, op: &VacationOp) -> Result<(), Abort> {
+pub fn execute_op<M: TxMem + ?Sized>(
+    mem: &mut M,
+    manager: &Manager,
+    op: &VacationOp,
+) -> Result<(), Abort> {
     match op {
         VacationOp::MakeReservation { customer, queries } => {
             // Find the highest-priced item with free capacity among the
@@ -348,7 +357,7 @@ pub fn execute_op<M: TxMem>(mem: &mut M, manager: &Manager, op: &VacationOp) -> 
 }
 
 /// Executes a slice of a client transaction's operations.
-pub fn execute_ops<M: TxMem>(
+pub fn execute_ops<M: TxMem + ?Sized>(
     mem: &mut M,
     manager: &Manager,
     ops: &[VacationOp],
@@ -359,42 +368,54 @@ pub fn execute_ops<M: TxMem>(
     Ok(())
 }
 
-/// Builds the TLSTM transaction for one client transaction, splitting the
-/// operations evenly across `tasks_per_txn` tasks.
-fn split_txn(manager: Manager, ops: Arc<Vec<VacationOp>>, tasks: usize) -> TxnSpec {
-    let tasks = tasks.max(1);
-    let chunk = ops.len().div_ceil(tasks).max(1);
-    let mut bodies = Vec::with_capacity(tasks);
-    for t in 0..tasks {
-        let ops = Arc::clone(&ops);
-        let lo = (t * chunk).min(ops.len());
-        let hi = ((t + 1) * chunk).min(ops.len());
-        bodies.push(tlstm::task(move |ctx: &mut TaskCtx<'_>| {
-            execute_ops(ctx, &manager, &ops[lo..hi])
-        }));
+/// The task count a runtime actually uses for this parameter set.
+fn tasks_for<R: TxRuntime>(params: &VacationParams) -> usize {
+    if R::SPECULATIVE {
+        params.tasks_per_txn.max(1)
+    } else {
+        1
     }
-    TxnSpec::new(bodies)
 }
 
-/// Measures Vacation on SwissTM with `params.clients` client threads, with
-/// per-transaction latencies and the runtime's statistics breakdown.
-/// Throughput is reported in client *operations* (not transactions).
-pub fn measure_swisstm(params: &VacationParams, config: &WorkloadConfig) -> RunMetrics {
+/// Runs one client transaction on an open session: as a single body on a
+/// sequential runtime, as `tasks` chunked task bodies on a speculative one.
+fn run_txn<S: TxSession>(session: &mut S, manager: &Manager, txn: &[VacationOp], tasks: usize) {
+    if tasks <= 1 {
+        session.run(|mem| execute_ops(mem, manager, txn));
+    } else {
+        let mut bodies: Vec<BoxedTaskBody<'_>> = chunk_ranges(txn.len(), tasks)
+            .into_iter()
+            .map(|(lo, hi)| {
+                Box::new(move |mem: &mut dyn TxMem| execute_ops(mem, manager, &txn[lo..hi]))
+                    as BoxedTaskBody<'_>
+            })
+            .collect();
+        run_boxed_tasks(session, &mut bodies);
+    }
+}
+
+/// Measures Vacation on any [`TxRuntime`] with `params.clients` client
+/// threads, with per-transaction latencies and the runtime's statistics
+/// breakdown. Throughput is reported in client *operations* (not
+/// transactions). On a speculative runtime each client transaction is split
+/// into `params.tasks_per_txn` tasks (the paper uses 2).
+pub fn measure<R: TxRuntime>(params: &VacationParams, config: &WorkloadConfig) -> RunMetrics {
     average_metrics(config.repetitions, |rep| {
-        let runtime = SwisstmRuntime::new(params.substrate_config());
+        let runtime = R::new(params.substrate_config());
         let manager =
             Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
         let (throughput, latency) = run_threads_metrics(
             params.clients,
             config.duration,
             |client, stop, ops, hist| {
-                let mut thread = runtime.register_thread();
+                let tasks = tasks_for::<R>(params);
+                let mut session = runtime.session();
                 let mut rng =
                     DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
                 while !stop.load(Ordering::Relaxed) {
                     let txn = generate_txn(&mut rng, params);
                     let t0 = std::time::Instant::now();
-                    thread.atomic(|tx| execute_ops(tx, &manager, &txn));
+                    run_txn(&mut session, &manager, &txn, tasks);
                     hist.record(t0.elapsed());
                     ops.fetch_add(txn.len() as u64, Ordering::Relaxed);
                 }
@@ -404,46 +425,29 @@ pub fn measure_swisstm(params: &VacationParams, config: &WorkloadConfig) -> RunM
     })
 }
 
-/// Measures Vacation on SwissTM with `params.clients` client threads.
-/// Throughput is reported in client *operations* (not transactions).
-pub fn run_swisstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
-    measure_swisstm(params, config).throughput
+/// Measures Vacation on any [`TxRuntime`], returning just the throughput.
+pub fn run<R: TxRuntime>(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
+    measure::<R>(params, config).throughput
 }
 
-/// Measures Vacation on TLSTM with `params.clients` user-threads and
-/// `params.tasks_per_txn` tasks per client transaction, with per-transaction
-/// latencies and the runtime's statistics breakdown.
-pub fn measure_tlstm(params: &VacationParams, config: &WorkloadConfig) -> RunMetrics {
-    average_metrics(config.repetitions, |rep| {
-        let runtime = TlstmRuntime::new(params.substrate_config());
-        let manager =
-            Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
-        let (throughput, latency) = run_threads_metrics(
-            params.clients,
-            config.duration,
-            |client, stop, ops, hist| {
-                let uthread = runtime.register_uthread(params.tasks_per_txn.max(1));
-                let mut rng =
-                    DetRng::new(config.seed ^ (client as u64 + 1) ^ (u64::from(rep) << 32));
-                while !stop.load(Ordering::Relaxed) {
-                    let txn = Arc::new(generate_txn(&mut rng, params));
-                    let n = txn.len() as u64;
-                    let spec = split_txn(manager, txn, params.tasks_per_txn);
-                    let t0 = std::time::Instant::now();
-                    uthread.execute(vec![spec]);
-                    hist.record(t0.elapsed());
-                    ops.fetch_add(n, Ordering::Relaxed);
-                }
-            },
-        );
-        RunMetrics::new(throughput, latency, runtime.stats())
-    })
-}
-
-/// Measures Vacation on TLSTM with `params.clients` user-threads and
-/// `params.tasks_per_txn` tasks per client transaction.
-pub fn run_tlstm(params: &VacationParams, config: &WorkloadConfig) -> Throughput {
-    measure_tlstm(params, config).throughput
+/// Conformance helper: applies `txns` transactions of the deterministic
+/// stream seeded with `seed` and returns the final total of used units. The
+/// result is a pure function of `(params, txns, seed)` and must be identical
+/// on every runtime.
+pub fn stream_total_used<R: TxRuntime>(params: &VacationParams, txns: u64, seed: u64) -> u64 {
+    let runtime = R::new(params.substrate_config());
+    let manager = Manager::populate(&mut runtime.direct(), params).expect("populate cannot abort");
+    let tasks = tasks_for::<R>(params);
+    let mut session = runtime.session();
+    let mut rng = DetRng::new(seed);
+    for _ in 0..txns {
+        let txn = generate_txn(&mut rng, params);
+        run_txn(&mut session, &manager, &txn, tasks);
+    }
+    drop(session);
+    manager
+        .total_used(&mut runtime.direct())
+        .expect("direct reads cannot abort")
 }
 
 /// One Figure 1b data point.
@@ -472,10 +476,10 @@ pub fn fig1b_series(
             let mut params = base.clone();
             params.clients = clients;
             params.tasks_per_txn = 1;
-            let swisstm = run_swisstm(&params, config);
-            let tlstm1 = run_tlstm(&params, config);
+            let swisstm = run::<SwisstmRuntime>(&params, config);
+            let tlstm1 = run::<TlstmRuntime>(&params, config);
             params.tasks_per_txn = 2;
-            let tlstm2 = run_tlstm(&params, config);
+            let tlstm2 = run::<TlstmRuntime>(&params, config);
             Fig1bPoint {
                 clients,
                 swisstm_ops_per_ms: swisstm.ops_per_ms(),
@@ -578,49 +582,24 @@ mod tests {
     }
 
     #[test]
-    fn reservation_invariant_holds_under_both_runtimes() {
+    fn reservation_workload_commits_on_every_runtime() {
         // used units across tables must always equal reservations held by
         // customers, no matter which runtime executed the operations.
         let mut params = VacationParams::tiny();
         params.clients = 2;
         let config = WorkloadConfig::quick();
-        for use_tlstm in [false, true] {
-            let t = if use_tlstm {
-                run_tlstm(&params, &config)
-            } else {
-                run_swisstm(&params, &config)
-            };
-            assert!(t.ops > 0, "no operations committed (tlstm={use_tlstm})");
-        }
+        assert!(run::<SwisstmRuntime>(&params, &config).ops > 0);
+        assert!(run::<TlstmRuntime>(&params, &config).ops > 0);
+        assert!(run::<txmem::SeqRefRuntime>(&params, &config).ops > 0);
     }
 
     #[test]
-    fn both_runtimes_apply_the_same_deterministic_stream_identically() {
+    fn all_runtimes_apply_the_same_deterministic_stream_identically() {
         let params = VacationParams::tiny();
-        // SwissTM, single-threaded, fixed stream.
-        let sw_used = {
-            let runtime = SwisstmRuntime::new(params.substrate_config());
-            let manager = Manager::populate(&mut runtime.direct(), &params).expect("populate");
-            let mut thread = runtime.register_thread();
-            let mut rng = DetRng::new(123);
-            for _ in 0..25 {
-                let txn = generate_txn(&mut rng, &params);
-                thread.atomic(|tx| execute_ops(tx, &manager, &txn));
-            }
-            manager.total_used(&mut runtime.direct()).unwrap()
-        };
-        // TLSTM, same stream, 2 tasks per transaction.
-        let tl_used = {
-            let runtime = TlstmRuntime::new(params.substrate_config());
-            let manager = Manager::populate(&mut runtime.direct(), &params).expect("populate");
-            let uthread = runtime.register_uthread(2);
-            let mut rng = DetRng::new(123);
-            for _ in 0..25 {
-                let txn = Arc::new(generate_txn(&mut rng, &params));
-                uthread.execute(vec![split_txn(manager, txn, 2)]);
-            }
-            manager.total_used(&mut runtime.direct()).unwrap()
-        };
-        assert_eq!(sw_used, tl_used, "runtimes diverged on the same stream");
+        let sw_used = stream_total_used::<SwisstmRuntime>(&params, 25, 123);
+        let tl_used = stream_total_used::<TlstmRuntime>(&params, 25, 123);
+        let sq_used = stream_total_used::<txmem::SeqRefRuntime>(&params, 25, 123);
+        assert_eq!(sw_used, tl_used, "swisstm and tlstm diverged");
+        assert_eq!(sw_used, sq_used, "swisstm and seqref diverged");
     }
 }
