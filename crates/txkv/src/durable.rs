@@ -33,14 +33,39 @@
 //! prunes everything the snapshot covers; booting a store recovers the
 //! newest valid snapshot plus the contiguous record suffix and discards a
 //! torn tail (see [`txlog::recovery`] for the invariants).
+//!
+//! ## Failure model
+//!
+//! The store degrades instead of dying when the disk misbehaves
+//! ([`DurableKvStore::health`]):
+//!
+//! * a storage failure that survives the WAL's retry/backoff poisons the log
+//!   and moves the store to [`Health::Degraded`] — the batch in flight gets
+//!   the root-cause [`WalError::Storage`], every later write batch is
+//!   refused *before* its in-memory commit with [`WalError::Degraded`], and
+//!   reads ([`DurableKvSession::get`]/[`DurableKvSession::scan`]) keep
+//!   serving the committed in-memory state;
+//! * [`DurableKvStore::try_rearm`] recovers a degraded store without a
+//!   restart: it snapshots the in-memory state, opens a fresh log segment at
+//!   that LSN and swaps the writer — writes resume if the fault has cleared,
+//!   and the snapshot preserves every committed batch (including any that
+//!   were committed in memory but never acknowledged);
+//! * an injected *crash* ([`WalError::Crashed`]) is [`Health::Failed`]:
+//!   deliberately not re-armable, because it simulates the process dying —
+//!   only a restart + recovery brings that store back.
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use swisstm::SwisstmRuntime;
 use tlstm::TlstmRuntime;
 use txlog::codec::Cursor;
-use txlog::{CrashPoints, FsyncPolicy, LogWriter, WalError, WalHandle, WalOptions};
+use txlog::files::{prune_obsolete_with, write_snapshot_with};
+use txlog::recovery::recover_with;
+use txlog::{
+    CrashPoints, FsyncPolicy, LogWriter, RealFs, RetryPolicy, WalError, WalFs, WalOptions,
+};
 use txmem::{SeqRefRuntime, TxMem, TxRuntime, WordAddr};
 
 use crate::ops::{KvOp, KvReply};
@@ -51,7 +76,7 @@ use crate::store::KvStore;
 const PAYLOAD_VERSION: u32 = 1;
 
 /// Configuration of a [`DurableKvStore`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DurableKvConfig {
     /// The wrapped server's configuration (store sizing, batch grouping,
     /// substrate).
@@ -61,6 +86,37 @@ pub struct DurableKvConfig {
     /// Crash-injection registry for the WAL writer;
     /// [`CrashPoints::disabled`] outside crash tests.
     pub crash_points: CrashPoints,
+    /// The storage layer the log goes through: [`RealFs`] in production, a
+    /// [`txlog::FaultFs`] under fault injection.
+    pub fs: Arc<dyn WalFs>,
+    /// Retry/backoff for transient WAL append errors.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DurableKvConfig {
+    fn default() -> Self {
+        DurableKvConfig {
+            server: KvServerConfig::default(),
+            fsync: FsyncPolicy::default(),
+            crash_points: CrashPoints::default(),
+            fs: RealFs::shared(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The store's serving state with respect to its write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// The log accepts writes; batches are durable per the fsync policy.
+    Healthy,
+    /// The log was poisoned by the carried storage failure: reads serve the
+    /// committed in-memory state, writes fail fast, and
+    /// [`DurableKvStore::try_rearm`] can restore service in place.
+    Degraded(WalError),
+    /// The WAL writer crashed (injected crash point). Not re-armable — only
+    /// a restart + recovery brings the store back.
+    Failed,
 }
 
 /// What booting a [`DurableKvStore`] recovered from its log directory.
@@ -77,12 +133,41 @@ pub struct RecoveryReport {
     pub diagnostics: Vec<String>,
 }
 
+/// The swappable WAL slot shared by a store and its sessions: sessions take
+/// the read side per batch, [`DurableKvStore::try_rearm`] takes the write
+/// side to install a fresh writer after a storage failure.
+#[derive(Debug)]
+struct WalCell {
+    writer: RwLock<LogWriter>,
+}
+
+impl WalCell {
+    /// Lock poisoning mirrors the WAL's own policy: a thread that panicked
+    /// holding the writer slot may have left a half-swapped writer, and
+    /// serving from it could acknowledge non-durable records — propagate the
+    /// panic loudly instead.
+    fn read(&self) -> RwLockReadGuard<'_, LogWriter> {
+        self.writer
+            .read()
+            .expect("WAL slot poisoned: a thread panicked mid-swap")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, LogWriter> {
+        self.writer
+            .write()
+            .expect("WAL slot poisoned: a thread panicked mid-swap")
+    }
+}
+
 /// A crash-safe [`KvServer`]: acknowledged writes survive process death.
 #[derive(Debug)]
 pub struct DurableKvStore<R: TxRuntime> {
     server: KvServer<R>,
     seq: WordAddr,
-    writer: LogWriter,
+    wal: Arc<WalCell>,
+    /// The boot options sans `start_lsn` — [`Self::try_rearm`] reuses them
+    /// to open the replacement writer.
+    options: WalOptions,
     dir: PathBuf,
     recovery: RecoveryReport,
 }
@@ -134,7 +219,7 @@ impl<R: TxRuntime> DurableKvStore<R> {
     ///
     /// See [`DurableKvStore::swisstm`].
     pub fn boot(dir: &Path, config: &DurableKvConfig) -> io::Result<Self> {
-        let recovered = txlog::recover(dir)?;
+        let recovered = recover_with(config.fs.as_ref(), dir)?;
         let server = KvServer::<R>::new(&config.server);
         let store = server.store();
         let mut mem = server.direct();
@@ -165,19 +250,22 @@ impl<R: TxRuntime> DurableKvStore<R> {
         mem.write(seq, recovered.next_lsn)
             .expect("direct writes cannot abort");
 
-        let writer = LogWriter::open(
-            dir,
-            &WalOptions {
-                start_lsn: recovered.next_lsn,
-                fsync: config.fsync,
-                crash_points: config.crash_points.clone(),
-                ..WalOptions::default()
-            },
-        )?;
+        let options = WalOptions {
+            start_lsn: recovered.next_lsn,
+            fsync: config.fsync,
+            crash_points: config.crash_points.clone(),
+            fs: Arc::clone(&config.fs),
+            retry: config.retry,
+            ..WalOptions::default()
+        };
+        let writer = LogWriter::open(dir, &options)?;
         Ok(DurableKvStore {
             server,
             seq,
-            writer,
+            wal: Arc::new(WalCell {
+                writer: RwLock::new(writer),
+            }),
+            options,
             dir: dir.to_path_buf(),
             recovery: RecoveryReport {
                 snapshot_lsn,
@@ -210,13 +298,76 @@ impl<R: TxRuntime> DurableKvStore<R> {
 
     /// All batches with LSN below this are durable and were acknowledged.
     pub fn durable_lsn(&self) -> u64 {
-        self.writer.durable_lsn()
+        self.wal.read().durable_lsn()
     }
 
     /// `true` once the WAL writer has died (injected crash or I/O error);
-    /// every subsequent write batch fails with [`WalError::Crashed`].
+    /// every subsequent write batch fails with a typed [`WalError`]
+    /// ([`WalError::Crashed`] after a crash, [`WalError::Degraded`] after a
+    /// storage failure) while reads keep serving.
     pub fn is_dead(&self) -> bool {
-        self.writer.is_dead()
+        self.wal.read().is_dead()
+    }
+
+    /// The store's serving state: [`Health::Healthy`] while the log accepts
+    /// writes, [`Health::Degraded`] (with the root-cause storage failure)
+    /// once the log is poisoned, [`Health::Failed`] after an injected crash.
+    pub fn health(&self) -> Health {
+        match self.wal.read().failure() {
+            None => Health::Healthy,
+            Some(WalError::Crashed) => Health::Failed,
+            Some(cause) => Health::Degraded(cause),
+        }
+    }
+
+    /// Attempts to restore write service after a storage failure, without a
+    /// restart: snapshots the committed in-memory state, opens a fresh log
+    /// segment at the snapshot's LSN and swaps it in for the poisoned
+    /// writer. Returns `Ok(true)` when a new writer was armed, `Ok(false)`
+    /// when the store was healthy (nothing to do).
+    ///
+    /// The snapshot covers *every* committed batch — including any that were
+    /// committed in memory but never acknowledged because the log was
+    /// already poisoned — so a batch whose ticket reported a storage error
+    /// may become durable after a successful re-arm. Acknowledged batches
+    /// are always preserved.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `Other` on a [`Health::Failed`] (crashed) store, and
+    /// propagates storage errors when the fault has not cleared (snapshot or
+    /// segment creation still failing) — the store then stays degraded and
+    /// the call can be retried.
+    pub fn try_rearm(&self) -> io::Result<bool> {
+        // Hold the write side for the whole swap: sessions cannot fetch a
+        // handle to a half-installed writer, and a racing batch that
+        // committed in memory just before the swap re-checks the *new*
+        // writer afterwards (its LSN is below the snapshot's, so the append
+        // comes back pre-acknowledged — correct, the snapshot covers it).
+        let mut writer = self.wal.write();
+        let Some(failure) = writer.failure() else {
+            return Ok(false);
+        };
+        if failure == WalError::Crashed {
+            return Err(io::Error::other(
+                "the WAL writer crashed; only a restart + recovery can bring the store back",
+            ));
+        }
+        let (lsn, payload) = self.state_snapshot();
+        write_snapshot_with(self.options.fs.as_ref(), &self.dir, lsn, &payload)?;
+        let fresh = LogWriter::open(
+            &self.dir,
+            &WalOptions {
+                start_lsn: lsn,
+                ..self.options.clone()
+            },
+        )?;
+        *writer = fresh;
+        drop(writer);
+        // Best effort: the snapshot already covers the poisoned segments, so
+        // a failed prune only costs disk space, not correctness.
+        let _ = prune_obsolete_with(self.options.fs.as_ref(), &self.dir, lsn);
+        Ok(true)
     }
 
     /// Loads `entries` non-transactionally — and **without logging** — for
@@ -227,36 +378,29 @@ impl<R: TxRuntime> DurableKvStore<R> {
         self.server.populate(entries);
     }
 
-    /// Opens a durable session. Each client thread needs its own.
+    /// Opens a durable session. Each client thread needs its own. Sessions
+    /// share the store's WAL slot, so they follow a
+    /// [`DurableKvStore::try_rearm`] onto the replacement writer
+    /// automatically.
     pub fn session(&self) -> DurableKvSession<R> {
         DurableKvSession {
             inner: self.server.session(),
             seq: self.seq,
-            wal: self.writer.handle(),
+            wal: Arc::clone(&self.wal),
             shards: self.server.store().shards(),
             groups: self.server.batch_tasks(),
         }
     }
 
-    /// Takes a consistent shard-by-shard snapshot inside one transaction,
-    /// writes it (atomically) to the log directory, rotates the log to a
-    /// fresh segment and prunes every snapshot/segment the new snapshot
-    /// covers. Returns the snapshot's LSN: every record below it is covered.
-    ///
-    /// Concurrent sessions keep committing while the snapshot runs; their
-    /// batches either serialise before the snapshot transaction (covered) or
-    /// after it (stay in the log).
-    ///
-    /// # Errors
-    ///
-    /// Propagates file-system failures; fails with `Other` if the WAL writer
-    /// is dead.
-    pub fn snapshot(&self) -> io::Result<u64> {
+    /// A consistent `(lsn, payload)` snapshot of the committed in-memory
+    /// state, taken inside one transaction (shared by [`Self::snapshot`] and
+    /// [`Self::try_rearm`]).
+    fn state_snapshot(&self) -> (u64, Vec<u8>) {
         let store = self.server.store();
         let seq = self.seq;
         let n_shards = store.shards();
         let mut session = self.server.session();
-        let (lsn, payload) = session.transact(move |mut mem| {
+        session.transact(move |mut mem| {
             let lsn = mem.read(seq)?;
             let mut payload = Vec::new();
             payload.extend_from_slice(&PAYLOAD_VERSION.to_le_bytes());
@@ -274,11 +418,43 @@ impl<R: TxRuntime> DurableKvStore<R> {
                 }
             }
             Ok((lsn, payload))
-        });
-        txlog::write_snapshot(&self.dir, lsn, &payload)?;
-        self.writer.rotate().map_err(io::Error::other)?;
-        txlog::prune_obsolete(&self.dir, lsn)?;
+        })
+    }
+
+    /// Takes a consistent shard-by-shard snapshot inside one transaction,
+    /// writes it (atomically) to the log directory, rotates the log to a
+    /// fresh segment and prunes every snapshot/segment the new snapshot
+    /// covers. Returns the snapshot's LSN: every record below it is covered.
+    ///
+    /// Concurrent sessions keep committing while the snapshot runs; their
+    /// batches either serialise before the snapshot transaction (covered) or
+    /// after it (stay in the log).
+    ///
+    /// # Errors
+    ///
+    /// Fails up front with a typed error — the [`std::io::ErrorKind`] of the
+    /// root-cause storage failure, or `Other` after a crash — when the WAL
+    /// writer is dead, *before* any snapshot file is created (no `.tmp`
+    /// residue, no partial snapshot). Otherwise propagates file-system
+    /// failures; [`txlog::write_snapshot`] itself is all-or-nothing.
+    pub fn snapshot(&self) -> io::Result<u64> {
+        if let Some(failure) = self.wal.read().failure() {
+            return Err(wal_io_error(&failure));
+        }
+        let (lsn, payload) = self.state_snapshot();
+        write_snapshot_with(self.options.fs.as_ref(), &self.dir, lsn, &payload)?;
+        self.wal.read().rotate().map_err(|e| wal_io_error(&e))?;
+        prune_obsolete_with(self.options.fs.as_ref(), &self.dir, lsn)?;
         Ok(lsn)
+    }
+}
+
+/// Maps a [`WalError`] onto the `io::Error` surface of the snapshot/boot
+/// paths, preserving the root cause's [`std::io::ErrorKind`].
+fn wal_io_error(error: &WalError) -> io::Error {
+    match error {
+        WalError::Storage { kind, .. } => io::Error::new(*kind, error.to_string()),
+        WalError::Crashed | WalError::Degraded => io::Error::other(error.to_string()),
     }
 }
 
@@ -288,7 +464,7 @@ impl<R: TxRuntime> DurableKvStore<R> {
 pub struct DurableKvSession<R: TxRuntime> {
     inner: KvSession<R>,
     seq: WordAddr,
-    wal: WalHandle,
+    wal: Arc<WalCell>,
     shards: u64,
     groups: usize,
 }
@@ -308,19 +484,46 @@ impl<R: TxRuntime> DurableKvSession<R> {
     ///
     /// # Errors
     ///
-    /// Returns [`WalError::Crashed`] when the WAL writer died before the
-    /// record was acknowledged. The in-memory commit stands, but the write
-    /// is **not** acknowledged as durable: after a restart, recovery may or
-    /// may not include it (it is beyond the acknowledged prefix).
+    /// * [`WalError::Crashed`] — the WAL writer died before the record was
+    ///   acknowledged. The in-memory commit stands, but the write is **not**
+    ///   acknowledged as durable: after a restart, recovery may or may not
+    ///   include it (it is beyond the acknowledged prefix).
+    /// * [`WalError::Storage`] — this batch's record hit a storage failure
+    ///   that survived the WAL's retries. Same contract as `Crashed`: the
+    ///   in-memory commit stands, durability is not acknowledged (a later
+    ///   [`DurableKvStore::try_rearm`] snapshots it in).
+    /// * [`WalError::Degraded`] — the log was already poisoned when this
+    ///   batch arrived; it was refused **before** the in-memory commit, so
+    ///   the store state is untouched. Reads keep working throughout.
     pub fn batch(&mut self, ops: Vec<KvOp>) -> Result<Vec<KvReply>, WalError> {
         if !ops.iter().any(op_writes) {
             return Ok(self.inner.batch(ops));
         }
-        // Encode before execution (the ops move into the transaction); the
-        // LSN lives in the frame header, not the payload.
-        let payload = encode_record(self.shards, self.groups, &ops);
-        let (replies, lsn) = self.inner.batch_logged(ops, self.seq);
-        let ticket = self.wal.append(lsn, payload)?;
+        // Fail fast while the log is dead: refusing *before* the in-memory
+        // commit keeps degraded-mode write attempts free of side effects
+        // (and off the sequence word).
+        //
+        // The read guard is held from the pre-check through the staging of
+        // the append so the commit and its record land on the *same* writer:
+        // `try_rearm` (which takes the write side) can then only snapshot
+        // between whole commit+append pairs, never between a commit and its
+        // append — a gap that would leave the replacement writer waiting
+        // forever for an LSN that went to the poisoned one. Only the
+        // durability wait happens outside the guard.
+        let (replies, ticket) = {
+            let writer = self.wal.read();
+            if let Some(failure) = writer.failure() {
+                return Err(match failure {
+                    WalError::Crashed => WalError::Crashed,
+                    WalError::Storage { .. } | WalError::Degraded => WalError::Degraded,
+                });
+            }
+            // Encode before execution (the ops move into the transaction);
+            // the LSN lives in the frame header, not the payload.
+            let payload = encode_record(self.shards, self.groups, &ops);
+            let (replies, lsn) = self.inner.batch_logged(ops, self.seq);
+            (replies, writer.append(lsn, payload)?)
+        };
         ticket.wait()?;
         Ok(replies)
     }

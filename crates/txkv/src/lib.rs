@@ -24,7 +24,11 @@
 //! log — committed write batches are redo-logged with a commit sequence
 //! number assigned at STM commit time, group-committed with a configurable
 //! fsync policy, snapshotted, and recovered after a crash to an exact
-//! batch-boundary prefix that contains every acknowledged write.
+//! batch-boundary prefix that contains every acknowledged write. On a
+//! storage fault the store degrades instead of dying ([`Health`]): reads
+//! keep serving the committed in-memory state, writes fail fast with typed
+//! [`WalError`]s, and [`DurableKvStore::try_rearm`] restores write service
+//! in place once the fault clears.
 //!
 //! ## Example
 //!
@@ -54,11 +58,14 @@ pub mod ref_store;
 pub mod server;
 pub mod store;
 
-pub use durable::{DurableKvConfig, DurableKvSession, DurableKvStore, RecoveryReport};
+pub use durable::{DurableKvConfig, DurableKvSession, DurableKvStore, Health, RecoveryReport};
 pub use ops::{checksum, plan_batch, shard_of, KvOp, KvReply};
 pub use ref_store::RefStore;
 pub use server::{KvServer, KvServerConfig, KvSession};
 pub use store::{KvStore, KvStoreParams};
 
-pub use txlog::{CrashPoints, FsyncPolicy, WalError};
+pub use txlog::{
+    CrashPoints, Fault, FaultBudget, FaultError, FaultFs, FaultPlan, FsyncPolicy, RealFs,
+    RetryPolicy, StorageOp, WalError, WalFs,
+};
 pub use txmem::{Abort, TxMem, WordAddr};

@@ -10,19 +10,28 @@
 //! * **snapshots** `snap-<lsn>.snap` — an opaque payload covering every
 //!   record with `lsn < <lsn>`. Snapshots are written to a temp file and
 //!   renamed into place, so a crash mid-snapshot leaves at most a stray
-//!   `.tmp`; the trailing CRC rejects torn or corrupt snapshots at read time
-//!   and recovery falls back to an older one.
+//!   `.tmp` — and a *storage error* mid-snapshot leaves nothing: the temp
+//!   file is unlinked before the error propagates. The trailing CRC rejects
+//!   torn or corrupt snapshots at read time and recovery falls back to an
+//!   older one.
 //!
 //! After a snapshot at LSN `L` the log is truncated by [`prune_obsolete`]:
 //! every snapshot older than `L` and every segment whose records all satisfy
 //! `lsn < L` (i.e. whose *successor* segment starts at or below `L`) is
 //! deleted.
+//!
+//! Every function has a `*_with` variant taking the [`WalFs`] to operate
+//! through; the plain variants run on [`RealFs`]. Lock `unwrap`s are banned
+//! here (`deny(clippy::unwrap_used)`): every storage failure propagates as a
+//! typed `io::Error`.
 
-use std::fs;
-use std::io::{self, Write};
+#![deny(clippy::unwrap_used)]
+
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::frame::crc32;
+use crate::vfs::{RealFs, WalFs};
 
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".log";
@@ -52,13 +61,11 @@ fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
         .ok()
 }
 
-fn list(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list(fs: &dyn WalFs, dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        if let Some(lsn) = name.to_str().and_then(|n| parse_name(n, prefix, suffix)) {
-            out.push((lsn, entry.path()));
+    for (name, path) in fs.list_dir(dir)? {
+        if let Some(lsn) = parse_name(&name, prefix, suffix) {
+            out.push((lsn, path));
         }
     }
     out.sort_unstable();
@@ -72,7 +79,16 @@ fn list(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)
 ///
 /// Propagates directory-read failures.
 pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
-    list(dir, SEGMENT_PREFIX, SEGMENT_SUFFIX)
+    list_segments_with(&RealFs, dir)
+}
+
+/// [`list_segments`] through an explicit [`WalFs`].
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn list_segments_with(fs: &dyn WalFs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list(fs, dir, SEGMENT_PREFIX, SEGMENT_SUFFIX)
 }
 
 /// Lists the snapshots of `dir`, **descending** by LSN (newest first, the
@@ -82,7 +98,16 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 ///
 /// Propagates directory-read failures.
 pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
-    let mut snapshots = list(dir, SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX)?;
+    list_snapshots_with(&RealFs, dir)
+}
+
+/// [`list_snapshots`] through an explicit [`WalFs`].
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn list_snapshots_with(fs: &dyn WalFs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut snapshots = list(fs, dir, SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX)?;
     snapshots.reverse();
     Ok(snapshots)
 }
@@ -93,17 +118,7 @@ pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 /// rename of its replacement is still only in the page cache — losing
 /// acknowledged writes even under `fsync=always`.
 pub fn sync_dir(dir: &Path) -> io::Result<()> {
-    #[cfg(unix)]
-    {
-        fs::File::open(dir)?.sync_all()
-    }
-    #[cfg(not(unix))]
-    {
-        // Directory handles cannot be fsynced portably elsewhere; metadata
-        // durability then depends on the platform's rename semantics.
-        let _ = dir;
-        Ok(())
-    }
+    RealFs.sync_dir(dir)
 }
 
 /// Writes the snapshot covering records below `lsn` atomically (temp file,
@@ -114,6 +129,22 @@ pub fn sync_dir(dir: &Path) -> io::Result<()> {
 ///
 /// Propagates file-system failures.
 pub fn write_snapshot(dir: &Path, lsn: u64, payload: &[u8]) -> io::Result<PathBuf> {
+    write_snapshot_with(&RealFs, dir, lsn, payload)
+}
+
+/// [`write_snapshot`] through an explicit [`WalFs`]. On any failure after
+/// the temp file was created, the temp file is unlinked (best effort) before
+/// the error propagates — a failed snapshot leaves no partial files behind.
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn write_snapshot_with(
+    fs: &dyn WalFs,
+    dir: &Path,
+    lsn: u64,
+    payload: &[u8],
+) -> io::Result<PathBuf> {
     let final_path = snapshot_path(dir, lsn);
     let tmp_path = final_path.with_extension("snap.tmp");
     let mut bytes = Vec::with_capacity(24 + payload.len() + 4);
@@ -124,15 +155,26 @@ pub fn write_snapshot(dir: &Path, lsn: u64, payload: &[u8]) -> io::Result<PathBu
     bytes.extend_from_slice(payload);
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
-    {
-        let mut file = fs::File::create(&tmp_path)?;
+    let write_tmp = || -> io::Result<()> {
+        let mut file = fs.create(&tmp_path)?;
         file.write_all(&bytes)?;
         file.sync_data()?;
+        Ok(())
+    };
+    if let Err(error) = write_tmp().and_then(|()| fs.rename(&tmp_path, &final_path)) {
+        // The create itself may have failed (no file) — removal is best
+        // effort and the root cause is what propagates.
+        let _ = fs.remove_file(&tmp_path);
+        return Err(error);
     }
-    fs::rename(&tmp_path, &final_path)?;
     // The snapshot's directory entry must be durable before the caller
-    // prunes the segments it covers.
-    sync_dir(dir)?;
+    // prunes the segments it covers; if that fails, unlink the renamed file
+    // too so a failed snapshot is all-or-nothing (recovery replays the log
+    // instead).
+    if let Err(error) = fs.sync_dir(dir) {
+        let _ = fs.remove_file(&final_path);
+        return Err(error);
+    }
     Ok(final_path)
 }
 
@@ -140,7 +182,12 @@ pub fn write_snapshot(dir: &Path, lsn: u64, payload: &[u8]) -> io::Result<PathBu
 /// the file is unreadable, torn or corrupt — recovery then falls back to an
 /// older snapshot.
 pub fn read_snapshot(path: &Path) -> Option<(u64, Vec<u8>)> {
-    let bytes = fs::read(path).ok()?;
+    read_snapshot_with(&RealFs, path)
+}
+
+/// [`read_snapshot`] through an explicit [`WalFs`].
+pub fn read_snapshot_with(fs: &dyn WalFs, path: &Path) -> Option<(u64, Vec<u8>)> {
+    let bytes = fs.read(path).ok()?;
     // The trailing CRC covers everything before it.
     if bytes.len() < 4 {
         return None;
@@ -172,31 +219,42 @@ pub fn read_snapshot(path: &Path) -> Option<(u64, Vec<u8>)> {
 ///
 /// Propagates file-system failures.
 pub fn prune_obsolete(dir: &Path, upto_lsn: u64) -> io::Result<Vec<PathBuf>> {
+    prune_obsolete_with(&RealFs, dir, upto_lsn)
+}
+
+/// [`prune_obsolete`] through an explicit [`WalFs`].
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn prune_obsolete_with(fs: &dyn WalFs, dir: &Path, upto_lsn: u64) -> io::Result<Vec<PathBuf>> {
     let mut deleted = Vec::new();
-    for (lsn, path) in list_snapshots(dir)? {
+    for (lsn, path) in list_snapshots_with(fs, dir)? {
         if lsn < upto_lsn {
-            fs::remove_file(&path)?;
+            fs.remove_file(&path)?;
             deleted.push(path);
         }
     }
-    let segments = list_segments(dir)?;
+    let segments = list_segments_with(fs, dir)?;
     for pair in segments.windows(2) {
         let (_, ref path) = pair[0];
         let (successor_start, _) = pair[1];
         if successor_start <= upto_lsn {
-            fs::remove_file(path)?;
+            fs.remove_file(path)?;
             deleted.push(path.clone());
         }
     }
     if !deleted.is_empty() {
-        sync_dir(dir)?;
+        fs.sync_dir(dir)?;
     }
     Ok(deleted)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use std::fs;
     use tlstm_testutil::TempDir;
 
     #[test]
@@ -287,5 +345,41 @@ mod tests {
             .map(|(l, _)| l)
             .collect();
         assert_eq!(segments, vec![25]);
+    }
+
+    #[test]
+    fn failed_snapshot_writes_leave_no_tmp_files() {
+        use crate::vfs::{Fault, FaultError, FaultFs, StorageOp};
+
+        let dir = TempDir::new("txlog-snap-fault");
+        let fs = FaultFs::new();
+        let plan = fs.plan();
+        let no_stray_files = |stage: &str| {
+            for entry in std::fs::read_dir(dir.path()).unwrap() {
+                let name = entry.unwrap().file_name();
+                let name = name.to_string_lossy().into_owned();
+                assert!(
+                    !name.ends_with(".tmp") && !name.ends_with(SNAPSHOT_SUFFIX),
+                    "{stage} left {name} behind"
+                );
+            }
+        };
+
+        for op in [
+            StorageOp::Create,
+            StorageOp::Write,
+            StorageOp::Fsync,
+            StorageOp::Rename,
+            StorageOp::SyncDir,
+        ] {
+            plan.arm(op, Fault::once(FaultError::Eio));
+            let err = write_snapshot_with(&fs, dir.path(), 9, b"payload").unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Other, "{op}");
+            no_stray_files(op.label());
+        }
+
+        // With the faults spent, the same call succeeds.
+        let path = write_snapshot_with(&fs, dir.path(), 9, b"payload").unwrap();
+        assert_eq!(read_snapshot(&path), Some((9, b"payload".to_vec())));
     }
 }

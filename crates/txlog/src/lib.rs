@@ -52,13 +52,19 @@ pub mod codec;
 pub mod files;
 pub mod frame;
 pub mod recovery;
+pub mod vfs;
 pub mod writer;
 
 pub use files::{list_segments, list_snapshots, prune_obsolete, read_snapshot, write_snapshot};
 pub use frame::{crc32, read_frames, FrameScan};
 pub use recovery::{recover, RecoveredLog};
 pub use tlstm_testutil::CrashPoints;
-pub use writer::{CommitTicket, LogWriter, WalHandle, WalOptions, DEFAULT_SEGMENT_PREALLOC};
+pub use vfs::{
+    Fault, FaultBudget, FaultError, FaultFs, FaultPlan, RealFs, StorageOp, WalFile, WalFs,
+};
+pub use writer::{
+    CommitTicket, LogWriter, RetryPolicy, WalHandle, WalOptions, DEFAULT_SEGMENT_PREALLOC,
+};
 
 use std::fmt;
 use std::time::Duration;
@@ -196,13 +202,49 @@ impl fmt::Display for FsyncPolicy {
     }
 }
 
-/// Why a WAL operation failed.
+/// Why a WAL operation failed — the error taxonomy of the failure model.
+///
+/// The three variants carry distinct contracts:
+///
+/// * [`WalError::Crashed`] — the writer *died* (an armed crash point
+///   simulating the process dying). Only a restart + recovery brings the log
+///   back.
+/// * [`WalError::Storage`] — a storage operation failed after the configured
+///   retries (or, for fsync, immediately — a failed fsync is never retried:
+///   the kernel may have dropped the dirty pages, so a later "successful"
+///   fsync proves nothing about them). This is the *root cause* reported to
+///   the committer whose record was in flight; the log is poisoned.
+/// * [`WalError::Degraded`] — the log was already poisoned by an earlier
+///   [`WalError::Storage`] failure when this operation arrived; it was
+///   refused up front without touching storage or staging the record. The
+///   caller can keep reading and retry writes after the store re-arms onto a
+///   fresh segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalError {
-    /// The writer died (injected crash point or I/O error) before the record
-    /// was acknowledged as durable. The in-memory commit happened; recovery
+    /// The writer died (injected crash point) before the record was
+    /// acknowledged as durable. The in-memory commit happened; recovery
     /// may or may not include the record.
     Crashed,
+    /// A storage operation failed; the record in flight was not acknowledged
+    /// and the log is poisoned until it is re-armed (or the process restarts
+    /// and recovers).
+    Storage {
+        /// The operation that failed.
+        op: StorageOp,
+        /// The `io::ErrorKind` the operation reported (e.g.
+        /// [`std::io::ErrorKind::StorageFull`] for ENOSPC).
+        kind: std::io::ErrorKind,
+    },
+    /// The log was already poisoned by an earlier storage failure; the
+    /// operation was refused without side effects.
+    Degraded,
+}
+
+impl WalError {
+    /// A [`WalError::Storage`] for a failed `op`.
+    pub fn storage(op: StorageOp, kind: std::io::ErrorKind) -> WalError {
+        WalError::Storage { op, kind }
+    }
 }
 
 impl fmt::Display for WalError {
@@ -211,6 +253,12 @@ impl fmt::Display for WalError {
             WalError::Crashed => {
                 f.write_str("the WAL writer crashed before the record was durable")
             }
+            WalError::Storage { op, kind } => {
+                write!(f, "WAL storage failure: {op} failed ({kind}); the log is poisoned")
+            }
+            WalError::Degraded => f.write_str(
+                "the WAL is degraded by an earlier storage failure; writes are refused until it is re-armed",
+            ),
         }
     }
 }

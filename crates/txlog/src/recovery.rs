@@ -21,11 +21,14 @@
 //! * every record acknowledged under `fsync=always`/`group` is below
 //!   `next_lsn` (acks happen only after the covering fsync).
 
+#![deny(clippy::unwrap_used)]
+
 use std::io;
 use std::path::Path;
 
-use crate::files::{list_segments, list_snapshots, read_snapshot};
+use crate::files::{list_segments_with, list_snapshots_with, read_snapshot_with};
 use crate::frame::read_frames;
+use crate::vfs::{RealFs, WalFs};
 
 /// What [`recover`] found in a log directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,12 +54,22 @@ pub struct RecoveredLog {
 /// Corrupt *content* is never an error — it is skipped or discarded with a
 /// diagnostic.
 pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
-    std::fs::create_dir_all(dir)?;
+    recover_with(&RealFs, dir)
+}
+
+/// [`recover`] through an explicit [`WalFs`] (fault-injection tests drive a
+/// [`crate::FaultFs`] through this).
+///
+/// # Errors
+///
+/// Propagates file-system failures (unreadable directory, failed truncation).
+pub fn recover_with(fs: &dyn WalFs, dir: &Path) -> io::Result<RecoveredLog> {
+    fs.create_dir_all(dir)?;
     let mut diagnostics = Vec::new();
 
     let mut snapshot = None;
-    for (_, path) in list_snapshots(dir)? {
-        match read_snapshot(&path) {
+    for (_, path) in list_snapshots_with(fs, dir)? {
+        match read_snapshot_with(fs, &path) {
             Some(found) => {
                 snapshot = Some(found);
                 break;
@@ -69,7 +82,7 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
     }
     let base = snapshot.as_ref().map_or(0, |(lsn, _)| *lsn);
 
-    let segments = list_segments(dir)?;
+    let segments = list_segments_with(fs, dir)?;
     // Replay starts in the last segment that begins at or below the base;
     // earlier segments are fully covered by the snapshot.
     let start_index = segments
@@ -84,14 +97,14 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
         if stopped {
             // Anything after the stop point is unreachable history; delete it
             // so the directory's "dense prefix" invariant holds again.
-            std::fs::remove_file(path)?;
+            fs.remove_file(path)?;
             diagnostics.push(format!(
                 "deleted unreachable segment {} (starts at LSN {start} beyond the valid tail)",
                 path.display()
             ));
             continue;
         }
-        let bytes = std::fs::read(path)?;
+        let bytes = fs.read(path)?;
         let scan = read_frames(&bytes);
         for (lsn, payload) in scan.records {
             if lsn < expected {
@@ -128,7 +141,7 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
                 }
             }
             // Repair: drop the torn bytes so future scans end cleanly.
-            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            let file = fs.open_write(path)?;
             file.set_len(scan.valid_bytes as u64)?;
             file.sync_data()?;
             stopped = true;
@@ -144,6 +157,7 @@ pub fn recover(dir: &Path) -> io::Result<RecoveredLog> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::files::{segment_path, write_snapshot};

@@ -12,12 +12,12 @@
 //!   append stage is already encoding and writing batch N+1 — the fsync
 //!   latency overlaps the next batch's fill instead of serialising with it.
 //!
-//! Segments are pre-allocated with [`File::set_len`] when created, so
-//! steady-state appends stay inside the allocated extent and `sync_data`
-//! never pays a metadata update. The preallocated zero tail is trimmed back
-//! to the written bytes whenever a segment is closed (rotation or clean
-//! shutdown); only a crash can leave one behind, and recovery treats an
-//! all-zero tail as clean preallocation residue, not corruption.
+//! Segments are pre-allocated with `set_len` when created, so steady-state
+//! appends stay inside the allocated extent and `sync_data` never pays a
+//! metadata update. The preallocated zero tail is trimmed back to the
+//! written bytes whenever a segment is closed (rotation or clean shutdown);
+//! only a crash can leave one behind, and recovery treats an all-zero tail
+//! as clean preallocation residue, not corruption.
 //!
 //! Committers hand records to the writer via [`WalHandle::append`] **after**
 //! their STM commit assigned the LSN, then wait on the returned
@@ -34,26 +34,54 @@
 //! [`None`](FsyncPolicy::None) skips the sync stage entirely — the append
 //! stage acknowledges right after the `write`.
 //!
-//! Both stages honor the [`crate::crash_points`] of the configured
+//! ## Failure model
+//!
+//! All storage goes through the [`WalFs`]/[`WalFile`] traits (production:
+//! [`crate::RealFs`]; tests: [`crate::FaultFs`]), and every failure follows
+//! one policy:
+//!
+//! * **Failed appends retry.** A failed `write` may be transient (and may
+//!   have landed a short prefix); the append stage truncates the segment
+//!   back to the last good byte, restores the cursor and retries with
+//!   exponential backoff, bounded by [`RetryPolicy`]. Exhausted retries
+//!   poison the log with [`WalError::Storage`].
+//! * **A failed fsync is never retried.** After a failed `fsync(2)` the
+//!   kernel may have dropped the dirty pages while keeping them clean in
+//!   cache, so a *later* fsync that returns success proves nothing about
+//!   them (the "fsyncgate" hazard). The sync stage poisons the log
+//!   immediately; `durable_upto` and the watermark only ever advance over
+//!   bytes a **successful** fsync covered.
+//! * **A poisoned log refuses new work without side effects.** In-flight
+//!   committers get the root-cause [`WalError::Storage`]; later appends and
+//!   rotations get [`WalError::Degraded`] up front. The store layer can
+//!   then keep serving reads and re-arm onto a fresh log (see
+//!   `txkv::durable`).
+//!
+//! Both stages also honor the [`crate::crash_points`] of the configured
 //! [`CrashPoints`] registry: when one fires, the stage abandons all I/O
-//! exactly at that pipeline position, marks the log dead and fails every
-//! unacknowledged ticket — an in-process, deterministic stand-in for the
-//! machine dying at that instant.
+//! exactly at that pipeline position, marks the log dead with
+//! [`WalError::Crashed`] and fails every unacknowledged ticket — an
+//! in-process, deterministic stand-in for the machine dying at that instant.
+//! The one exception is a ticket whose LSN a successful fsync had already
+//! covered when the writer died: its record is durable, so it reports `Ok`
+//! (tracked by a second atomic, the *synced* watermark, stored before the
+//! post-fsync crash points are consulted).
+
+#![deny(clippy::unwrap_used)]
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tlstm_testutil::CrashPoints;
 
 use crate::files::segment_path;
 use crate::frame::encode_frame_into;
-use crate::{crash_points, FsyncPolicy, WalError, CRASH_POINT_ENV};
+use crate::vfs::{StorageOp, WalFile, WalFs};
+use crate::{crash_points, FsyncPolicy, RealFs, WalError, CRASH_POINT_ENV};
 
 /// Default segment preallocation ([`WalOptions::preallocate_bytes`]).
 pub const DEFAULT_SEGMENT_PREALLOC: u64 = 4 * 1024 * 1024;
@@ -66,6 +94,44 @@ pub const DEFAULT_SEGMENT_PREALLOC: u64 = 4 * 1024 * 1024;
 fn env_crash_points() -> &'static CrashPoints {
     static ENV: OnceLock<CrashPoints> = OnceLock::new();
     ENV.get_or_init(|| CrashPoints::from_env(CRASH_POINT_ENV))
+}
+
+/// Bounded retry with exponential backoff for *transient* append errors
+/// ([`WalOptions::retry`]). Only `write` failures retry — see the module
+/// docs for why fsync failures never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a failed write is retried before the log is poisoned
+    /// (`0` fails on the first error).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_backoff × 2^(k-1)`, capped at 50ms.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every storage error is immediately terminal. Used by
+    /// fault tests that need the first injected error surfaced as-is.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        (self.base_backoff * 2u32.saturating_pow(exp)).min(Duration::from_millis(50))
+    }
 }
 
 /// Configuration of a [`LogWriter`].
@@ -81,10 +147,15 @@ pub struct WalOptions {
     /// [`WalOptions::default`] hands out the process-wide registry armed
     /// from [`CRASH_POINT_ENV`] (parsed once); tests inject their own.
     pub crash_points: CrashPoints,
-    /// Size each new segment is extended to at creation (`File::set_len`),
-    /// so steady-state fsyncs never pay a metadata update. `0` disables
+    /// Size each new segment is extended to at creation (`set_len`), so
+    /// steady-state fsyncs never pay a metadata update. `0` disables
     /// preallocation. Segments grow past this transparently if needed.
     pub preallocate_bytes: u64,
+    /// The storage layer: [`crate::RealFs`] in production, a
+    /// [`crate::FaultFs`] under fault injection.
+    pub fs: Arc<dyn WalFs>,
+    /// Retry/backoff for transient append errors.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WalOptions {
@@ -94,8 +165,23 @@ impl Default for WalOptions {
             fsync: FsyncPolicy::default(),
             crash_points: env_crash_points().clone(),
             preallocate_bytes: DEFAULT_SEGMENT_PREALLOC,
+            fs: RealFs::shared(),
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// Poisoned-mutex policy: the writer's mutexes guard multi-field state
+/// transitions, so a thread that panicked while holding one may have left
+/// the state torn. Serving from it could acknowledge non-durable records —
+/// strictly worse than crashing — so the panic is propagated loudly instead
+/// of recovered. (Stage threads themselves never panic on I/O failure: those
+/// paths return typed [`WalError`]s; a poisoned lock therefore indicates a
+/// bug, not a storage fault.)
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex
+        .lock()
+        .expect("WAL mutex poisoned: a writer thread panicked mid-update")
 }
 
 #[derive(Debug)]
@@ -118,11 +204,18 @@ struct State {
     /// The append stage exited after a clean shutdown; the sync stage owes
     /// one final flush-and-ack before marking the log dead.
     append_done: bool,
-    /// The writer simulated (or suffered) a crash; nothing further will be
-    /// written or acknowledged.
-    dead: bool,
+    /// The first failure the writer suffered, if any. `Some` means nothing
+    /// further will be written or acknowledged: [`WalError::Crashed`] for a
+    /// simulated crash, [`WalError::Storage`] for a poisoned log.
+    failure: Option<WalError>,
     /// Clean-shutdown request (set by [`LogWriter::drop`]).
     shutdown: bool,
+}
+
+impl State {
+    fn dead(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 #[derive(Debug)]
@@ -132,9 +225,14 @@ struct Shared {
     /// fast path. Stored (release) under the state lock, loaded (acquire)
     /// without it.
     durable_watermark: AtomicU64,
+    /// All records with `lsn <` this were covered by a **successful** fsync,
+    /// whether or not the ack that follows it ever ran. Lets a ticket whose
+    /// record became durable right before the writer died report `Ok`
+    /// instead of `Crashed`. Always ≥ the durable watermark.
+    synced_watermark: AtomicU64,
     /// The sync stage's handle to the current segment (swapped at rotation).
     /// Held only across a single `fsync` or the rotation swap.
-    sync_file: Mutex<File>,
+    sync_file: Mutex<Box<dyn WalFile>>,
     /// Wakes the append stage (new work, rotation request, shutdown).
     /// Exactly one waiter — notify with `notify_one`.
     work_cv: Condvar,
@@ -146,26 +244,48 @@ struct Shared {
 }
 
 impl Shared {
-    /// Marks the log dead and wakes everyone (committers fail, both stages
-    /// exit).
-    fn die(&self) {
-        let mut state = self.state.lock().unwrap();
-        state.dead = true;
+    /// Records the writer's (first) failure and wakes everyone: in-flight
+    /// committers fail with the root cause, both stages exit, new work is
+    /// refused.
+    fn fail(&self, error: WalError) {
+        let mut state = lock(&self.state);
+        if state.failure.is_none() {
+            state.failure = Some(error);
+        }
         self.ack_cv.notify_all();
         self.work_cv.notify_one();
         self.sync_cv.notify_one();
+    }
+
+    /// Records that a successful fsync covered everything below `upto`.
+    /// Must happen *before* any post-fsync crash point is consulted, so a
+    /// dying writer cannot take this knowledge with it.
+    fn note_synced(&self, upto: u64) {
+        self.synced_watermark.fetch_max(upto, Ordering::AcqRel);
     }
 
     /// Acknowledges every record below `upto` as durable: one watermark
     /// store and one condvar broadcast per batch, regardless of how many
     /// committers are waiting.
     fn ack_durable(&self, upto: u64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock(&self.state);
         if upto > state.durable_upto {
             state.durable_upto = upto;
+            self.note_synced(upto);
             self.durable_watermark.store(upto, Ordering::Release);
             self.ack_cv.notify_all();
         }
+    }
+}
+
+/// The error a *new* operation gets when the log already failed earlier: a
+/// storage-poisoned log degrades (the caller may re-arm and retry), a
+/// simulated crash stays [`WalError::Crashed`] (only restart + recovery
+/// helps). In-flight operations get the root cause itself instead.
+fn refusal(failure: &WalError) -> WalError {
+    match failure {
+        WalError::Storage { .. } | WalError::Degraded => WalError::Degraded,
+        WalError::Crashed => WalError::Crashed,
     }
 }
 
@@ -207,10 +327,12 @@ impl LogWriter {
     ///
     /// # Errors
     ///
-    /// Propagates directory/file creation failures.
+    /// Propagates directory/file creation failures (typed `io::Error`s, from
+    /// the real file system or an armed fault plan alike).
     pub fn open(dir: &Path, options: &WalOptions) -> std::io::Result<LogWriter> {
-        std::fs::create_dir_all(dir)?;
-        let file = File::create(segment_path(dir, options.start_lsn))?;
+        let fs = Arc::clone(&options.fs);
+        fs.create_dir_all(dir)?;
+        let file = fs.create(&segment_path(dir, options.start_lsn))?;
         if options.preallocate_bytes > 0 {
             file.set_len(options.preallocate_bytes)?;
             // Persist the size now (sync_all), so the steady-state
@@ -219,7 +341,7 @@ impl LogWriter {
         }
         // The segment's directory entry must be durable before any record
         // written to it is acknowledged.
-        crate::files::sync_dir(dir)?;
+        fs.sync_dir(dir)?;
         let sync_file = file.try_clone()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -231,10 +353,11 @@ impl LogWriter {
                 rotations_done: 0,
                 segment_start: options.start_lsn,
                 append_done: false,
-                dead: false,
+                failure: None,
                 shutdown: false,
             }),
             durable_watermark: AtomicU64::new(options.start_lsn),
+            synced_watermark: AtomicU64::new(options.start_lsn),
             sync_file: Mutex::new(sync_file),
             work_cv: Condvar::new(),
             sync_cv: Condvar::new(),
@@ -243,11 +366,13 @@ impl LogWriter {
         let append_thread = {
             let stage = AppendStage {
                 shared: Arc::clone(&shared),
+                fs: Arc::clone(&fs),
                 dir: dir.to_path_buf(),
                 file,
                 written_bytes: 0,
                 preallocate: options.preallocate_bytes,
                 fsync: options.fsync,
+                retry: options.retry,
                 crash: options.crash_points.clone(),
             };
             std::thread::Builder::new()
@@ -283,7 +408,8 @@ impl LogWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`WalError::Crashed`] if the writer is dead.
+    /// Returns [`WalError::Crashed`]/[`WalError::Degraded`] if the writer is
+    /// dead.
     pub fn append(&self, lsn: u64, payload: Vec<u8>) -> Result<CommitTicket, WalError> {
         self.handle().append(lsn, payload)
     }
@@ -294,29 +420,35 @@ impl LogWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`WalError::Crashed`] if the writer dies first.
+    /// Returns the writer's failure if the rotation itself fails, or a
+    /// refusal ([`WalError::Degraded`]/[`WalError::Crashed`]) if the
+    /// writer was already dead.
     pub fn rotate(&self) -> Result<u64, WalError> {
-        let mut state = self.shared.state.lock().unwrap();
-        if state.dead {
-            return Err(WalError::Crashed);
+        let mut state = lock(&self.shared.state);
+        if let Some(failure) = &state.failure {
+            return Err(refusal(failure));
         }
         state.rotations_requested += 1;
         let target = state.rotations_requested;
         self.shared.work_cv.notify_one();
-        while state.rotations_done < target && !state.dead {
-            state = self.shared.ack_cv.wait(state).unwrap();
+        while state.rotations_done < target && !state.dead() {
+            state = self
+                .shared
+                .ack_cv
+                .wait(state)
+                .expect("WAL mutex poisoned: a writer thread panicked mid-update");
         }
         if state.rotations_done >= target {
             Ok(state.segment_start)
         } else {
-            Err(WalError::Crashed)
+            Err(state.failure.clone().unwrap_or(WalError::Crashed))
         }
     }
 
     /// All records with `lsn <` this are durable and acknowledged (the
     /// locked, authoritative read).
     pub fn durable_lsn(&self) -> u64 {
-        self.shared.state.lock().unwrap().durable_upto
+        lock(&self.shared.state).durable_upto
     }
 
     /// Lock-free snapshot of the durable watermark — the committers' ack
@@ -326,16 +458,26 @@ impl LogWriter {
         self.shared.durable_watermark.load(Ordering::Acquire)
     }
 
-    /// `true` once the writer has died (crash point or I/O error).
+    /// Start LSN of the segment currently being written.
+    pub fn segment_start(&self) -> u64 {
+        lock(&self.shared.state).segment_start
+    }
+
+    /// `true` once the writer has died (crash point or storage failure).
     pub fn is_dead(&self) -> bool {
-        self.shared.state.lock().unwrap().dead
+        lock(&self.shared.state).dead()
+    }
+
+    /// The first failure the writer suffered (`None` while healthy).
+    pub fn failure(&self) -> Option<WalError> {
+        lock(&self.shared.state).failure.clone()
     }
 }
 
 impl Drop for LogWriter {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock(&self.shared.state);
             state.shutdown = true;
             self.shared.work_cv.notify_one();
         }
@@ -356,19 +498,34 @@ impl WalHandle {
     /// arrival order is free. Returns the ticket to wait on. One map insert
     /// and one `notify_one` under a short critical section.
     ///
+    /// An `lsn` below the durable watermark returns a pre-acknowledged
+    /// ticket without staging anything: the record is already durably
+    /// covered (a snapshot taken at re-arm subsumed it).
+    ///
     /// # Errors
     ///
-    /// Returns [`WalError::Crashed`] if the writer is already dead or shut
-    /// down — the record will never be durable.
+    /// Returns [`WalError::Crashed`] if the writer died from a simulated
+    /// crash or was shut down, [`WalError::Degraded`] if an earlier storage
+    /// failure poisoned the log — either way the record will never be
+    /// durable through this writer.
     ///
     /// # Panics
     ///
     /// Panics if `lsn` was already appended or is already pending (a caller
     /// logic error, not a recoverable condition).
     pub fn append(&self, lsn: u64, payload: Vec<u8>) -> Result<CommitTicket, WalError> {
-        let mut state = self.shared.state.lock().unwrap();
-        if state.dead || state.shutdown {
+        let mut state = lock(&self.shared.state);
+        if state.shutdown {
             return Err(WalError::Crashed);
+        }
+        if let Some(failure) = &state.failure {
+            return Err(refusal(failure));
+        }
+        if lsn < state.durable_upto {
+            return Ok(CommitTicket {
+                shared: Arc::clone(&self.shared),
+                lsn,
+            });
         }
         assert!(
             lsn >= state.next_append && !state.pending.contains_key(&lsn),
@@ -386,13 +543,19 @@ impl WalHandle {
     /// All records with `lsn <` this are durable and acknowledged (the
     /// locked, authoritative read).
     pub fn durable_lsn(&self) -> u64 {
-        self.shared.state.lock().unwrap().durable_upto
+        lock(&self.shared.state).durable_upto
     }
 
     /// Lock-free snapshot of the durable watermark (see
     /// [`LogWriter::durable_watermark`]).
     pub fn durable_watermark(&self) -> u64 {
         self.shared.durable_watermark.load(Ordering::Acquire)
+    }
+
+    /// The writer's first failure (`None` while healthy). The store layer's
+    /// fail-fast check before staging a batch.
+    pub fn failure(&self) -> Option<WalError> {
+        lock(&self.shared.state).failure.clone()
     }
 }
 
@@ -406,22 +569,35 @@ impl CommitTicket {
     ///
     /// # Errors
     ///
-    /// Returns [`WalError::Crashed`] if the writer died before the record
-    /// was acknowledged (the in-memory commit stands; recovery may or may
-    /// not surface the record).
+    /// Returns the writer's failure if it died before the record was
+    /// acknowledged ([`WalError::Crashed`] for a simulated crash, the
+    /// root-cause [`WalError::Storage`] for a poisoned log; the in-memory
+    /// commit stands; recovery may or may not surface the record) — *unless*
+    /// a successful fsync had already covered the record's LSN, in which
+    /// case it is durable regardless of the writer dying before the ack and
+    /// `Ok` is returned.
     pub fn wait(self) -> Result<(), WalError> {
         if self.shared.durable_watermark.load(Ordering::Acquire) > self.lsn {
             return Ok(());
         }
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         loop {
             if state.durable_upto > self.lsn {
                 return Ok(());
             }
-            if state.dead {
-                return Err(WalError::Crashed);
+            if let Some(failure) = &state.failure {
+                // The writer died — but the record may have made it to disk
+                // under a successful fsync whose ack never ran.
+                if self.shared.synced_watermark.load(Ordering::Acquire) > self.lsn {
+                    return Ok(());
+                }
+                return Err(failure.clone());
             }
-            state = self.shared.ack_cv.wait(state).unwrap();
+            state = self
+                .shared
+                .ack_cv
+                .wait(state)
+                .expect("WAL mutex poisoned: a writer thread panicked mid-update");
         }
     }
 
@@ -431,30 +607,25 @@ impl CommitTicket {
     }
 }
 
-/// The synthetic error a crash point turns into inside fallible I/O paths
-/// (the caller reacts to any error by dying, which is exactly the simulated
-/// outcome).
-fn injected_crash() -> std::io::Error {
-    std::io::Error::other("injected crash point")
-}
-
 /// Stage 1: drains pending records, encodes and writes batches, rotates
 /// segments. Owns the segment file's write handle.
 struct AppendStage {
     shared: Arc<Shared>,
+    fs: Arc<dyn WalFs>,
     dir: PathBuf,
-    file: File,
+    file: Box<dyn WalFile>,
     /// Valid bytes written to the current segment (the trim point for
     /// rotation/shutdown; everything beyond is preallocated zeros).
     written_bytes: u64,
     preallocate: u64,
     fsync: FsyncPolicy,
+    retry: RetryPolicy,
     crash: CrashPoints,
 }
 
 impl AppendStage {
-    fn die(&self) {
-        self.shared.die();
+    fn fail(&self, error: WalError) {
+        self.shared.fail(error);
     }
 
     fn run(mut self) {
@@ -467,9 +638,9 @@ impl AppendStage {
             let rotate_now;
             let exit_now;
             {
-                let mut state: MutexGuard<'_, State> = self.shared.state.lock().unwrap();
+                let mut state: MutexGuard<'_, State> = lock(&self.shared.state);
                 loop {
-                    if state.dead {
+                    if state.dead() {
                         return;
                     }
                     let has_work = state.pending.contains_key(&state.next_append);
@@ -477,7 +648,11 @@ impl AppendStage {
                     if has_work || rotate_pending || state.shutdown {
                         break;
                     }
-                    state = self.shared.work_cv.wait(state).unwrap();
+                    state = self
+                        .shared
+                        .work_cv
+                        .wait(state)
+                        .expect("WAL mutex poisoned: a writer thread panicked mid-update");
                 }
                 loop {
                     let next = state.next_append;
@@ -494,14 +669,14 @@ impl AppendStage {
                 rotate_now = state.rotations_requested > state.rotations_done;
                 // A clean shutdown flushes the contiguous prefix; records
                 // stranded behind a sequence gap can never be written and
-                // their tickets fail when `dead` is set on exit.
+                // their tickets fail when the log dies on exit.
                 exit_now = state.shutdown && batch.is_empty() && !rotate_now;
             }
 
             // Phase 2 (unlocked): write the batch, honoring the crash points.
             if !batch.is_empty() {
                 if self.crash.should_crash(crash_points::BEFORE_APPEND) {
-                    return self.die();
+                    return self.fail(WalError::Crashed);
                 }
                 if self.crash.should_crash(crash_points::MID_FRAME) {
                     // Write everything up to the middle of the last frame:
@@ -510,12 +685,11 @@ impl AppendStage {
                     let torn = last_frame_start + (batch.len() - last_frame_start) / 2;
                     let _ = self.file.write_all(&batch[..torn]);
                     let _ = self.file.sync_data();
-                    return self.die();
+                    return self.fail(WalError::Crashed);
                 }
-                if self.file.write_all(&batch).is_err() {
-                    return self.die();
+                if let Err(error) = self.write_batch(&batch) {
+                    return self.fail(error);
                 }
-                self.written_bytes += batch.len() as u64;
                 // This check must precede publishing `written_upto`: once
                 // published, the sync stage may fsync and acknowledge the
                 // batch, and this point means the bytes never became durable.
@@ -523,38 +697,71 @@ impl AppendStage {
                     .crash
                     .should_crash(crash_points::AFTER_APPEND_BEFORE_FSYNC)
                 {
-                    return self.die();
+                    return self.fail(WalError::Crashed);
                 }
                 if matches!(self.fsync, FsyncPolicy::None) {
                     // No sync stage under `fsync=none`: acknowledge as soon
-                    // as the OS has the bytes.
+                    // as the OS has the bytes. No fsync ever covers these
+                    // records, so a crash before the ack fails the tickets.
                     {
-                        let mut state = self.shared.state.lock().unwrap();
+                        let mut state = lock(&self.shared.state);
                         state.written_upto = batch_upto;
                     }
                     if self
                         .crash
                         .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
                     {
-                        return self.die();
+                        return self.fail(WalError::Crashed);
                     }
                     self.shared.ack_durable(batch_upto);
                 } else {
                     // Publish the batch to the sync stage and immediately
                     // loop to fill the next one — the fsync overlaps it.
-                    let mut state = self.shared.state.lock().unwrap();
+                    let mut state = lock(&self.shared.state);
                     state.written_upto = batch_upto;
                     self.shared.sync_cv.notify_one();
                 }
             }
 
             // Phase 3: segment rotation (requested after a snapshot).
-            if rotate_now && self.rotate_segment().is_err() {
-                return self.die();
+            if rotate_now {
+                if let Err(error) = self.rotate_segment() {
+                    return self.fail(error);
+                }
             }
 
             if exit_now {
                 return self.finish();
+            }
+        }
+    }
+
+    /// Appends `batch` at the current write position with bounded retry. A
+    /// failed `write` may have landed a short prefix, so before every retry
+    /// — and before giving up — the segment is truncated back to the last
+    /// good byte and the cursor restored, keeping the on-disk log
+    /// frame-aligned (the truncation drops the preallocated tail; the
+    /// segment simply grows organically from there). If the cleanup itself
+    /// fails, the file position is unknowable and the log is poisoned
+    /// immediately with the *write* error as the root cause.
+    fn write_batch(&mut self, batch: &[u8]) -> Result<(), WalError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.file.write_all(batch) {
+                Ok(()) => {
+                    self.written_bytes += batch.len() as u64;
+                    return Ok(());
+                }
+                Err(error) => {
+                    let failed = WalError::storage(StorageOp::Write, error.kind());
+                    let cleaned = self.file.set_len(self.written_bytes).is_ok()
+                        && self.file.seek_to(self.written_bytes).is_ok();
+                    if !cleaned || attempt >= self.retry.max_retries {
+                        return Err(failed);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.retry.delay(attempt));
+                }
             }
         }
     }
@@ -564,39 +771,59 @@ impl AppendStage {
     /// written bytes and fsynced **before** the successor exists, so
     /// non-newest segments never carry a zero tail — recovery relies on
     /// that to treat any mid-scan stop as the end of history.
-    fn rotate_segment(&mut self) -> std::io::Result<()> {
+    fn rotate_segment(&mut self) -> Result<(), WalError> {
         if self.crash.should_crash(crash_points::BEFORE_ROTATE_FSYNC) {
-            return Err(injected_crash());
+            return Err(WalError::Crashed);
         }
-        self.file.set_len(self.written_bytes)?;
-        // sync_all: the trim is a metadata change.
-        self.file.sync_all()?;
-        let next_start = self.shared.state.lock().unwrap().next_append;
-        let file = File::create(segment_path(&self.dir, next_start))?;
+        self.file
+            .set_len(self.written_bytes)
+            .map_err(|e| WalError::storage(StorageOp::SetLen, e.kind()))?;
+        // sync_all: the trim is a metadata change. A failure here is an
+        // fsync failure — terminal, never retried (module docs).
+        self.file
+            .sync_all()
+            .map_err(|e| WalError::storage(StorageOp::Fsync, e.kind()))?;
+        let (next_start, flushed_upto) = {
+            let state = lock(&self.shared.state);
+            (state.next_append, state.written_upto)
+        };
+        // Everything written so far lives in the outgoing segment and the
+        // sync_all above covered it.
+        self.shared.note_synced(flushed_upto);
+        let file = self
+            .fs
+            .create(&segment_path(&self.dir, next_start))
+            .map_err(|e| WalError::storage(StorageOp::Create, e.kind()))?;
         if self.preallocate > 0 {
-            file.set_len(self.preallocate)?;
-            file.sync_all()?;
+            file.set_len(self.preallocate)
+                .map_err(|e| WalError::storage(StorageOp::SetLen, e.kind()))?;
+            file.sync_all()
+                .map_err(|e| WalError::storage(StorageOp::Fsync, e.kind()))?;
         }
         if self
             .crash
             .should_crash(crash_points::AFTER_CREATE_BEFORE_DIRSYNC)
         {
-            return Err(injected_crash());
+            return Err(WalError::Crashed);
         }
-        crate::files::sync_dir(&self.dir)?;
+        self.fs
+            .sync_dir(&self.dir)
+            .map_err(|e| WalError::storage(StorageOp::SyncDir, e.kind()))?;
         if self
             .crash
             .should_crash(crash_points::AFTER_ROTATE_BEFORE_ACK)
         {
-            return Err(injected_crash());
+            return Err(WalError::Crashed);
         }
         // Swap the sync stage's handle before declaring the rotation done:
         // every record at or past `next_start` lands in the new file, and
         // everything before it was made durable by the sync_all above.
-        *self.shared.sync_file.lock().unwrap() = file.try_clone()?;
+        *lock(&self.shared.sync_file) = file
+            .try_clone()
+            .map_err(|e| WalError::storage(StorageOp::Open, e.kind()))?;
         self.file = file;
         self.written_bytes = 0;
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         state.durable_upto = state.durable_upto.max(state.written_upto);
         self.shared
             .durable_watermark
@@ -610,10 +837,10 @@ impl AppendStage {
     /// Clean shutdown: trim the preallocated tail so the log ends at a frame
     /// boundary, then hand the sync stage the final flush-and-ack.
     fn finish(self) {
-        if self.file.set_len(self.written_bytes).is_err() {
-            return self.die();
+        if let Err(error) = self.file.set_len(self.written_bytes) {
+            return self.fail(WalError::storage(StorageOp::SetLen, error.kind()));
         }
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock(&self.shared.state);
         state.append_done = true;
         self.shared.sync_cv.notify_one();
     }
@@ -630,8 +857,8 @@ struct SyncStage {
 }
 
 impl SyncStage {
-    fn die(&self) {
-        self.shared.die();
+    fn fail(&self, error: WalError) {
+        self.shared.fail(error);
     }
 
     fn run(mut self) {
@@ -639,9 +866,9 @@ impl SyncStage {
             let ack_upto;
             let finish;
             {
-                let mut state = self.shared.state.lock().unwrap();
+                let mut state = lock(&self.shared.state);
                 loop {
-                    if state.dead {
+                    if state.dead() {
                         return;
                     }
                     if state.append_done {
@@ -662,13 +889,19 @@ impl SyncStage {
                                     .shared
                                     .sync_cv
                                     .wait_timeout(state, deadline - now)
-                                    .unwrap();
+                                    .expect(
+                                        "WAL mutex poisoned: a writer thread panicked mid-update",
+                                    );
                                 state = guard;
                             }
                             _ => break,
                         }
                     } else {
-                        state = self.shared.sync_cv.wait(state).unwrap();
+                        state = self
+                            .shared
+                            .sync_cv
+                            .wait(state)
+                            .expect("WAL mutex poisoned: a writer thread panicked mid-update");
                     }
                 }
                 ack_upto = state.written_upto;
@@ -679,29 +912,38 @@ impl SyncStage {
             // keeps filling the next batch while this runs. On the final
             // flush sync_all also persists the shutdown trim.
             let synced = {
-                let file = self.shared.sync_file.lock().unwrap();
+                let file = lock(&self.shared.sync_file);
                 if finish {
                     file.sync_all()
                 } else {
                     file.sync_data()
                 }
             };
-            if synced.is_err() {
-                return self.die();
+            if let Err(error) = synced {
+                // Never retried: the kernel may have dropped the dirty pages
+                // while marking them clean, so a later fsync's success would
+                // prove nothing about these bytes (fsyncgate). The log is
+                // poisoned and the watermark stays exactly where the last
+                // successful fsync left it.
+                return self.fail(WalError::storage(StorageOp::Fsync, error.kind()));
             }
             self.last_fsync = Instant::now();
+            // Record what this successful fsync covered *before* consulting
+            // the crash point: a ticket whose LSN is covered is durable even
+            // if the writer dies before the ack below.
+            self.shared.note_synced(ack_upto);
             if !finish
                 && self
                     .crash
                     .should_crash(crash_points::AFTER_FSYNC_BEFORE_ACK)
             {
-                return self.die();
+                return self.fail(WalError::Crashed);
             }
             self.shared.ack_durable(ack_upto);
             if finish {
                 // Clean end of the pipeline: mark the log dead so any ticket
                 // stranded behind a sequence gap fails instead of hanging.
-                return self.die();
+                return self.fail(WalError::Crashed);
             }
         }
     }

@@ -105,6 +105,59 @@ fn every_bit_flip_in_the_final_frame_payload() {
     }
 }
 
+/// The same torn-tail shapes, produced end-to-end by the fault injector
+/// instead of post-hoc file surgery: an ENOSPC short write halfway through a
+/// frame, whose cleanup truncation also fails, leaves a genuinely torn
+/// segment straight from the writer — recovery must repair it identically.
+/// The batch the fault lands on varies, so the torn frame sits at different
+/// offsets and behind different numbers of acked records each round.
+#[test]
+fn fault_injected_short_writes_produce_repairable_torn_tails() {
+    use std::sync::Arc;
+    use tlstm_testutil::CrashPoints;
+    use txlog::{
+        Fault, FaultError, FaultFs, FsyncPolicy, LogWriter, RetryPolicy, StorageOp, WalError,
+        WalOptions,
+    };
+
+    for fail_at in 0..4u64 {
+        let context = format!("short write on record {fail_at}");
+        let dir = TempDir::new("txlog-torn-fault");
+        let fs = FaultFs::new();
+        let plan = fs.plan();
+        let writer = LogWriter::open(
+            dir.path(),
+            &WalOptions {
+                start_lsn: 0,
+                fsync: FsyncPolicy::Always,
+                crash_points: CrashPoints::disabled(),
+                preallocate_bytes: 64 * 1024,
+                fs: Arc::new(fs),
+                retry: RetryPolicy::none(),
+            },
+        )
+        .unwrap();
+        for lsn in 0..fail_at {
+            let payload: Vec<u8> = (0..(7 + lsn * 3)).map(|i| (lsn * 31 + i) as u8).collect();
+            writer.append(lsn, payload).unwrap().wait().unwrap();
+        }
+        plan.arm(StorageOp::Write, Fault::once(FaultError::Enospc).short());
+        plan.arm(StorageOp::SetLen, Fault::forever(FaultError::Eio));
+        let payload: Vec<u8> = (0..64).collect();
+        let outcome = writer.append(fail_at, payload).unwrap().wait();
+        assert_eq!(
+            outcome,
+            Err(WalError::storage(
+                StorageOp::Write,
+                std::io::ErrorKind::StorageFull
+            )),
+            "{context}"
+        );
+        drop(writer);
+        assert_recovers_prefix(dir.path(), fail_at, &context);
+    }
+}
+
 #[test]
 fn corruption_in_a_middle_frame_discards_everything_after_it() {
     // Not a torn tail, but the same "stop at the last valid LSN" rule: a

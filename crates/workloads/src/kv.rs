@@ -345,6 +345,7 @@ fn measure_durable<R: TxRuntime>(
             server: params.server_config(),
             fsync,
             crash_points: txkv::CrashPoints::disabled(),
+            ..DurableKvConfig::default()
         },
     )
     .expect("failed to boot the durable KV store");
