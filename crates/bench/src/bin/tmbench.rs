@@ -10,6 +10,8 @@
 //! tmbench --baseline BENCH_baseline.json --gate 10
 //!                                                 # diff current vs baseline
 //! tmbench --check-schema BENCH_results.json       # validate a report file
+//! tmbench --quick --trace trace.json --metrics-out metrics.prom
+//!                                                 # with observability output
 //! ```
 //!
 //! Run `tmbench --help` for the full flag list. Exit codes: 0 on success,
@@ -65,6 +67,15 @@ MEASUREMENT OPTIONS:
                          comparable against the baseline)
     --out FILE           write the JSON report to FILE
 
+OBSERVABILITY OPTIONS:
+    --trace FILE         enable txobs tracing for the run and write the events
+                         as Chrome trace-event JSON to FILE (load it in
+                         Perfetto / chrome://tracing)
+    --metrics-out FILE   after the run, write the txobs metrics exposition
+                         (Prometheus text format: WAL append/fsync histograms,
+                         KV health gauge, per-scenario throughput and
+                         commit/abort counters) to FILE
+
 GATE OPTIONS:
     --baseline FILE      baseline report to diff against
     --current FILE       current report (default: BENCH_results.json)
@@ -87,6 +98,8 @@ struct CliArgs {
     runtimes: Vec<&'static RuntimeEntry>,
     fsync: Option<FsyncPolicy>,
     out: Option<String>,
+    trace: Option<String>,
+    metrics_out: Option<String>,
     baseline: Option<String>,
     current: Option<String>,
     gate_pct: Option<f64>,
@@ -187,6 +200,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 cli.fsync = Some(FsyncPolicy::parse(v.trim())?);
             }
             "--out" => cli.out = Some(value_of(&mut i, arg)?),
+            "--trace" => cli.trace = Some(value_of(&mut i, arg)?),
+            "--metrics-out" => cli.metrics_out = Some(value_of(&mut i, arg)?),
             "--baseline" => cli.baseline = Some(value_of(&mut i, arg)?),
             "--current" => cli.current = Some(value_of(&mut i, arg)?),
             "--gate" => {
@@ -265,6 +280,17 @@ fn print_report_table(report: &BenchReport) {
             s.stats.tx_commits,
             s.stats.total_aborts(),
         );
+        if let Some(wal) = &s.wal {
+            println!(
+                "{:<34} {:>14} {:>12} {:>12} {:>10} {:>10}",
+                "  wal",
+                format!("{:.1} rec/batch", wal.mean_batch_records),
+                format!("{} batches", wal.batches),
+                format!("{} fsyncs", wal.fsyncs),
+                format!("p50 {}µs", wal.fsync_p50_ns / 1000),
+                format!("p99 {}µs", wal.fsync_p99_ns / 1000),
+            );
+        }
     }
 }
 
@@ -294,6 +320,34 @@ fn run_gate(cli: &CliArgs) -> ExitCode {
     } else {
         println!("gate passed: no scenario regressed beyond {gate_pct}%");
         ExitCode::SUCCESS
+    }
+}
+
+/// Streams the collected trace rings to `path` as Chrome trace-event JSON.
+fn write_trace_file(path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    txobs::write_chrome_trace(&mut writer)?;
+    writer.flush()
+}
+
+/// Publishes per-scenario results into the txobs exposition, so
+/// `--metrics-out` carries the run's transaction counters next to the live
+/// WAL/KV metrics.
+fn publish_scenario_metrics(report: &BenchReport) {
+    for s in &report.scenarios {
+        let labels = [("scenario", s.name.as_str())];
+        txobs::metrics::publish("tmbench_ops_per_sec", &labels, s.ops_per_sec);
+        txobs::metrics::publish("tmbench_tx_commits", &labels, s.stats.tx_commits as f64);
+        txobs::metrics::publish("tmbench_tx_aborts", &labels, s.stats.tx_aborts as f64);
+        for (cause, rate) in s.abort_rates() {
+            txobs::metrics::publish(
+                "tmbench_abort_rate_per_sec",
+                &[("scenario", s.name.as_str()), ("cause", cause)],
+                rate,
+            );
+        }
     }
 }
 
@@ -357,12 +411,35 @@ fn main() -> ExitCode {
     }
 
     let config = workload_config(&cli);
+    if cli.trace.is_some() {
+        txobs::set_tracing(true);
+        txobs::label_current_thread("tmbench-main");
+    }
     let report = run_matrix(&scenarios, &config, cli.quick, |i, total, spec| {
         eprintln!("[{}/{}] {}", i + 1, total, spec.name());
     });
     print_report_table(&report);
     if let Some(path) = &cli.out {
         if let Err(e) = std::fs::write(path, report.to_json_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &cli.trace {
+        txobs::set_tracing(false);
+        if let Err(e) = write_trace_file(path) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {path} ({} trace events dropped)",
+            txobs::dropped_events()
+        );
+    }
+    if let Some(path) = &cli.metrics_out {
+        publish_scenario_metrics(&report);
+        if let Err(e) = std::fs::write(path, txobs::metrics::metrics_text()) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(2);
         }

@@ -23,7 +23,7 @@ use crate::json::{Json, JsonError};
 ///
 /// Bump on any incompatible change to the report shape, and teach
 /// [`BenchReport::parse`] about the old versions you still want to read.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Summary of a per-transaction latency distribution, in nanoseconds.
 ///
@@ -77,6 +77,106 @@ impl LatencySummary {
     }
 }
 
+/// WAL pipeline summary for a durable scenario, from the `txobs` WAL metrics
+/// delta captured around the measured window.
+///
+/// Latency quantiles come from the same log₂-bucketed histograms as
+/// [`LatencySummary`], so they are one-power-of-two upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WalSummary {
+    /// Records enqueued to the WAL during the window.
+    pub enqueued: u64,
+    /// Batches the append stage wrote.
+    pub batches: u64,
+    /// Mean records per append batch (0 when no batches were written).
+    pub mean_batch_records: f64,
+    /// Total bytes written by the append stage.
+    pub batch_bytes: u64,
+    /// fsync calls issued by the sync stage.
+    pub fsyncs: u64,
+    /// Median append (write_batch) latency.
+    pub append_p50_ns: u64,
+    /// 99th-percentile append latency.
+    pub append_p99_ns: u64,
+    /// Median fsync latency.
+    pub fsync_p50_ns: u64,
+    /// 99th-percentile fsync latency.
+    pub fsync_p99_ns: u64,
+    /// Storage-layer retries performed by the append stage.
+    pub retries: u64,
+    /// Storage faults that latched the writer into a failed state.
+    pub faults: u64,
+    /// Segment rotations completed.
+    pub rotations: u64,
+}
+
+impl WalSummary {
+    const FIELDS: [&'static str; 12] = [
+        "enqueued",
+        "batches",
+        "mean_batch_records",
+        "batch_bytes",
+        "fsyncs",
+        "append_p50_ns",
+        "append_p99_ns",
+        "fsync_p50_ns",
+        "fsync_p99_ns",
+        "retries",
+        "faults",
+        "rotations",
+    ];
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("enqueued", Json::Num(self.enqueued as f64)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("mean_batch_records", Json::Num(self.mean_batch_records)),
+            ("batch_bytes", Json::Num(self.batch_bytes as f64)),
+            ("fsyncs", Json::Num(self.fsyncs as f64)),
+            ("append_p50_ns", Json::Num(self.append_p50_ns as f64)),
+            ("append_p99_ns", Json::Num(self.append_p99_ns as f64)),
+            ("fsync_p50_ns", Json::Num(self.fsync_p50_ns as f64)),
+            ("fsync_p99_ns", Json::Num(self.fsync_p99_ns as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("faults", Json::Num(self.faults as f64)),
+            ("rotations", Json::Num(self.rotations as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json, errors: &mut Vec<String>, context: &str) -> WalSummary {
+        if let Some(pairs) = value.as_object() {
+            for (key, _) in pairs {
+                if !Self::FIELDS.contains(&key.as_str()) {
+                    errors.push(format!("{context}: unknown wal field '{key}'"));
+                }
+            }
+        }
+        let mut field = |name: &str| -> f64 {
+            match value.get(name).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => {
+                    errors.push(format!("{context}: missing or invalid wal field '{name}'"));
+                    0.0
+                }
+            }
+        };
+        WalSummary {
+            enqueued: field("enqueued") as u64,
+            batches: field("batches") as u64,
+            mean_batch_records: field("mean_batch_records"),
+            batch_bytes: field("batch_bytes") as u64,
+            fsyncs: field("fsyncs") as u64,
+            append_p50_ns: field("append_p50_ns") as u64,
+            append_p99_ns: field("append_p99_ns") as u64,
+            fsync_p50_ns: field("fsync_p50_ns") as u64,
+            fsync_p99_ns: field("fsync_p99_ns") as u64,
+            retries: field("retries") as u64,
+            faults: field("faults") as u64,
+            rotations: field("rotations") as u64,
+        }
+    }
+}
+
 /// The result of one benchmark scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
@@ -102,11 +202,33 @@ pub struct ScenarioResult {
     /// Full runtime statistics for the run: commits, aborts by cause,
     /// validations, contention-manager decisions.
     pub stats: StatsSnapshot,
+    /// WAL pipeline summary; present only for durable scenarios.
+    pub wal: Option<WalSummary>,
 }
 
 impl ScenarioResult {
+    /// Abort rates in aborts per second, derived from `stats` and
+    /// `elapsed_ms`: the total first, then the per-cause breakdown.
+    ///
+    /// Rates are 0 when the measured window is empty.
+    pub fn abort_rates(&self) -> [(&'static str, f64); 9] {
+        let secs = self.elapsed_ms / 1000.0;
+        let rate = |n: u64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+        [
+            ("total", rate(self.stats.tx_aborts)),
+            ("read_validation", rate(self.stats.aborts_read_validation)),
+            ("inter_ww", rate(self.stats.aborts_inter_ww)),
+            ("intra_war", rate(self.stats.aborts_intra_war)),
+            ("intra_waw", rate(self.stats.aborts_intra_waw)),
+            ("tx_signal", rate(self.stats.aborts_tx_signal)),
+            ("task_signal", rate(self.stats.aborts_task_signal)),
+            ("user_retry", rate(self.stats.aborts_user_retry)),
+            ("oom", rate(self.stats.aborts_oom)),
+        ]
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut json = Json::obj(vec![
             ("name", Json::Str(self.name.clone())),
             ("workload", Json::Str(self.workload.clone())),
             ("runtime", Json::Str(self.runtime.clone())),
@@ -126,7 +248,20 @@ impl ScenarioResult {
                         .collect(),
                 ),
             ),
-        ])
+            (
+                "abort_rates_per_sec",
+                Json::Obj(
+                    self.abort_rates()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let (Json::Obj(pairs), Some(wal)) = (&mut json, self.wal) {
+            pairs.push(("wal".to_string(), wal.to_json()));
+        }
+        json
     }
 
     fn from_json(value: &Json, index: usize, errors: &mut Vec<String>) -> ScenarioResult {
@@ -203,6 +338,44 @@ impl ScenarioResult {
                 }
             }
         }
+        // `abort_rates_per_sec` is derived from `stats` and `elapsed_ms`, so
+        // it is validated for shape (presence, known keys, numeric values)
+        // rather than stored: the struct recomputes it on demand.
+        match value.get("abort_rates_per_sec").and_then(Json::as_object) {
+            None => errors.push(format!(
+                "{context}: missing object field 'abort_rates_per_sec'"
+            )),
+            Some(pairs) => {
+                let known = [
+                    "total",
+                    "read_validation",
+                    "inter_ww",
+                    "intra_war",
+                    "intra_waw",
+                    "tx_signal",
+                    "task_signal",
+                    "user_retry",
+                    "oom",
+                ];
+                for (key, v) in pairs {
+                    if !known.contains(&key.as_str()) {
+                        errors.push(format!("{context}: unknown abort rate '{key}'"));
+                    } else if v.as_f64().filter(|r| *r >= 0.0).is_none() {
+                        errors.push(format!(
+                            "{context}: abort rate '{key}' is not a non-negative number"
+                        ));
+                    }
+                }
+                for name in known {
+                    if !pairs.iter().any(|(k, _)| k == name) {
+                        errors.push(format!("{context}: missing abort rate '{name}'"));
+                    }
+                }
+            }
+        }
+        let wal = value
+            .get("wal")
+            .map(|obj| WalSummary::from_json(obj, errors, &context));
         ScenarioResult {
             name,
             workload,
@@ -214,6 +387,7 @@ impl ScenarioResult {
             ops_per_sec,
             latency,
             stats,
+            wal,
         }
     }
 }
@@ -486,6 +660,24 @@ mod tests {
                 samples: 50_000,
             },
             stats,
+            wal: None,
+        }
+    }
+
+    pub(crate) fn sample_wal_summary() -> WalSummary {
+        WalSummary {
+            enqueued: 50_000,
+            batches: 400,
+            mean_batch_records: 125.0,
+            batch_bytes: 4_000_000,
+            fsyncs: 380,
+            append_p50_ns: 16_383,
+            append_p99_ns: 131_071,
+            fsync_p50_ns: 524_287,
+            fsync_p99_ns: 2_097_151,
+            retries: 2,
+            faults: 0,
+            rotations: 3,
         }
     }
 
@@ -519,7 +711,7 @@ mod tests {
         assert!(BenchReport::validate(&good).is_empty());
 
         // Wrong schema version.
-        let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 999");
         assert!(BenchReport::validate(&bad)
             .iter()
             .any(|e| e.contains("schema_version")));
@@ -539,6 +731,21 @@ mod tests {
             .iter()
             .any(|e| e.contains("txn_latency")));
 
+        // Missing abort-rate object, and a renamed abort-rate key (which is
+        // both unknown and leaves the original missing).
+        let bad = good.replace("\"abort_rates_per_sec\"", "\"abort_ratez\"");
+        assert!(BenchReport::validate(&bad)
+            .iter()
+            .any(|e| e.contains("abort_rates_per_sec")));
+        let bad = good.replace("\"read_validation\"", "\"read_validationz\"");
+        let problems = BenchReport::validate(&bad);
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("unknown abort rate 'read_validationz'")));
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("missing abort rate 'read_validation'")));
+
         // Not JSON at all.
         assert!(!BenchReport::validate("not json").is_empty());
 
@@ -550,6 +757,45 @@ mod tests {
         assert!(BenchReport::validate(&empty.to_json_string())
             .iter()
             .any(|e| e.contains("must not be empty")));
+    }
+
+    #[test]
+    fn wal_summary_roundtrips_and_rejects_drift() {
+        let mut report = sample_report();
+        report.scenarios[0].name = "kv-a-durable/swisstm/t8/k1".to_string();
+        report.scenarios[0].workload = "kv-a-durable".to_string();
+        report.scenarios[0].wal = Some(sample_wal_summary());
+        let text = report.to_json_string();
+        assert!(text.contains("\"mean_batch_records\": 125"));
+        let parsed = BenchReport::parse(&text).expect("wal roundtrip parse failed");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json_string(), text);
+
+        // A renamed wal field is both unknown and leaves the original missing.
+        let bad = text.replace("\"fsync_p99_ns\"", "\"fsync_p99_nz\"");
+        let problems = BenchReport::validate(&bad);
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("unknown wal field 'fsync_p99_nz'")));
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("missing or invalid wal field 'fsync_p99_ns'")));
+    }
+
+    #[test]
+    fn abort_rates_divide_counts_by_elapsed_seconds() {
+        let scenario = sample_scenario("rbtree-n16/swisstm/t1/k1", 100_000.0);
+        let rates = scenario.abort_rates();
+        let secs = scenario.elapsed_ms / 1000.0;
+        assert_eq!(rates[0], ("total", 10.0 / secs));
+        assert!(rates.contains(&("read_validation", 6.0 / secs)));
+        assert!(rates.contains(&("inter_ww", 4.0 / secs)));
+        assert!(rates.contains(&("oom", 0.0)));
+
+        // An empty window reports zero rates rather than dividing by zero.
+        let mut empty = scenario;
+        empty.elapsed_ms = 0.0;
+        assert!(empty.abort_rates().iter().all(|(_, r)| *r == 0.0));
     }
 
     #[test]

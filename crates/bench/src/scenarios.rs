@@ -24,7 +24,7 @@ use tlstm_workloads::vacation::{self, VacationParams};
 use tlstm_workloads::WorkloadConfig;
 use txmem::{SeqRefRuntime, TxRuntime};
 
-use crate::report::{BenchReport, LatencySummary, ScenarioResult, SCHEMA_VERSION};
+use crate::report::{BenchReport, LatencySummary, ScenarioResult, WalSummary, SCHEMA_VERSION};
 
 /// One registered runtime: its stable name, its task-execution mode, and the
 /// monomorphized entry point that measures any scenario on it.
@@ -270,6 +270,20 @@ impl ScenarioSpec {
                 samples: latency.count(),
             },
             stats: metrics.stats,
+            wal: metrics.wal.as_ref().map(|wal| WalSummary {
+                enqueued: wal.enqueued,
+                batches: wal.batches,
+                mean_batch_records: wal.mean_batch_records(),
+                batch_bytes: wal.batch_bytes,
+                fsyncs: wal.fsyncs,
+                append_p50_ns: wal.append_ns.quantile_ns(0.50),
+                append_p99_ns: wal.append_ns.quantile_ns(0.99),
+                fsync_p50_ns: wal.fsync_ns.quantile_ns(0.50),
+                fsync_p99_ns: wal.fsync_ns.quantile_ns(0.99),
+                retries: wal.retries,
+                faults: wal.faults,
+                rotations: wal.rotations,
+            }),
         }
     }
 }

@@ -183,6 +183,7 @@ impl SwisstmThread {
         let stats = self.runtime.substrate().stats.shard(self.id);
         stats.bump(&stats.tx_starts);
         loop {
+            txobs::tx_begin();
             let priority = self.greedy_priority.unwrap_or(TIMID);
             let mut tx = Transaction::new(&self.runtime, &mut self.ctx, self.id, priority);
             let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
@@ -190,6 +191,7 @@ impl SwisstmThread {
                 Ok(value) => {
                     tx.flush_op_counters();
                     stats.bump(&stats.tx_commits);
+                    txobs::tx_commit();
                     self.consecutive_aborts = 0;
                     self.greedy_priority = None;
                     return value;
@@ -198,6 +200,7 @@ impl SwisstmThread {
                     tx.rollback(abort.reason);
                     tx.flush_op_counters();
                     stats.bump(&stats.tx_aborts);
+                    txobs::tx_abort(abort.reason.trace_cause());
                     self.consecutive_aborts += 1;
                     if self.greedy_priority.is_none()
                         && self

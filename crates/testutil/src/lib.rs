@@ -173,6 +173,19 @@ pub fn with_watchdog<T: Send + 'static>(
             }
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Leave a post-mortem: dump the txobs trace rings (per-thread
+            // event history with thread labels) before killing the test.
+            // Empty unless the hung test enabled tracing, but stress tests
+            // that opt in get a timeline of what each thread last did.
+            eprintln!(
+                "watchdog: dumping txobs trace rings (tracing {}):",
+                if txobs::tracing_enabled() {
+                    "enabled"
+                } else {
+                    "disabled — enable with txobs::set_tracing(true) for event history"
+                }
+            );
+            txobs::dump_to_stderr();
             panic!(
                 "test exceeded its {:?} watchdog deadline — probable deadlock or livelock \
                  in the STM runtime under test",

@@ -243,6 +243,7 @@ impl UThread {
         let mut total_tasks = 0usize;
         for spec in txns {
             stats.bump(&stats.tx_starts);
+            txobs::tx_begin();
             let n = spec.tasks.len() as u64;
             let start_serial = self.next_serial.get();
             let commit_serial = start_serial + n - 1;

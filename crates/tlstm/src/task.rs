@@ -796,6 +796,7 @@ impl<'rt> TaskCtx<'rt> {
 
     fn finish_transaction_commit(&mut self, wrote: bool, consumed_logs: Vec<(u64, TaskLogs)>) {
         self.stats.bump(&self.stats.tx_commits);
+        txobs::tx_commit();
         self.txn.mark_committed();
         self.uthread.mark_completed(self.serial, wrote);
         // The transaction's chain entries are gone; nothing left to dismantle.

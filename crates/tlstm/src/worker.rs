@@ -187,6 +187,7 @@ impl Worker {
                 Err(abort) => {
                     stats.bump(&stats.task_aborts);
                     stats.record_abort_reason(abort.reason);
+                    txobs::tx_abort(abort.reason.trace_cause());
                     ctx.remove_chain_entries();
                     if abort.reason == AbortReason::InterThreadWriteConflict
                         && item.txn.note_cm_self_abort() >= GREEDY_AFTER_CM_SELF_ABORTS

@@ -56,6 +56,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use swisstm::SwisstmRuntime;
@@ -139,6 +140,10 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 struct WalCell {
     writer: RwLock<LogWriter>,
+    /// Last health code published to txobs (`trace::health` values), so the
+    /// gauge updates and transition trace events fire once per transition,
+    /// not once per observation.
+    observed_health: AtomicU64,
 }
 
 impl WalCell {
@@ -156,6 +161,25 @@ impl WalCell {
         self.writer
             .write()
             .expect("WAL slot poisoned: a thread panicked mid-swap")
+    }
+
+    /// Publishes the store's health to txobs: the gauge always tracks the
+    /// latest observation; a trace event fires only when the code changes.
+    fn observe_health(&self, code: u64) {
+        let previous = self.observed_health.swap(code, Ordering::Relaxed);
+        txobs::metrics::kv().health.set(code);
+        if previous != code {
+            txobs::trace::trace(txobs::EventKind::KvHealth, code);
+        }
+    }
+}
+
+/// The txobs health code of a WAL failure observation.
+fn health_code(failure: Option<&WalError>) -> u64 {
+    match failure {
+        None => txobs::trace::health::HEALTHY,
+        Some(WalError::Crashed) => txobs::trace::health::FAILED,
+        Some(_) => txobs::trace::health::DEGRADED,
     }
 }
 
@@ -259,12 +283,15 @@ impl<R: TxRuntime> DurableKvStore<R> {
             ..WalOptions::default()
         };
         let writer = LogWriter::open(dir, &options)?;
+        let wal = Arc::new(WalCell {
+            writer: RwLock::new(writer),
+            observed_health: AtomicU64::new(0),
+        });
+        wal.observe_health(txobs::trace::health::HEALTHY);
         Ok(DurableKvStore {
             server,
             seq,
-            wal: Arc::new(WalCell {
-                writer: RwLock::new(writer),
-            }),
+            wal,
             options,
             dir: dir.to_path_buf(),
             recovery: RecoveryReport {
@@ -313,7 +340,9 @@ impl<R: TxRuntime> DurableKvStore<R> {
     /// writes, [`Health::Degraded`] (with the root-cause storage failure)
     /// once the log is poisoned, [`Health::Failed`] after an injected crash.
     pub fn health(&self) -> Health {
-        match self.wal.read().failure() {
+        let failure = self.wal.read().failure();
+        self.wal.observe_health(health_code(failure.as_ref()));
+        match failure {
             None => Health::Healthy,
             Some(WalError::Crashed) => Health::Failed,
             Some(cause) => Health::Degraded(cause),
@@ -364,6 +393,9 @@ impl<R: TxRuntime> DurableKvStore<R> {
         )?;
         *writer = fresh;
         drop(writer);
+        txobs::metrics::kv().rearms.inc();
+        txobs::trace::trace(txobs::EventKind::KvRearm, lsn);
+        self.wal.observe_health(txobs::trace::health::HEALTHY);
         // Best effort: the snapshot already covers the poisoned segments, so
         // a failed prune only costs disk space, not correctness.
         let _ = prune_obsolete_with(self.options.fs.as_ref(), &self.dir, lsn);
@@ -513,6 +545,7 @@ impl<R: TxRuntime> DurableKvSession<R> {
         let (replies, ticket) = {
             let writer = self.wal.read();
             if let Some(failure) = writer.failure() {
+                self.wal.observe_health(health_code(Some(&failure)));
                 return Err(match failure {
                     WalError::Crashed => WalError::Crashed,
                     WalError::Storage { .. } | WalError::Degraded => WalError::Degraded,

@@ -250,6 +250,12 @@ impl Shared {
     fn fail(&self, error: WalError) {
         let mut state = lock(&self.state);
         if state.failure.is_none() {
+            // Storage failures are faults worth alerting on; `Crashed` also
+            // marks clean shutdown and simulated crashes, so it is excluded
+            // from the fault counter.
+            if matches!(error, WalError::Storage { .. }) {
+                txobs::metrics::wal().faults.inc();
+            }
             state.failure = Some(error);
         }
         self.ack_cv.notify_all();
@@ -273,6 +279,11 @@ impl Shared {
             state.durable_upto = upto;
             self.note_synced(upto);
             self.durable_watermark.store(upto, Ordering::Release);
+            let wal = txobs::metrics::wal();
+            wal.watermark_lag
+                .set(state.written_upto.saturating_sub(upto));
+            wal.queue_depth.set(state.pending.len() as u64);
+            txobs::trace::trace(txobs::EventKind::WalWatermark, upto);
             self.ack_cv.notify_all();
         }
     }
@@ -533,6 +544,10 @@ impl WalHandle {
             state.next_append
         );
         state.pending.insert(lsn, payload);
+        let wal = txobs::metrics::wal();
+        wal.enqueued.inc();
+        wal.queue_depth.set(state.pending.len() as u64);
+        txobs::trace::trace(txobs::EventKind::WalEnqueue, lsn);
         self.shared.work_cv.notify_one();
         Ok(CommitTicket {
             shared: Arc::clone(&self.shared),
@@ -634,6 +649,7 @@ impl AppendStage {
             // Phase 1 (locked): wait for work, then drain the contiguous run.
             batch.clear();
             let mut last_frame_start = 0usize;
+            let mut frames = 0u64;
             let batch_upto;
             let rotate_now;
             let exit_now;
@@ -661,6 +677,7 @@ impl AppendStage {
                             last_frame_start = batch.len();
                             encode_frame_into(&mut batch, next, &payload);
                             state.next_append = next + 1;
+                            frames += 1;
                         }
                         None => break,
                     }
@@ -687,9 +704,22 @@ impl AppendStage {
                     let _ = self.file.sync_data();
                     return self.fail(WalError::Crashed);
                 }
+                txobs::trace::trace(txobs::EventKind::WalAppendStart, frames);
+                let append_started = Instant::now();
                 if let Err(error) = self.write_batch(&batch) {
                     return self.fail(error);
                 }
+                let wal = txobs::metrics::wal();
+                wal.batches.inc();
+                wal.batch_records.add(frames);
+                wal.batch_bytes.add(batch.len() as u64);
+                wal.append_ns.record_ns(
+                    append_started
+                        .elapsed()
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64,
+                );
+                txobs::trace::trace(txobs::EventKind::WalAppendDone, batch.len() as u64);
                 // This check must precede publishing `written_upto`: once
                 // published, the sync stage may fsync and acknowledge the
                 // batch, and this point means the bytes never became durable.
@@ -760,6 +790,7 @@ impl AppendStage {
                         return Err(failed);
                     }
                     attempt += 1;
+                    txobs::metrics::wal().retries.inc();
                     std::thread::sleep(self.retry.delay(attempt));
                 }
             }
@@ -830,6 +861,8 @@ impl AppendStage {
             .store(state.durable_upto, Ordering::Release);
         state.segment_start = next_start;
         state.rotations_done += 1;
+        txobs::metrics::wal().rotations.inc();
+        txobs::trace::trace(txobs::EventKind::WalRotate, state.rotations_done);
         self.shared.ack_cv.notify_all();
         Ok(())
     }
@@ -911,6 +944,8 @@ impl SyncStage {
             // The fsync itself, outside the state lock: the append stage
             // keeps filling the next batch while this runs. On the final
             // flush sync_all also persists the shutdown trim.
+            txobs::trace::trace(txobs::EventKind::WalFsyncStart, 0);
+            let fsync_started = Instant::now();
             let synced = {
                 let file = lock(&self.shared.sync_file);
                 if finish {
@@ -927,6 +962,11 @@ impl SyncStage {
                 // successful fsync left it.
                 return self.fail(WalError::storage(StorageOp::Fsync, error.kind()));
             }
+            let wal = txobs::metrics::wal();
+            wal.fsyncs.inc();
+            wal.fsync_ns
+                .record_ns(fsync_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            txobs::trace::trace(txobs::EventKind::WalFsyncDone, ack_upto);
             self.last_fsync = Instant::now();
             // Record what this successful fsync covered *before* consulting
             // the crash point: a ticket whose LSN is covered is durable even

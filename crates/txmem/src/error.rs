@@ -47,6 +47,21 @@ impl AbortReason {
             AbortReason::OutOfMemory => "out-of-memory",
         }
     }
+
+    /// The abort-cause code this reason carries in `txobs` trace events
+    /// (see [`txobs::trace::cause`]).
+    pub fn trace_cause(self) -> u64 {
+        match self {
+            AbortReason::ReadValidation => txobs::trace::cause::READ_VALIDATION,
+            AbortReason::InterThreadWriteConflict => txobs::trace::cause::INTER_WW,
+            AbortReason::IntraThreadWar => txobs::trace::cause::INTRA_WAR,
+            AbortReason::IntraThreadWaw => txobs::trace::cause::INTRA_WAW,
+            AbortReason::TransactionAbortSignal => txobs::trace::cause::TX_SIGNAL,
+            AbortReason::TaskAbortSignal => txobs::trace::cause::TASK_SIGNAL,
+            AbortReason::UserRetry => txobs::trace::cause::USER_RETRY,
+            AbortReason::OutOfMemory => txobs::trace::cause::OOM,
+        }
+    }
 }
 
 impl fmt::Display for AbortReason {

@@ -110,10 +110,12 @@ impl SeqRefSession {
         let _gate = self.runtime.gate.lock();
         let stats = substrate.stats.shard(self.id);
         stats.bump(&stats.tx_starts);
+        txobs::tx_begin();
         let mut mem = DirectMem::new(&substrate.heap);
         match f(&mut mem) {
             Ok(value) => {
                 stats.bump(&stats.tx_commits);
+                txobs::tx_commit();
                 value
             }
             Err(abort) => panic!(

@@ -92,116 +92,10 @@ impl fmt::Display for Throughput {
     }
 }
 
-/// Number of power-of-two buckets in a [`LatencyHistogram`] (covers the full
-/// `u64` nanosecond range).
-const LATENCY_BUCKETS: usize = 64;
-
-/// A log₂-bucketed histogram of latencies in nanoseconds.
-///
-/// Bucket `i` counts samples whose latency `ns` satisfies
-/// `floor(log2(ns)) == i` (with `ns == 0` landing in bucket 0), so the full
-/// nanosecond-to-centuries range fits in 64 counters. Each measurement thread
-/// owns its histogram (no shared cache lines on the record path); histograms
-/// are [`merged`](Self::merge) when the run ends.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    total_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; LATENCY_BUCKETS],
-            count: 0,
-            total_ns: 0,
-            max_ns: 0,
-        }
-    }
-
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&mut self, latency: Duration) {
-        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Records one latency sample given in nanoseconds.
-    #[inline]
-    pub fn record_ns(&mut self, ns: u64) {
-        let bucket = if ns == 0 {
-            0
-        } else {
-            63 - ns.leading_zeros() as usize
-        };
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.total_ns = self.total_ns.saturating_add(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.total_ns = self.total_ns.saturating_add(other.total_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded sample, in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Mean latency in nanoseconds (0.0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_ns as f64 / self.count as f64
-        }
-    }
-
-    /// The latency below which `quantile` (in `[0, 1]`) of the samples fall,
-    /// in nanoseconds. Resolution is one power-of-two bucket: the reported
-    /// value is the bucket's upper bound, clamped to the observed maximum.
-    /// Returns 0 when the histogram is empty.
-    pub fn quantile_ns(&self, quantile: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((quantile.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper bound of bucket `i` is 2^(i+1) - 1.
-                let upper = if bucket >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (bucket + 1)) - 1
-                };
-                return upper.min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-}
+// The log₂ latency histogram now lives in `txobs` (shared with the metrics
+// registry and the WAL writer); re-exported here so workload drivers keep
+// their import path.
+pub use txobs::LatencyHistogram;
 
 /// Everything one measured workload run produces: throughput, per-transaction
 /// latency, and the runtime's statistics counters (commit/abort/conflict
@@ -215,6 +109,9 @@ pub struct RunMetrics {
     /// Runtime statistics accumulated over the run (summed across
     /// repetitions).
     pub stats: StatsSnapshot,
+    /// WAL pipeline activity attributable to the run (batch/fsync counters
+    /// and latency histograms); `None` for non-durable workloads.
+    pub wal: Option<txobs::metrics::WalSnapshot>,
 }
 
 impl RunMetrics {
@@ -224,7 +121,14 @@ impl RunMetrics {
             throughput,
             latency,
             stats,
+            wal: None,
         }
+    }
+
+    /// Attaches the WAL pipeline activity observed during the run.
+    pub fn with_wal(mut self, wal: txobs::metrics::WalSnapshot) -> Self {
+        self.wal = Some(wal);
+        self
     }
 }
 
@@ -314,12 +218,16 @@ pub fn average_metrics(
     let mut total_time = Duration::ZERO;
     let mut latency = LatencyHistogram::new();
     let mut stats = StatsSnapshot::default();
+    let mut wal: Option<txobs::metrics::WalSnapshot> = None;
     for rep in 0..repetitions {
         let run = make_run(rep);
         total_ops += run.throughput.ops;
         total_time += run.throughput.elapsed;
         latency.merge(&run.latency);
         stats = stats.merged(&run.stats);
+        if let Some(run_wal) = run.wal {
+            wal.get_or_insert_with(Default::default).merge(&run_wal);
+        }
     }
     RunMetrics {
         throughput: Throughput {
@@ -328,6 +236,7 @@ pub fn average_metrics(
         },
         latency,
         stats,
+        wal,
     }
 }
 
@@ -436,46 +345,6 @@ mod tests {
         assert_eq!(calls, 3);
         assert_eq!(avg.ops, 300);
         assert_eq!(avg.elapsed, Duration::from_millis(30));
-    }
-
-    #[test]
-    fn latency_histogram_records_and_summarises() {
-        let mut h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        for ns in [0u64, 1, 100, 1000, 1000, 1000, 1_000_000] {
-            h.record_ns(ns);
-        }
-        assert_eq!(h.count(), 7);
-        assert_eq!(h.max_ns(), 1_000_000);
-        let expected_mean = (1.0 + 100.0 + 3000.0 + 1_000_000.0) / 7.0;
-        assert!((h.mean_ns() - expected_mean).abs() < 1e-9);
-        // The median sample is 1000 ns, which lands in bucket [512, 1023];
-        // the reported quantile is that bucket's upper bound.
-        assert_eq!(h.quantile_ns(0.5), 1023);
-        // p100 is the max sample exactly.
-        assert_eq!(h.quantile_ns(1.0), 1_000_000);
-        assert!(h.quantile_ns(0.99) <= 1_000_000);
-    }
-
-    #[test]
-    fn latency_histogram_merge_is_a_union() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        for ns in [10u64, 20, 30] {
-            a.record_ns(ns);
-        }
-        for ns in [40u64, 50] {
-            b.record_ns(ns);
-        }
-        let mut merged = a.clone();
-        merged.merge(&b);
-        let mut direct = LatencyHistogram::new();
-        for ns in [10u64, 20, 30, 40, 50] {
-            direct.record_ns(ns);
-        }
-        assert_eq!(merged, direct);
-        assert_eq!(merged.count(), 5);
     }
 
     #[test]

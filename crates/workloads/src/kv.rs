@@ -352,6 +352,11 @@ fn measure_durable<R: TxRuntime>(
     store.populate((0..params.records).map(|k| (k, initial_value(k, params.value_words))));
     store.snapshot().expect("baseline snapshot failed");
     let dist = KeyDist::new(params);
+    // Attribute only the measured phase's WAL activity (not population or
+    // the baseline snapshot) to this run. The WAL metrics are process-wide,
+    // so the delta is exact only while no other durable store is active —
+    // which holds for tmbench's sequential scenario matrix.
+    let wal_before = txobs::metrics::wal().snapshot();
     let (throughput, latency) = run_threads_metrics(
         params.threads.max(1),
         config.duration,
@@ -371,7 +376,8 @@ fn measure_durable<R: TxRuntime>(
             }
         },
     );
-    RunMetrics::new(throughput, latency, store.server().stats())
+    let wal_delta = txobs::metrics::wal().snapshot().delta_since(&wal_before);
+    RunMetrics::new(throughput, latency, store.server().stats()).with_wal(wal_delta)
 }
 
 /// Measures the KV workload on any [`TxRuntime`] (durably, through the
