@@ -22,8 +22,8 @@ use std::time::Duration;
 
 use tlstm_bench::report::{diff_reports, BenchReport};
 use tlstm_bench::scenarios::{
-    build_scenarios, find_runtime, run_matrix, runtime_names, workload_selectors, MatrixSelection,
-    RuntimeEntry,
+    build_scenarios, find_runtime, pinned_workload_labels, run_matrix, runtime_names,
+    workload_selectors, MatrixSelection, RuntimeEntry,
 };
 use tlstm_bench::{cell, env_u32, env_u64, DEFAULT_BENCH_MS};
 use tlstm_workloads::kv::FsyncPolicy;
@@ -53,18 +53,26 @@ MEASUREMENT OPTIONS:
     --seed N             workload RNG seed (default: TLSTM_BENCH_SEED, else 0xC0FFEE)
     --threads A,B,...    thread counts to measure (default: 1)
     --workloads LIST     comma-separated families (rbtree,vacation,stmbench7,
-                         overhead,kv,kv-durable) or concrete labels (kv-a,
-                         kv-a-durable,rbtree-n16,...); default: all.
+                         overhead,kv,kv-durable,net-kv,net-kv-durable) or
+                         concrete labels (kv-a, kv-a-durable, net-kv-a,
+                         rbtree-n16,...); default: all.
                          kv-a-durable-cN rows (N = 1, 8, 64) are the
                          multi-committer sweep: they pin N client threads on
-                         one WAL and ignore --threads
+                         one WAL and ignore --threads. net-kv-a-durable-cN
+                         rows (N = 1, 16, 64) are the connection sweep: they
+                         pin N client connections the same way
     --runtimes LIST      comma-separated runtimes from the registry:
                          swisstm,tlstm,seqref (default: all registered;
                          seqref is the sequential conformance reference)
-    --fsync POLICY       WAL fsync policy of the kv-durable scenarios:
-                         always, group, group:<ms>, none (default: group;
-                         scenario names are unaffected, so reports stay
-                         comparable against the baseline)
+    --fsync POLICY       WAL fsync policy of the kv-durable and
+                         net-kv-durable scenarios: always, group, group:<ms>,
+                         none (default: group; scenario names are unaffected,
+                         so reports stay comparable against the baseline)
+    --offered-load N     open-loop offered load of the net-kv scenarios, in
+                         total requests/second (default: peak — every
+                         connection keeps its pipeline window full). Like
+                         --fsync, a run modifier: sweep it across runs to
+                         plot tail latency against offered load
     --out FILE           write the JSON report to FILE
 
 OBSERVABILITY OPTIONS:
@@ -97,6 +105,7 @@ struct CliArgs {
     workloads: Vec<String>,
     runtimes: Vec<&'static RuntimeEntry>,
     fsync: Option<FsyncPolicy>,
+    offered_load: Option<u64>,
     out: Option<String>,
     trace: Option<String>,
     metrics_out: Option<String>,
@@ -199,6 +208,16 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 let v = value_of(&mut i, arg)?;
                 cli.fsync = Some(FsyncPolicy::parse(v.trim())?);
             }
+            "--offered-load" => {
+                let v = value_of(&mut i, arg)?;
+                let rate: u64 = v
+                    .parse()
+                    .map_err(|e| format!("invalid --offered-load '{v}': {e}"))?;
+                if rate == 0 {
+                    return Err("--offered-load must be positive".to_string());
+                }
+                cli.offered_load = Some(rate);
+            }
             "--out" => cli.out = Some(value_of(&mut i, arg)?),
             "--trace" => cli.trace = Some(value_of(&mut i, arg)?),
             "--metrics-out" => cli.metrics_out = Some(value_of(&mut i, arg)?),
@@ -291,7 +310,34 @@ fn print_report_table(report: &BenchReport) {
                 format!("p99 {}µs", wal.fsync_p99_ns / 1000),
             );
         }
+        if let Some(net) = &s.net {
+            println!(
+                "{:<34} {:>14} {:>12} {:>12} {:>10} {:>10}",
+                "  net",
+                format!("{:.1} req/batch", net.mean_coalesced_requests),
+                format!("{} reqs", net.requests),
+                format!("{} batches", net.coalesced_batches),
+                format!("{} errs", net.protocol_errors),
+                format!("{} KiB out", net.bytes_out / 1024),
+            );
+        }
     }
+}
+
+/// The non-fatal stderr warning for an explicit `--threads` axis combined
+/// with rows that pin their own thread count (committer- or
+/// connection-sweep rows). Those rows silently ignore the flag, which is
+/// intended — but worth saying out loud so a sweep run is never
+/// misinterpreted.
+fn threads_ignored_warning(explicit_threads: bool, pinned_labels: &[String]) -> Option<String> {
+    if !explicit_threads || pinned_labels.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "warning: --threads is ignored by the pinned sweep rows: {} \
+(they run at their own committer/connection counts)",
+        pinned_labels.join(", ")
+    ))
 }
 
 fn run_gate(cli: &CliArgs) -> ExitCode {
@@ -397,11 +443,17 @@ fn main() -> ExitCode {
         workload_families: cli.workloads.clone(),
         runtimes: cli.runtimes.clone(),
         fsync: cli.fsync,
+        offered_load: cli.offered_load,
     };
     let scenarios = build_scenarios(&selection);
     if scenarios.is_empty() {
         eprintln!("error: the selected matrix is empty");
         return ExitCode::from(2);
+    }
+    if let Some(warning) =
+        threads_ignored_warning(cli.threads.is_some(), &pinned_workload_labels(&scenarios))
+    {
+        eprintln!("{warning}");
     }
     if cli.list {
         for spec in &scenarios {
@@ -446,4 +498,41 @@ fn main() -> ExitCode {
         eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_load_flag_parses_and_rejects_zero() {
+        let args: Vec<String> = ["--offered-load", "25000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&args).unwrap().offered_load, Some(25_000));
+        let args: Vec<String> = ["--offered-load", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+        assert_eq!(parse_args(&[]).unwrap().offered_load, None);
+    }
+
+    #[test]
+    fn pinned_rows_warn_only_with_an_explicit_thread_axis() {
+        let pinned = vec![
+            "kv-a-durable-c64".to_string(),
+            "net-kv-a-durable-c64".to_string(),
+        ];
+        // No --threads: the pinned rows are just the matrix, nothing to say.
+        assert_eq!(threads_ignored_warning(false, &pinned), None);
+        // --threads but no pinned rows selected: nothing is ignored.
+        assert_eq!(threads_ignored_warning(true, &[]), None);
+        // Both: warn, naming every pinned row.
+        let warning = threads_ignored_warning(true, &pinned).expect("must warn");
+        assert!(warning.starts_with("warning:"), "{warning}");
+        assert!(warning.contains("kv-a-durable-c64"), "{warning}");
+        assert!(warning.contains("net-kv-a-durable-c64"), "{warning}");
+    }
 }

@@ -111,6 +111,27 @@ pub struct WalSummary {
 }
 
 impl WalSummary {
+    /// Builds the summary from a `txobs` WAL metrics delta (the snapshot
+    /// difference captured around the measured window). All derived values
+    /// come from the snapshot's own zero-guarded helpers, so an empty window
+    /// summarises to zeros, never NaN.
+    pub fn from_snapshot(wal: &txobs::metrics::WalSnapshot) -> WalSummary {
+        WalSummary {
+            enqueued: wal.enqueued,
+            batches: wal.batches,
+            mean_batch_records: wal.mean_batch_records(),
+            batch_bytes: wal.batch_bytes,
+            fsyncs: wal.fsyncs,
+            append_p50_ns: wal.append_ns.quantile_ns(0.50),
+            append_p99_ns: wal.append_ns.quantile_ns(0.99),
+            fsync_p50_ns: wal.fsync_ns.quantile_ns(0.50),
+            fsync_p99_ns: wal.fsync_ns.quantile_ns(0.99),
+            retries: wal.retries,
+            faults: wal.faults,
+            rotations: wal.rotations,
+        }
+    }
+
     const FIELDS: [&'static str; 12] = [
         "enqueued",
         "batches",
@@ -177,6 +198,101 @@ impl WalSummary {
     }
 }
 
+/// Network front-end summary for a `net-kv` scenario, from the `txobs`
+/// network metrics delta captured around the measured window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetSummary {
+    /// Request frames the server decoded.
+    pub requests: u64,
+    /// Reply frames the server wrote.
+    pub replies: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// Coalesced store batches executed (each is one poll-loop drain of
+    /// every readable connection, one STM commit, one WAL ticket).
+    pub coalesced_batches: u64,
+    /// Mean requests per coalesced batch (0 when no batches ran) — the
+    /// server-side coalescing factor the `-cN` connection sweep reads off.
+    pub mean_coalesced_requests: f64,
+    /// Frame- and payload-level protocol errors the server contained.
+    pub protocol_errors: u64,
+}
+
+impl NetSummary {
+    /// Builds the summary from a `txobs` network metrics delta. The mean
+    /// comes from the snapshot's zero-guarded helper, so an empty window
+    /// summarises to zeros, never NaN.
+    pub fn from_snapshot(net: &txobs::metrics::NetSnapshot) -> NetSummary {
+        NetSummary {
+            requests: net.requests,
+            replies: net.replies,
+            bytes_in: net.bytes_in,
+            bytes_out: net.bytes_out,
+            coalesced_batches: net.coalesced_batches,
+            mean_coalesced_requests: net.mean_coalesced_requests(),
+            protocol_errors: net.protocol_errors,
+        }
+    }
+
+    const FIELDS: [&'static str; 7] = [
+        "requests",
+        "replies",
+        "bytes_in",
+        "bytes_out",
+        "coalesced_batches",
+        "mean_coalesced_requests",
+        "protocol_errors",
+    ];
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("replies", Json::Num(self.replies as f64)),
+            ("bytes_in", Json::Num(self.bytes_in as f64)),
+            ("bytes_out", Json::Num(self.bytes_out as f64)),
+            (
+                "coalesced_batches",
+                Json::Num(self.coalesced_batches as f64),
+            ),
+            (
+                "mean_coalesced_requests",
+                Json::Num(self.mean_coalesced_requests),
+            ),
+            ("protocol_errors", Json::Num(self.protocol_errors as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json, errors: &mut Vec<String>, context: &str) -> NetSummary {
+        if let Some(pairs) = value.as_object() {
+            for (key, _) in pairs {
+                if !Self::FIELDS.contains(&key.as_str()) {
+                    errors.push(format!("{context}: unknown net field '{key}'"));
+                }
+            }
+        }
+        let mut field = |name: &str| -> f64 {
+            match value.get(name).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => {
+                    errors.push(format!("{context}: missing or invalid net field '{name}'"));
+                    0.0
+                }
+            }
+        };
+        NetSummary {
+            requests: field("requests") as u64,
+            replies: field("replies") as u64,
+            bytes_in: field("bytes_in") as u64,
+            bytes_out: field("bytes_out") as u64,
+            coalesced_batches: field("coalesced_batches") as u64,
+            mean_coalesced_requests: field("mean_coalesced_requests"),
+            protocol_errors: field("protocol_errors") as u64,
+        }
+    }
+}
+
 /// The result of one benchmark scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
@@ -204,6 +320,8 @@ pub struct ScenarioResult {
     pub stats: StatsSnapshot,
     /// WAL pipeline summary; present only for durable scenarios.
     pub wal: Option<WalSummary>,
+    /// Network front-end summary; present only for `net-kv` scenarios.
+    pub net: Option<NetSummary>,
 }
 
 impl ScenarioResult {
@@ -260,6 +378,9 @@ impl ScenarioResult {
         ]);
         if let (Json::Obj(pairs), Some(wal)) = (&mut json, self.wal) {
             pairs.push(("wal".to_string(), wal.to_json()));
+        }
+        if let (Json::Obj(pairs), Some(net)) = (&mut json, self.net) {
+            pairs.push(("net".to_string(), net.to_json()));
         }
         json
     }
@@ -376,6 +497,9 @@ impl ScenarioResult {
         let wal = value
             .get("wal")
             .map(|obj| WalSummary::from_json(obj, errors, &context));
+        let net = value
+            .get("net")
+            .map(|obj| NetSummary::from_json(obj, errors, &context));
         ScenarioResult {
             name,
             workload,
@@ -388,6 +512,7 @@ impl ScenarioResult {
             latency,
             stats,
             wal,
+            net,
         }
     }
 }
@@ -661,6 +786,7 @@ mod tests {
             },
             stats,
             wal: None,
+            net: None,
         }
     }
 
@@ -780,6 +906,80 @@ mod tests {
         assert!(problems
             .iter()
             .any(|e| e.contains("missing or invalid wal field 'fsync_p99_ns'")));
+    }
+
+    #[test]
+    fn net_summary_roundtrips_and_rejects_drift() {
+        let mut report = sample_report();
+        report.scenarios[0].name = "net-kv-a-durable/swisstm/t64/k1".to_string();
+        report.scenarios[0].workload = "net-kv-a-durable".to_string();
+        report.scenarios[0].wal = Some(sample_wal_summary());
+        report.scenarios[0].net = Some(NetSummary {
+            requests: 10_000,
+            replies: 10_000,
+            bytes_in: 1_000_000,
+            bytes_out: 500_000,
+            coalesced_batches: 400,
+            mean_coalesced_requests: 25.0,
+            protocol_errors: 0,
+        });
+        let text = report.to_json_string();
+        assert!(text.contains("\"mean_coalesced_requests\": 25"));
+        let parsed = BenchReport::parse(&text).expect("net roundtrip parse failed");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json_string(), text);
+
+        // A renamed net field is both unknown and leaves the original missing.
+        let bad = text.replace("\"coalesced_batches\"", "\"coalesced_batchez\"");
+        let problems = BenchReport::validate(&bad);
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("unknown net field 'coalesced_batchez'")));
+        assert!(problems
+            .iter()
+            .any(|e| e.contains("missing or invalid net field 'coalesced_batches'")));
+    }
+
+    #[test]
+    fn empty_window_summaries_stay_finite_and_valid() {
+        // A zero-duration, zero-sample, zero-batch window must summarise to
+        // zeros everywhere — never NaN or infinity, which the report's JSON
+        // cannot carry and downstream tooling would choke on.
+        let empty_wal = WalSummary::from_snapshot(&txobs::metrics::WalSnapshot::default());
+        assert_eq!(empty_wal.mean_batch_records, 0.0);
+        let empty_net = NetSummary::from_snapshot(&txobs::metrics::NetSnapshot::default());
+        assert_eq!(empty_net.mean_coalesced_requests, 0.0);
+
+        let mut report = sample_report();
+        report.scenarios.truncate(1);
+        let s = &mut report.scenarios[0];
+        s.name = "net-kv-a-durable/swisstm/t1/k1".to_string();
+        s.workload = "net-kv-a-durable".to_string();
+        s.ops = 0;
+        s.elapsed_ms = 0.0;
+        s.ops_per_sec = 0.0;
+        s.latency = LatencySummary {
+            mean_ns: 0.0,
+            p50_ns: 0,
+            p99_ns: 0,
+            max_ns: 0,
+            samples: 0,
+        };
+        s.stats = StatsSnapshot::default();
+        s.wal = Some(empty_wal);
+        s.net = Some(empty_net);
+        assert!(s.abort_rates().iter().all(|(_, r)| *r == 0.0));
+
+        let text = report.to_json_string();
+        assert!(
+            !text.contains("NaN") && !text.contains("inf") && !text.contains("null"),
+            "empty-window report leaked a non-finite value:\n{text}"
+        );
+        assert!(BenchReport::validate(&text).is_empty());
+        assert_eq!(
+            BenchReport::parse(&text).expect("empty-window report must parse"),
+            report
+        );
     }
 
     #[test]

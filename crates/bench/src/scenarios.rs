@@ -17,6 +17,7 @@ use swisstm::SwisstmRuntime;
 use tlstm::TlstmRuntime;
 use tlstm_workloads::harness::RunMetrics;
 use tlstm_workloads::kv::{self, FsyncPolicy, KvDurability, KvMix, KvParams};
+use tlstm_workloads::net_kv::{self, NetKvParams};
 use tlstm_workloads::overhead::{self, OverheadParams};
 use tlstm_workloads::rbtree_bench::{self, RbTreeBenchParams};
 use tlstm_workloads::stmbench7::{self, Stmbench7Params};
@@ -24,7 +25,9 @@ use tlstm_workloads::vacation::{self, VacationParams};
 use tlstm_workloads::WorkloadConfig;
 use txmem::{SeqRefRuntime, TxRuntime};
 
-use crate::report::{BenchReport, LatencySummary, ScenarioResult, WalSummary, SCHEMA_VERSION};
+use crate::report::{
+    BenchReport, LatencySummary, NetSummary, ScenarioResult, WalSummary, SCHEMA_VERSION,
+};
 
 /// One registered runtime: its stable name, its task-execution mode, and the
 /// monomorphized entry point that measures any scenario on it.
@@ -139,6 +142,25 @@ pub enum WorkloadKind {
         /// is part of the scenario identity (`kv-a-durable-c64`).
         committers: Option<usize>,
     },
+    /// The KV serving workload driven **over the wire**: a loopback `txnet`
+    /// server front-ends the store, hit by the multi-connection open-loop
+    /// load generator. The scenario's thread axis is the *connection* count;
+    /// server-side coalescing drains all readable connections into one store
+    /// batch, so the `-cN` sweep reads off how throughput scales with
+    /// offered concurrency.
+    NetKv {
+        /// The operation mix (A, B, C or scan-heavy).
+        mix: KvMix,
+        /// `Some(fsync)`: serve a durable store — every write batch is
+        /// redo-logged and waits for its acknowledgement. As with
+        /// [`WorkloadKind::KvDurable`], durability is scenario identity but
+        /// the fsync policy is the `--fsync` run modifier.
+        durable: Option<FsyncPolicy>,
+        /// `Some(n)`: a connection-sweep row — pin `n` client connections,
+        /// ignoring the matrix's `--threads` axis (the same contract as the
+        /// committer-pinned `kv-a-durable-cN` rows).
+        connections: Option<usize>,
+    },
 }
 
 impl WorkloadKind {
@@ -164,6 +186,20 @@ impl WorkloadKind {
                 ..
             } => format!("kv-{}-durable-c{n}", mix.label()),
             WorkloadKind::KvDurable { mix, .. } => format!("kv-{}-durable", mix.label()),
+            WorkloadKind::NetKv {
+                mix,
+                durable,
+                connections,
+            } => {
+                let mut label = format!("net-kv-{}", mix.label());
+                if durable.is_some() {
+                    label.push_str("-durable");
+                }
+                if let Some(n) = connections {
+                    label.push_str(&format!("-c{n}"));
+                }
+                label
+            }
         }
     }
 
@@ -177,6 +213,8 @@ impl WorkloadKind {
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => "overhead",
             WorkloadKind::Kv { .. } => "kv",
             WorkloadKind::KvDurable { .. } => "kv-durable",
+            WorkloadKind::NetKv { durable: None, .. } => "net-kv",
+            WorkloadKind::NetKv { .. } => "net-kv-durable",
         }
     }
 
@@ -188,7 +226,9 @@ impl WorkloadKind {
             WorkloadKind::Stmbench7 { .. } => &[3],
             WorkloadKind::OverheadRead { .. } | WorkloadKind::OverheadWrite { .. } => &[2],
             // A 16-op batch splits into KV_BATCH_GROUPS shard-group tasks.
-            WorkloadKind::Kv { .. } | WorkloadKind::KvDurable { .. } => &[KV_BATCH_GROUPS],
+            WorkloadKind::Kv { .. }
+            | WorkloadKind::KvDurable { .. }
+            | WorkloadKind::NetKv { .. } => &[KV_BATCH_GROUPS],
         }
     }
 
@@ -203,6 +243,15 @@ impl WorkloadKind {
                 fsync,
                 committers,
             },
+            WorkloadKind::NetKv {
+                mix,
+                durable: Some(_),
+                connections,
+            } => WorkloadKind::NetKv {
+                mix,
+                durable: Some(fsync),
+                connections,
+            },
             other => other,
         }
     }
@@ -213,9 +262,27 @@ impl WorkloadKind {
     pub fn pinned_threads(&self) -> Option<usize> {
         match self {
             WorkloadKind::KvDurable { committers, .. } => *committers,
+            WorkloadKind::NetKv { connections, .. } => *connections,
             _ => None,
         }
     }
+}
+
+/// The labels of scenarios that pin their own thread count — the
+/// committer-pinned `kv-a-durable-cN` rows and the connection-pinned
+/// `net-kv-…-cN` rows, which ignore an explicit `--threads` axis. `tmbench`
+/// warns (non-fatally) when the user passes `--threads` alongside them, so
+/// a sweep run never silently measures something other than what the flag
+/// suggests. Sorted and deduplicated for stable warning text.
+pub fn pinned_workload_labels(scenarios: &[ScenarioSpec]) -> Vec<String> {
+    let mut labels: Vec<String> = scenarios
+        .iter()
+        .filter(|s| s.workload.pinned_threads().is_some())
+        .map(|s| s.workload.label())
+        .collect();
+    labels.sort();
+    labels.dedup();
+    labels
 }
 
 /// Shard-groups every kv batch is planned into, on *both* runtimes: the plan
@@ -231,10 +298,16 @@ pub struct ScenarioSpec {
     pub workload: WorkloadKind,
     /// The registry entry of the runtime to measure.
     pub runtime: &'static RuntimeEntry,
-    /// User-threads driving the workload.
+    /// User-threads driving the workload (for network workloads: client
+    /// connections).
     pub threads: usize,
     /// Tasks per user-transaction (always 1 on sequential runtimes).
     pub tasks_per_txn: usize,
+    /// `Some(r)`: open-loop offered load in requests/second for network
+    /// workloads (`--offered-load`). A run modifier like `--fsync`: it is
+    /// not part of the scenario name, so tail-latency-vs-load sweeps diff
+    /// cleanly across runs. Ignored by in-process workloads.
+    pub offered_load: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -270,20 +343,8 @@ impl ScenarioSpec {
                 samples: latency.count(),
             },
             stats: metrics.stats,
-            wal: metrics.wal.as_ref().map(|wal| WalSummary {
-                enqueued: wal.enqueued,
-                batches: wal.batches,
-                mean_batch_records: wal.mean_batch_records(),
-                batch_bytes: wal.batch_bytes,
-                fsyncs: wal.fsyncs,
-                append_p50_ns: wal.append_ns.quantile_ns(0.50),
-                append_p99_ns: wal.append_ns.quantile_ns(0.99),
-                fsync_p50_ns: wal.fsync_ns.quantile_ns(0.50),
-                fsync_p99_ns: wal.fsync_ns.quantile_ns(0.99),
-                retries: wal.retries,
-                faults: wal.faults,
-                rotations: wal.rotations,
-            }),
+            wal: metrics.wal.as_ref().map(WalSummary::from_snapshot),
+            net: metrics.net.as_ref().map(NetSummary::from_snapshot),
         }
     }
 }
@@ -334,24 +395,8 @@ fn measure_on<R: TxRuntime>(spec: &ScenarioSpec, config: &WorkloadConfig) -> Run
             overhead::measure::<R>(&params, config)
         }
         WorkloadKind::Kv { mix } | WorkloadKind::KvDurable { mix, .. } => {
-            // `tasks_per_txn` is the batch's shard-group count. Sequential
-            // runtimes carry k1 ("one task") in the matrix, but must plan
-            // with the same grouping as the speculative rows so every
-            // runtime executes identical op streams — derived from the
-            // workload's task-split list, which therefore must stay
-            // single-valued for kv (one k1 row cannot match two groupings).
             let params = KvParams {
-                tasks_per_txn: if R::SPECULATIVE {
-                    spec.tasks_per_txn
-                } else {
-                    let splits = spec.workload.default_task_splits();
-                    assert_eq!(
-                        splits,
-                        [KV_BATCH_GROUPS],
-                        "kv comparability requires a single task split"
-                    );
-                    splits[0]
-                },
+                tasks_per_txn: kv_task_split::<R>(spec),
                 threads: spec.threads,
                 durable: match &spec.workload {
                     WorkloadKind::KvDurable { fsync, .. } => Some(KvDurability { fsync: *fsync }),
@@ -361,6 +406,40 @@ fn measure_on<R: TxRuntime>(spec: &ScenarioSpec, config: &WorkloadConfig) -> Run
             };
             kv::measure::<R>(&params, config)
         }
+        WorkloadKind::NetKv { mix, durable, .. } => {
+            let params = NetKvParams {
+                // The scenario's thread axis is the connection count; the
+                // offered-load modifier rides on the spec.
+                connections: spec.threads,
+                offered_load: spec.offered_load,
+                ..NetKvParams::new(KvParams {
+                    tasks_per_txn: kv_task_split::<R>(spec),
+                    durable: durable.map(|fsync| KvDurability { fsync }),
+                    ..KvParams::mix(*mix)
+                })
+            };
+            net_kv::measure::<R>(&params, config)
+        }
+    }
+}
+
+/// The shard-group count a kv-family batch is planned into on runtime `R`.
+/// `tasks_per_txn` is the batch's shard-group count. Sequential runtimes
+/// carry k1 ("one task") in the matrix, but must plan with the same grouping
+/// as the speculative rows so every runtime executes identical op streams —
+/// derived from the workload's task-split list, which therefore must stay
+/// single-valued for kv (one k1 row cannot match two groupings).
+fn kv_task_split<R: TxRuntime>(spec: &ScenarioSpec) -> usize {
+    if R::SPECULATIVE {
+        spec.tasks_per_txn
+    } else {
+        let splits = spec.workload.default_task_splits();
+        assert_eq!(
+            splits,
+            [KV_BATCH_GROUPS],
+            "kv comparability requires a single task split"
+        );
+        splits[0]
     }
 }
 
@@ -379,6 +458,11 @@ pub struct MatrixSelection {
     /// `None` keeps the default matrix's policy. Scenario names are not
     /// affected — the modifier exists to compare policies across runs.
     pub fsync: Option<FsyncPolicy>,
+    /// Offered-load override for the network scenarios (`--offered-load`),
+    /// in total requests/second; `None` runs them at peak (full windows).
+    /// Scenario names are not affected — sweep the modifier across runs to
+    /// plot tail latency against offered load.
+    pub offered_load: Option<u64>,
 }
 
 impl Default for MatrixSelection {
@@ -388,6 +472,7 @@ impl Default for MatrixSelection {
             workload_families: Vec::new(),
             runtimes: Vec::new(),
             fsync: None,
+            offered_load: None,
         }
     }
 }
@@ -439,6 +524,37 @@ pub fn default_workloads() -> Vec<WorkloadKind> {
             mix: KvMix::A,
             fsync: FsyncPolicy::default(),
             committers: Some(64),
+        },
+        // The wire-served twins: the same store behind the txnet front-end,
+        // driven by the open-loop generator. The delta vs kv-a is the
+        // serving pipeline's cost; the durable connection sweep reads off
+        // how server-side coalescing amortises STM commits and fsyncs as
+        // connections pile up (one coalesced batch = one commit = one WAL
+        // ticket, shared by every request drained in that poll iteration).
+        WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: None,
+            connections: None,
+        },
+        WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: Some(FsyncPolicy::default()),
+            connections: None,
+        },
+        WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: Some(FsyncPolicy::default()),
+            connections: Some(1),
+        },
+        WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: Some(FsyncPolicy::default()),
+            connections: Some(16),
+        },
+        WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: Some(FsyncPolicy::default()),
+            connections: Some(64),
         },
     ]
 }
@@ -497,6 +613,7 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
                             runtime,
                             threads,
                             tasks_per_txn: tasks,
+                            offered_load: selection.offered_load,
                         });
                     }
                 } else {
@@ -505,6 +622,7 @@ pub fn build_scenarios(selection: &MatrixSelection) -> Vec<ScenarioSpec> {
                         runtime,
                         threads,
                         tasks_per_txn: 1,
+                        offered_load: selection.offered_load,
                     });
                 }
             }
@@ -578,6 +696,8 @@ mod tests {
             "overhead",
             "kv",
             "kv-durable",
+            "net-kv",
+            "net-kv-durable",
         ] {
             assert!(scenarios.iter().any(|s| s.workload.family() == family));
         }
@@ -599,6 +719,7 @@ mod tests {
             workload_families: vec!["rbtree".to_string()],
             runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: None,
+            offered_load: None,
         };
         let scenarios = build_scenarios(&selection);
         assert_eq!(
@@ -617,6 +738,7 @@ mod tests {
             workload_families: vec!["kv-a".to_string(), "kv-scan".to_string()],
             runtimes: Vec::new(),
             fsync: None,
+            offered_load: None,
         };
         let scenarios = build_scenarios(&selection);
         assert!(!scenarios.is_empty());
@@ -629,6 +751,7 @@ mod tests {
             workload_families: vec!["kv".to_string()],
             runtimes: Vec::new(),
             fsync: None,
+            offered_load: None,
         };
         let labels: std::collections::HashSet<String> = build_scenarios(&selection)
             .iter()
@@ -659,6 +782,13 @@ mod tests {
             "kv-a-durable-c1",
             "kv-a-durable-c8",
             "kv-a-durable-c64",
+            "net-kv",
+            "net-kv-a",
+            "net-kv-durable",
+            "net-kv-a-durable",
+            "net-kv-a-durable-c1",
+            "net-kv-a-durable-c16",
+            "net-kv-a-durable-c64",
         ] {
             assert!(
                 selectors.iter().any(|s| s == token),
@@ -672,6 +802,7 @@ mod tests {
             workload_families: vec!["kv".to_string()],
             runtimes: Vec::new(),
             fsync: None,
+            offered_load: None,
         };
         assert!(build_scenarios(&selection)
             .iter()
@@ -685,6 +816,7 @@ mod tests {
             workload_families: vec!["kv-durable".to_string(), "kv-a".to_string()],
             runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: Some(FsyncPolicy::None),
+            offered_load: None,
         };
         let scenarios = build_scenarios(&selection);
         assert!(!scenarios.is_empty());
@@ -710,6 +842,7 @@ mod tests {
             workload_families: vec!["kv-durable".to_string()],
             runtimes: vec![find_runtime("swisstm").unwrap()],
             fsync: None,
+            offered_load: None,
         };
         let scenarios = build_scenarios(&selection);
         // Each cN row appears exactly once, at its own thread count,
@@ -750,12 +883,132 @@ mod tests {
     }
 
     #[test]
+    fn net_rows_pin_connections_and_carry_the_load_modifier() {
+        let selection = MatrixSelection {
+            threads: vec![1, 2],
+            workload_families: vec!["net-kv".to_string(), "net-kv-durable".to_string()],
+            runtimes: vec![find_runtime("swisstm").unwrap()],
+            fsync: None,
+            offered_load: Some(50_000),
+        };
+        let scenarios = build_scenarios(&selection);
+        // The connection sweep pins its own thread (= connection) count.
+        for (label, want) in [
+            ("net-kv-a-durable-c1", 1),
+            ("net-kv-a-durable-c16", 16),
+            ("net-kv-a-durable-c64", 64),
+        ] {
+            let rows: Vec<_> = scenarios
+                .iter()
+                .filter(|s| s.workload.label() == label)
+                .collect();
+            assert_eq!(rows.len(), 1, "{label}");
+            assert_eq!(rows[0].threads, want, "{label}");
+        }
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name() == "net-kv-a-durable-c64/swisstm/t64/k1"));
+        // Unpinned net rows expand over the thread axis; every row carries
+        // the offered-load modifier without it leaking into the name.
+        assert_eq!(
+            scenarios
+                .iter()
+                .filter(|s| s.workload.label() == "net-kv-a")
+                .count(),
+            2
+        );
+        for s in &scenarios {
+            assert_eq!(s.offered_load, Some(50_000), "{}", s.name());
+            assert!(!s.name().contains("50"), "{}", s.name());
+        }
+        // The fsync modifier reaches durable net rows and preserves the
+        // pinned connection count; memory net rows are untouched.
+        let sweep = WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: Some(FsyncPolicy::default()),
+            connections: Some(16),
+        };
+        let modified = sweep.with_fsync(FsyncPolicy::None);
+        assert_eq!(modified.pinned_threads(), Some(16));
+        assert!(matches!(
+            modified,
+            WorkloadKind::NetKv {
+                durable: Some(FsyncPolicy::None),
+                ..
+            }
+        ));
+        let mem = WorkloadKind::NetKv {
+            mix: KvMix::A,
+            durable: None,
+            connections: None,
+        };
+        assert_eq!(mem.clone().with_fsync(FsyncPolicy::Always), mem);
+    }
+
+    #[test]
+    fn pinned_workload_labels_name_the_rows_that_ignore_threads() {
+        let scenarios = build_scenarios(&MatrixSelection {
+            threads: vec![4],
+            workload_families: Vec::new(),
+            runtimes: vec![find_runtime("seqref").unwrap()],
+            fsync: None,
+            offered_load: None,
+        });
+        let labels = pinned_workload_labels(&scenarios);
+        assert_eq!(
+            labels,
+            [
+                "kv-a-durable-c1",
+                "kv-a-durable-c64",
+                "kv-a-durable-c8",
+                "net-kv-a-durable-c1",
+                "net-kv-a-durable-c16",
+                "net-kv-a-durable-c64",
+            ]
+        );
+        // A selection without pinned rows warns about nothing.
+        let scenarios = build_scenarios(&MatrixSelection {
+            threads: vec![4],
+            workload_families: vec!["rbtree".to_string()],
+            runtimes: Vec::new(),
+            fsync: None,
+            offered_load: None,
+        });
+        assert!(pinned_workload_labels(&scenarios).is_empty());
+    }
+
+    #[test]
+    fn net_rows_measure_through_the_registry() {
+        // One registry-dispatched net scenario end to end: server boot,
+        // open-loop generator, and the net summary on the report row.
+        let spec = ScenarioSpec {
+            workload: WorkloadKind::NetKv {
+                mix: KvMix::A,
+                durable: None,
+                connections: Some(2),
+            },
+            runtime: find_runtime("seqref").unwrap(),
+            threads: 2,
+            tasks_per_txn: 1,
+            offered_load: None,
+        };
+        assert_eq!(spec.name(), "net-kv-a-c2/seqref/t2/k1");
+        let result = spec.run(&WorkloadConfig::quick());
+        assert!(result.ops > 0, "net scenario made no progress");
+        let net = result.net.expect("net rows must carry the net summary");
+        assert!(net.replies > 0);
+        assert!(net.mean_coalesced_requests >= 1.0);
+        assert!(result.wal.is_none(), "memory net rows must not claim a WAL");
+    }
+
+    #[test]
     fn scenario_names_encode_the_axes() {
         let spec = ScenarioSpec {
             workload: WorkloadKind::Stmbench7 { read_pct: 90 },
             runtime: find_runtime("tlstm").unwrap(),
             threads: 2,
             tasks_per_txn: 3,
+            offered_load: None,
         };
         assert_eq!(spec.name(), "stmbench7-r90/tlstm/t2/k3");
     }
@@ -771,6 +1024,7 @@ mod tests {
             runtime: find_runtime("seqref").unwrap(),
             threads: 1,
             tasks_per_txn: 1,
+            offered_load: None,
         };
         assert_eq!(spec.name(), "rbtree-n4/seqref/t1/k1");
         let config = WorkloadConfig::quick();

@@ -102,6 +102,12 @@ pub struct TxnShared {
     cm_retries: AtomicU32,
     /// Two-phase greedy priority of the whole user-transaction.
     priority: AtomicU64,
+    /// The user-thread has abandoned speculative execution of this
+    /// transaction (abort-storm fallback): once the pending rollback has
+    /// dismantled the tasks' speculative state, workers vacate their tasks
+    /// instead of re-executing and the user-thread re-runs the transaction
+    /// sequentially inline.
+    abandoned: AtomicBool,
     /// Logs published by completed tasks, keyed by serial.
     logs: Mutex<Vec<(u64, TaskLogs)>>,
 }
@@ -139,6 +145,7 @@ impl TxnShared {
             acks: AtomicU32::new(0),
             cm_retries: AtomicU32::new(0),
             priority: AtomicU64::new(TIMID_PRIORITY),
+            abandoned: AtomicBool::new(false),
             logs: Mutex::new(Vec::new()),
         }
     }
@@ -213,6 +220,27 @@ impl TxnShared {
     /// transaction and returns the running total.
     pub fn note_cm_self_abort(&self) -> u32 {
         self.cm_retries.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Contention-manager self-aborts recorded so far (the abort-storm
+    /// detector samples this while the transaction is in flight).
+    pub fn cm_retries(&self) -> u32 {
+        self.cm_retries.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the user-thread has abandoned speculative execution of
+    /// this transaction (abort-storm fallback): after the pending rollback
+    /// completes, every worker vacates its task instead of re-executing it,
+    /// and the user-thread re-runs the transaction sequentially inline.
+    pub fn abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+
+    /// Abandons speculative execution of this transaction (call together
+    /// with [`request_abort`](Self::request_abort); the rollback is what
+    /// dismantles the tasks' speculative state before they vacate).
+    pub fn set_abandoned(&self) {
+        self.abandoned.store(true, Ordering::Release);
     }
 
     /// Current greedy priority.

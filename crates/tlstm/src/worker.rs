@@ -163,6 +163,16 @@ impl Worker {
             if item.txn.abort_requested() {
                 self.participate_in_rollback(&mut ctx);
             }
+            // Abort-storm fallback: the user-thread abandoned speculative
+            // execution of this transaction. The rollback that was requested
+            // alongside the abandonment has dismantled this task's
+            // speculative state (the check sits after the participation
+            // above, and `finish_rollback` clears the request), so the task
+            // can simply vacate — the user-thread re-runs the transaction
+            // sequentially inline.
+            if item.txn.abandoned() && !item.txn.abort_requested() {
+                return;
+            }
             // Pessimistic fallback: after repeated transaction rollbacks, run
             // the tasks of this transaction in program order.
             if item.txn.rollbacks() >= PESSIMISTIC_AFTER_ROLLBACKS {
@@ -217,7 +227,7 @@ impl Worker {
     /// Exponential backoff between re-execution attempts of an aborted task:
     /// the first few retries only yield, later ones sleep for exponentially
     /// longer (capped), which breaks intra-thread signal/re-acquire livelocks.
-    fn abort_backoff(attempt: u32) {
+    pub(crate) fn abort_backoff(attempt: u32) {
         match attempt {
             0..=2 => std::thread::yield_now(),
             n => {
@@ -228,30 +238,104 @@ impl Worker {
     }
 
     /// Joins the coordinated rollback of the task's user-transaction.
-    ///
-    /// Non-commit tasks acknowledge and wait for the rollback epoch to
-    /// advance; the commit-task drives the protocol (waits for every other
-    /// task, resets the user-thread counters and re-arms the transaction).
     fn participate_in_rollback(&self, ctx: &mut TaskCtx<'_>) {
-        let txn = Arc::clone(ctx.txn());
-        let uthread = Arc::clone(ctx.uthread());
-        if ctx.is_commit_task() {
-            txn.start_rollback();
-            let needed = (txn.n_tasks() - 1) as u32;
-            uthread.wait_until(|| txn.acks() >= needed);
-            uthread.reset_after_rollback(txn.start_serial());
-            let stats = self.substrate.stats.shard(self.uthread.ptid());
-            stats.bump(&stats.tx_aborts);
-            if txn.rollbacks() + 1 >= GREEDY_AFTER_ROLLBACKS
-                && txn.priority() == crate::txn_state::TIMID_PRIORITY
-            {
-                txn.set_priority(self.tickets.draw());
+        participate_in_rollback(&self.substrate, &self.tickets, ctx);
+    }
+}
+
+/// Joins the coordinated rollback of the task's user-transaction.
+///
+/// Non-commit tasks acknowledge and wait for the rollback epoch to
+/// advance; the commit-task drives the protocol (waits for every other
+/// task, resets the user-thread counters and re-arms the transaction).
+fn participate_in_rollback(
+    substrate: &Arc<TxSubstrate>,
+    tickets: &Arc<GreedyTicket>,
+    ctx: &mut TaskCtx<'_>,
+) {
+    let txn = Arc::clone(ctx.txn());
+    let uthread = Arc::clone(ctx.uthread());
+    if ctx.is_commit_task() {
+        txn.start_rollback();
+        let needed = (txn.n_tasks() - 1) as u32;
+        uthread.wait_until(|| txn.acks() >= needed);
+        uthread.reset_after_rollback(txn.start_serial());
+        let stats = substrate.stats.shard(uthread.ptid());
+        stats.bump(&stats.tx_aborts);
+        if txn.rollbacks() + 1 >= GREEDY_AFTER_ROLLBACKS
+            && txn.priority() == crate::txn_state::TIMID_PRIORITY
+        {
+            txn.set_priority(tickets.draw());
+        }
+        txn.finish_rollback();
+    } else {
+        let epoch = txn.epoch();
+        txn.ack_abort();
+        uthread.wait_until(|| txn.epoch() > epoch);
+    }
+}
+
+/// Runs one (merged, single-task) user-transaction to retirement on the
+/// *calling* thread: the sequential-fallback execution path.
+///
+/// This is the same retry/rollback protocol as [`Worker::run_task`], minus
+/// the storm gate and pessimistic program-order waits — an inline transaction
+/// has exactly one task, runs start-to-commit on the driving thread, and
+/// holds its write locks only for the duration of the call. That removes the
+/// cross-thread task handoffs whose wake-up latency dominates a loaded
+/// single-core host, which is precisely why the storm fallback routes merged
+/// batches through here instead of through the worker lanes.
+pub(crate) fn run_task_inline(
+    substrate: &Arc<TxSubstrate>,
+    cm: TaskAwareCm,
+    tickets: &Arc<GreedyTicket>,
+    uthread: &Arc<UThreadShared>,
+    txn: &Arc<TxnShared>,
+    body: &TaskFn,
+    bufs: &mut TaskBufs,
+) {
+    debug_assert_eq!(txn.start_serial(), txn.commit_serial());
+    let stats = substrate.stats.shard(uthread.ptid());
+    stats.bump(&stats.task_starts);
+    let mut ctx = TaskCtx::new(
+        substrate,
+        cm,
+        Arc::clone(uthread),
+        Arc::clone(txn),
+        txn.commit_serial(),
+        true,
+        bufs,
+    );
+    let mut attempt = 0u32;
+    loop {
+        attempt = attempt.wrapping_add(1);
+        if txn.abort_requested() {
+            participate_in_rollback(substrate, tickets, &mut ctx);
+        }
+        ctx.reset_for_attempt();
+        let outcome = (body)(&mut ctx).and_then(|()| ctx.task_commit());
+        match outcome {
+            Ok(()) => {
+                stats.bump(&stats.task_commits);
+                ctx.flush_op_counters();
+                return;
             }
-            txn.finish_rollback();
-        } else {
-            let epoch = txn.epoch();
-            txn.ack_abort();
-            uthread.wait_until(|| txn.epoch() > epoch);
+            Err(abort) => {
+                stats.bump(&stats.task_aborts);
+                stats.record_abort_reason(abort.reason);
+                txobs::tx_abort(abort.reason.trace_cause());
+                ctx.remove_chain_entries();
+                if abort.reason == AbortReason::InterThreadWriteConflict
+                    && txn.note_cm_self_abort() >= GREEDY_AFTER_CM_SELF_ABORTS
+                    && txn.priority() == crate::txn_state::TIMID_PRIORITY
+                {
+                    txn.set_priority(tickets.draw());
+                }
+                if abort.reason == AbortReason::TransactionAbortSignal || txn.abort_requested() {
+                    participate_in_rollback(substrate, tickets, &mut ctx);
+                }
+                Worker::abort_backoff(attempt);
+            }
         }
     }
 }

@@ -561,6 +561,27 @@ impl<R: TxRuntime> DurableKvSession<R> {
         Ok(replies)
     }
 
+    /// Executes several independently-submitted sub-batches as **one**
+    /// atomic, durable transaction and splits the replies back per
+    /// sub-batch: the coalesced batch carries one commit sequence number,
+    /// one redo record and one group-commit ticket, so N client requests
+    /// amortise a single STM commit *and* a single fsync acknowledgement —
+    /// the seam the network front-end's server-side coalescing builds on.
+    /// If no sub-batch contains a write, the log is skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::batch`]; the durability contract applies to the coalesced
+    /// batch as a whole (all sub-batches ack together or none do).
+    pub fn batch_with_replies(
+        &mut self,
+        requests: Vec<Vec<KvOp>>,
+    ) -> Result<Vec<Vec<KvReply>>, WalError> {
+        let lens: Vec<usize> = requests.iter().map(Vec::len).collect();
+        let replies = self.batch(requests.into_iter().flatten().collect())?;
+        Ok(crate::ops::split_replies(&lens, replies))
+    }
+
     /// Reads `key` (never logged).
     pub fn get(&mut self, key: u64) -> Option<Vec<u64>> {
         self.inner.get(key)

@@ -59,7 +59,7 @@ pub mod server;
 pub mod store;
 
 pub use durable::{DurableKvConfig, DurableKvSession, DurableKvStore, Health, RecoveryReport};
-pub use ops::{checksum, plan_batch, shard_of, KvOp, KvReply};
+pub use ops::{checksum, plan_batch, shard_of, split_replies, KvOp, KvReply};
 pub use ref_store::RefStore;
 pub use server::{KvServer, KvServerConfig, KvSession};
 pub use store::{KvStore, KvStoreParams};

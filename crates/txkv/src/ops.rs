@@ -111,6 +111,27 @@ pub fn plan_batch(ops: &[KvOp], n_shards: u64, groups: usize) -> Vec<Vec<usize>>
     plan
 }
 
+/// Splits the reply vector of a coalesced batch back into one reply list
+/// per original request, given the per-request operation counts. Inverse of
+/// concatenating the requests' operations: request order and operation order
+/// within each request are preserved.
+///
+/// # Panics
+///
+/// Panics if `lens` does not sum to `replies.len()` (a coalescing bug — the
+/// transaction produced one reply per operation by construction).
+pub fn split_replies(lens: &[usize], replies: Vec<KvReply>) -> Vec<Vec<KvReply>> {
+    assert_eq!(
+        lens.iter().sum::<usize>(),
+        replies.len(),
+        "coalesced reply count diverges from the request plan"
+    );
+    let mut it = replies.into_iter();
+    lens.iter()
+        .map(|&n| it.by_ref().take(n).collect())
+        .collect()
+}
+
 /// Seed of the per-value scan checksum.
 pub const CHECKSUM_SEED: u64 = 0xCBF2_9CE4_8422_2325;
 
@@ -202,6 +223,27 @@ mod tests {
         let ops = vec![KvOp::Get { key: 1 }];
         assert_eq!(plan_batch(&ops, 8, 4).len(), 1);
         assert_eq!(plan_batch(&[], 8, 4).len(), 1);
+    }
+
+    #[test]
+    fn split_replies_inverts_concatenation() {
+        let replies = vec![
+            KvReply::Inserted(true),
+            KvReply::Value(None),
+            KvReply::Removed(false),
+        ];
+        let split = split_replies(&[1, 0, 2], replies.clone());
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[0], vec![replies[0].clone()]);
+        assert!(split[1].is_empty());
+        assert_eq!(split[2], replies[1..].to_vec());
+        assert!(split_replies(&[], Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "coalesced reply count")]
+    fn split_replies_rejects_mismatched_plan() {
+        let _ = split_replies(&[2], vec![KvReply::Inserted(true)]);
     }
 
     #[test]

@@ -229,6 +229,18 @@ impl<R: TxRuntime> KvSession<R> {
         self.batch_inner(ops, None).0
     }
 
+    /// Executes several independently-submitted sub-batches (typically one
+    /// per client request) as **one** atomic transaction and splits the
+    /// replies back per sub-batch — the server-side coalescing seam the
+    /// network front-end builds on: N requests share one plan, one commit.
+    /// Request order and operation order within each request are preserved;
+    /// empty sub-batches yield empty reply lists.
+    pub fn batch_with_replies(&mut self, requests: Vec<Vec<KvOp>>) -> Vec<Vec<KvReply>> {
+        let lens: Vec<usize> = requests.iter().map(Vec::len).collect();
+        let replies = self.batch(requests.into_iter().flatten().collect());
+        crate::ops::split_replies(&lens, replies)
+    }
+
     /// Like [`Self::batch`], but additionally stamps the transaction with a
     /// **commit sequence number**: the word at `seq` is read and incremented
     /// *inside* the transaction, so the returned numbers of concurrent
@@ -498,6 +510,55 @@ mod tests {
                 server.label()
             );
         });
+    }
+
+    #[test]
+    fn coalesced_requests_share_one_transaction_and_split_replies() {
+        let server = KvServer::swisstm(&test_config(4));
+        server.populate((0..32u64).map(|k| (k, vec![k])));
+        let mut oracle = RefStore::new(8);
+        for k in 0..32u64 {
+            oracle.put(k, &[k]);
+        }
+        // Three clients' requests, including an empty one.
+        let requests: Vec<Vec<KvOp>> = vec![
+            vec![
+                KvOp::Put {
+                    key: 3,
+                    value: vec![100],
+                },
+                KvOp::Get { key: 7 },
+            ],
+            vec![],
+            vec![
+                KvOp::Delete { key: 11 },
+                KvOp::Cas {
+                    key: 13,
+                    expected: vec![13],
+                    new: vec![99],
+                },
+                KvOp::Scan {
+                    lo: 0,
+                    hi: 16,
+                    limit: 32,
+                },
+            ],
+        ];
+        let committed_before = server.stats().tx_commits;
+        let split = server.session().batch_with_replies(requests.clone());
+        assert_eq!(
+            server.stats().tx_commits - committed_before,
+            1,
+            "coalesced requests must share one transaction"
+        );
+        // Replies match running the concatenated batch on the oracle, split
+        // back at the request boundaries.
+        let concatenated: Vec<KvOp> = requests.iter().flatten().cloned().collect();
+        let want = oracle.batch(&concatenated, server.batch_tasks());
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[0], want[..2].to_vec());
+        assert!(split[1].is_empty());
+        assert_eq!(split[2], want[2..].to_vec());
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc32_fold(!0, bytes)
 }
 
+/// CRC-32 over the logical concatenation of `parts`, hashed in streaming
+/// steps — so multi-part frame layouts (header fields in one buffer, payload
+/// in another) validate without copying into a contiguous buffer. Shared
+/// with the network protocol's frame codec, which reuses this CRC idiom.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    !parts.iter().fold(!0, |state, part| crc32_fold(state, part))
+}
+
 /// The CRC a frame with this `lsn` and `payload` must carry. Hashed in two
 /// streaming steps (stack header, payload in place) — no allocation or copy
 /// on the group-commit write path.

@@ -56,7 +56,7 @@ pub mod vfs;
 pub mod writer;
 
 pub use files::{list_segments, list_snapshots, prune_obsolete, read_snapshot, write_snapshot};
-pub use frame::{crc32, read_frames, FrameScan};
+pub use frame::{crc32, crc32_parts, read_frames, FrameScan};
 pub use recovery::{recover, RecoveredLog};
 pub use tlstm_testutil::CrashPoints;
 pub use vfs::{

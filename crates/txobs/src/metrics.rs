@@ -69,6 +69,22 @@ impl Gauge {
         self.0.store(value, Ordering::Relaxed);
     }
 
+    /// Adds `n` (for gauges tracking a population across threads).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -270,6 +286,106 @@ pub struct KvMetrics {
     pub rearms: Counter,
 }
 
+/// Hot-path metrics of the network serving front-end.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Request frames decoded across all serving threads.
+    pub requests: Counter,
+    /// Reply frames written back across all serving threads.
+    pub replies: Counter,
+    /// Request bytes read off all connections (frame headers included).
+    pub bytes_in: Counter,
+    /// Reply bytes written to all connections (frame headers included).
+    pub bytes_out: Counter,
+    /// Coalesced store batches executed (one per serving-thread drain that
+    /// found at least one request).
+    pub coalesced_batches: Counter,
+    /// Requests folded into those coalesced batches; divided by
+    /// `coalesced_batches` this is the server-side coalescing factor.
+    pub coalesced_requests: Counter,
+    /// Request frames rejected with a typed protocol error.
+    pub protocol_errors: Counter,
+    /// Currently connected clients.
+    pub connections: Gauge,
+}
+
+/// Point-in-time copy of the [`NetMetrics`] counters, subtractable across a
+/// benchmark run (the `connections` gauge is instantaneous and therefore not
+/// part of the snapshot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// See [`NetMetrics::requests`].
+    pub requests: u64,
+    /// See [`NetMetrics::replies`].
+    pub replies: u64,
+    /// See [`NetMetrics::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`NetMetrics::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`NetMetrics::coalesced_batches`].
+    pub coalesced_batches: u64,
+    /// See [`NetMetrics::coalesced_requests`].
+    pub coalesced_requests: u64,
+    /// See [`NetMetrics::protocol_errors`].
+    pub protocol_errors: u64,
+}
+
+impl NetSnapshot {
+    /// Mean requests folded into one coalesced store batch — the server-side
+    /// coalescing factor (0.0 before the first batch, never `NaN`).
+    pub fn mean_coalesced_requests(&self) -> f64 {
+        if self.coalesced_batches == 0 {
+            0.0
+        } else {
+            self.coalesced_requests as f64 / self.coalesced_batches as f64
+        }
+    }
+
+    /// The activity since `earlier` (an older snapshot of the same process).
+    pub fn delta_since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            requests: self.requests.saturating_sub(earlier.requests),
+            replies: self.replies.saturating_sub(earlier.replies),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            coalesced_batches: self
+                .coalesced_batches
+                .saturating_sub(earlier.coalesced_batches),
+            coalesced_requests: self
+                .coalesced_requests
+                .saturating_sub(earlier.coalesced_requests),
+            protocol_errors: self.protocol_errors.saturating_sub(earlier.protocol_errors),
+        }
+    }
+
+    /// Folds another snapshot into this one — used when averaging bench
+    /// repetitions.
+    pub fn merge(&mut self, other: &NetSnapshot) {
+        self.requests += other.requests;
+        self.replies += other.replies;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.coalesced_batches += other.coalesced_batches;
+        self.coalesced_requests += other.coalesced_requests;
+        self.protocol_errors += other.protocol_errors;
+    }
+}
+
+impl NetMetrics {
+    /// Snapshots every counter.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            requests: self.requests.get(),
+            replies: self.replies.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            coalesced_batches: self.coalesced_batches.get(),
+            coalesced_requests: self.coalesced_requests.get(),
+            protocol_errors: self.protocol_errors.get(),
+        }
+    }
+}
+
 static WAL: WalMetrics = WalMetrics {
     enqueued: Counter::new(),
     queue_depth: Gauge::new(),
@@ -290,6 +406,17 @@ static KV: KvMetrics = KvMetrics {
     rearms: Counter::new(),
 };
 
+static NET: NetMetrics = NetMetrics {
+    requests: Counter::new(),
+    replies: Counter::new(),
+    bytes_in: Counter::new(),
+    bytes_out: Counter::new(),
+    coalesced_batches: Counter::new(),
+    coalesced_requests: Counter::new(),
+    protocol_errors: Counter::new(),
+    connections: Gauge::new(),
+};
+
 /// The process-wide WAL writer metrics.
 pub fn wal() -> &'static WalMetrics {
     &WAL
@@ -298,6 +425,11 @@ pub fn wal() -> &'static WalMetrics {
 /// The process-wide durable KV metrics.
 pub fn kv() -> &'static KvMetrics {
     &KV
+}
+
+/// The process-wide network front-end metrics.
+pub fn net() -> &'static NetMetrics {
+    &NET
 }
 
 fn published() -> &'static Mutex<BTreeMap<String, f64>> {
@@ -378,6 +510,19 @@ pub fn metrics_text() -> String {
         ("txobs_wal_faults_total", &wal.faults),
         ("txobs_wal_rotations_total", &wal.rotations),
         ("txobs_kv_rearms_total", &kv().rearms),
+        ("txobs_net_requests_total", &net().requests),
+        ("txobs_net_replies_total", &net().replies),
+        ("txobs_net_bytes_in_total", &net().bytes_in),
+        ("txobs_net_bytes_out_total", &net().bytes_out),
+        (
+            "txobs_net_coalesced_batches_total",
+            &net().coalesced_batches,
+        ),
+        (
+            "txobs_net_coalesced_requests_total",
+            &net().coalesced_requests,
+        ),
+        ("txobs_net_protocol_errors_total", &net().protocol_errors),
     ] {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {}", counter.get());
@@ -386,6 +531,7 @@ pub fn metrics_text() -> String {
         ("txobs_wal_queue_depth", &wal.queue_depth),
         ("txobs_wal_watermark_lag", &wal.watermark_lag),
         ("txobs_kv_health", &kv().health),
+        ("txobs_net_connections", &net().connections),
     ] {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", gauge.get());
@@ -529,6 +675,32 @@ mod tests {
         assert_eq!(merged.enqueued, 30);
         assert!((merged.mean_batch_records() - 3.0).abs() < 1e-9);
         assert_eq!(WalSnapshot::default().mean_batch_records(), 0.0);
+    }
+
+    #[test]
+    fn net_snapshot_delta_merge_and_zero_guard() {
+        let a = NetSnapshot {
+            requests: 10,
+            replies: 10,
+            bytes_in: 500,
+            bytes_out: 400,
+            coalesced_batches: 2,
+            coalesced_requests: 10,
+            protocol_errors: 1,
+        };
+        let mut later = a.clone();
+        later.requests = 40;
+        later.coalesced_batches = 5;
+        later.coalesced_requests = 40;
+        let d = later.delta_since(&a);
+        assert_eq!(d.requests, 30);
+        assert_eq!(d.coalesced_batches, 3);
+        assert!((d.mean_coalesced_requests() - 10.0).abs() < 1e-9);
+        let mut merged = d.clone();
+        merged.merge(&d);
+        assert_eq!(merged.requests, 60);
+        // A window with no coalesced batches reports 0.0, never NaN.
+        assert_eq!(NetSnapshot::default().mean_coalesced_requests(), 0.0);
     }
 
     #[test]

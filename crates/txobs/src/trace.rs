@@ -67,6 +67,15 @@ pub enum EventKind {
     /// The durable KV store re-armed a fresh WAL after degradation; the
     /// argument is the snapshot LSN the new log starts at.
     KvRearm = 11,
+    /// A serving thread decoded one network request frame; the argument is
+    /// the request's payload length in bytes.
+    NetRead = 12,
+    /// A serving thread coalesced its readable connections' requests into one
+    /// store batch; the argument is the number of requests coalesced.
+    NetBatch = 13,
+    /// A serving thread wrote one reply frame back to a connection; the
+    /// argument is the reply's payload length in bytes.
+    NetWrite = 14,
 }
 
 impl EventKind {
@@ -84,6 +93,9 @@ impl EventKind {
             9 => EventKind::WalRotate,
             10 => EventKind::KvHealth,
             11 => EventKind::KvRearm,
+            12 => EventKind::NetRead,
+            13 => EventKind::NetBatch,
+            14 => EventKind::NetWrite,
             _ => return None,
         })
     }
@@ -101,6 +113,9 @@ impl EventKind {
             EventKind::WalRotate => "wal-rotate",
             EventKind::KvHealth => "kv-health",
             EventKind::KvRearm => "kv-rearm",
+            EventKind::NetRead => "net-read",
+            EventKind::NetBatch => "net-batch",
+            EventKind::NetWrite => "net-write",
         }
     }
 }

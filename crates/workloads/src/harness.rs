@@ -112,6 +112,9 @@ pub struct RunMetrics {
     /// WAL pipeline activity attributable to the run (batch/fsync counters
     /// and latency histograms); `None` for non-durable workloads.
     pub wal: Option<txobs::metrics::WalSnapshot>,
+    /// Network front-end activity attributable to the run (request/reply and
+    /// coalescing counters); `None` for in-process workloads.
+    pub net: Option<txobs::metrics::NetSnapshot>,
 }
 
 impl RunMetrics {
@@ -122,12 +125,19 @@ impl RunMetrics {
             latency,
             stats,
             wal: None,
+            net: None,
         }
     }
 
     /// Attaches the WAL pipeline activity observed during the run.
     pub fn with_wal(mut self, wal: txobs::metrics::WalSnapshot) -> Self {
         self.wal = Some(wal);
+        self
+    }
+
+    /// Attaches the network front-end activity observed during the run.
+    pub fn with_net(mut self, net: txobs::metrics::NetSnapshot) -> Self {
+        self.net = Some(net);
         self
     }
 }
@@ -219,6 +229,7 @@ pub fn average_metrics(
     let mut latency = LatencyHistogram::new();
     let mut stats = StatsSnapshot::default();
     let mut wal: Option<txobs::metrics::WalSnapshot> = None;
+    let mut net: Option<txobs::metrics::NetSnapshot> = None;
     for rep in 0..repetitions {
         let run = make_run(rep);
         total_ops += run.throughput.ops;
@@ -227,6 +238,9 @@ pub fn average_metrics(
         stats = stats.merged(&run.stats);
         if let Some(run_wal) = run.wal {
             wal.get_or_insert_with(Default::default).merge(&run_wal);
+        }
+        if let Some(run_net) = run.net {
+            net.get_or_insert_with(Default::default).merge(&run_net);
         }
     }
     RunMetrics {
@@ -237,6 +251,7 @@ pub fn average_metrics(
         latency,
         stats,
         wal,
+        net,
     }
 }
 

@@ -146,7 +146,7 @@ impl KvParams {
         }
     }
 
-    fn server_config(&self) -> KvServerConfig {
+    pub(crate) fn server_config(&self) -> KvServerConfig {
         KvServerConfig {
             store: KvStoreParams {
                 shards: self.shards,

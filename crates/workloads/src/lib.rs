@@ -22,7 +22,10 @@
 //!   A/B/C/scan-heavy, batches split into speculative tasks under TLSTM);
 //! * [`overhead`] — single-thread uncontended microworkloads (read-only and
 //!   write-heavy) that isolate the raw per-operation fast-path overhead of
-//!   each runtime, used to track the zero-allocation hot-path work.
+//!   each runtime, used to track the zero-allocation hot-path work;
+//! * [`net_kv`] — the KV serving workload driven over the wire: a
+//!   multi-connection open-loop load generator against a loopback `txnet`
+//!   server, measuring the full frame → coalesced-batch → reply pipeline.
 //!
 //! All workload *operations* are written once against [`txmem::TxMem`], so the
 //! exact same operation code runs on SwissTM transactions and on TLSTM tasks —
@@ -33,6 +36,7 @@
 
 pub mod harness;
 pub mod kv;
+pub mod net_kv;
 pub mod overhead;
 pub mod rbtree_bench;
 pub mod stmbench7;
